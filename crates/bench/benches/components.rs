@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks of the speculative-persistence hardware
+//! structures and the memory-system model (simulator throughput, not
+//! paper results — those come from the `repro` binary).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spp_core::{Blt, BloomFilter, CheckpointBuffer, EpochManager, Ssb, SsbConfig, SsbEntry, SsbOp};
+use spp_mem::{AccessKind, MemConfig, MemCtrl, MemorySystem};
+use spp_pmem::{BlockId, PAddr};
+
+fn bench_ssb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ssb");
+    g.bench_function("push_drain_256", |b| {
+        b.iter(|| {
+            let mut ssb = Ssb::new(SsbConfig::paper_default());
+            for i in 0..256u64 {
+                ssb.push(SsbEntry { op: SsbOp::Store { addr: PAddr::new(i * 8) }, epoch: 0 })
+                    .unwrap();
+            }
+            black_box(ssb.drain_epoch(0).len())
+        })
+    });
+    g.bench_function("forwards_miss", |b| {
+        let mut ssb = Ssb::new(SsbConfig::paper_default());
+        for i in 0..256u64 {
+            ssb.push(SsbEntry { op: SsbOp::Store { addr: PAddr::new(i * 8) }, epoch: 0 })
+                .unwrap();
+        }
+        b.iter(|| black_box(ssb.forwards(PAddr::new(0x0DEA_D000))))
+    });
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    g.bench_function("insert_query", |b| {
+        let mut bf = BloomFilter::paper_default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(8);
+            bf.insert(PAddr::new(i));
+            black_box(bf.query(PAddr::new(i)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_checkpoints_and_epochs(c: &mut Criterion) {
+    c.bench_function("epoch_begin_commit", |b| {
+        b.iter(|| {
+            let mut em = EpochManager::new(4);
+            for i in 0..4 {
+                em.begin(i, i as u64).unwrap();
+            }
+            while em.speculating() {
+                black_box(em.commit_oldest());
+            }
+        })
+    });
+    c.bench_function("checkpoint_take_release", |b| {
+        let mut cb = CheckpointBuffer::new(4);
+        b.iter(|| {
+            let cp = cb.take(0, 0).unwrap();
+            black_box(cp);
+            cb.release_oldest();
+        })
+    });
+    c.bench_function("blt_record_snoop", |b| {
+        let mut blt = Blt::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            blt.record(BlockId::new(i % 512));
+            black_box(blt.snoop(BlockId::new(i % 1024)))
+        })
+    });
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem");
+    g.bench_function("l1_hit", |b| {
+        let mut m = MemorySystem::new(MemConfig::paper());
+        m.access(0, BlockId::new(1), AccessKind::Load);
+        let mut t = 100u64;
+        b.iter(|| {
+            t += 4;
+            black_box(m.access(t, BlockId::new(1), AccessKind::Load))
+        })
+    });
+    g.bench_function("miss_fill", |b| {
+        let mut m = MemorySystem::new(MemConfig::paper());
+        let mut blk = 0u64;
+        let mut t = 0u64;
+        b.iter(|| {
+            blk += 1;
+            t += 200;
+            black_box(m.access(t, BlockId::new(blk), AccessKind::Store))
+        })
+    });
+    g.bench_function("flush_pcommit", |b| {
+        let mut mc = MemCtrl::new(MemConfig::paper());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 400;
+            mc.write_back(t);
+            black_box(mc.pcommit(t + 50))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ssb,
+    bench_bloom,
+    bench_checkpoints_and_epochs,
+    bench_memory_system
+);
+criterion_main!(benches);

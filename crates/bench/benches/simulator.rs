@@ -1,0 +1,53 @@
+//! Criterion benchmarks of end-to-end simulation throughput: trace
+//! generation plus pipeline replay for each Table 1 benchmark (tiny
+//! sizing), and the baseline-vs-SP replay of a persist-barrier stream.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use spp_bench::{run_variant, Experiment};
+use spp_cpu::{simulate, CpuConfig};
+use spp_pmem::{Event, PAddr, Variant};
+use spp_workloads::BenchId;
+
+fn barrier_trace(n: u64) -> Vec<Event> {
+    let mut ev = Vec::new();
+    for i in 0..n {
+        let a = PAddr::new(4096 + i * 64);
+        ev.push(Event::Store { addr: a, size: 8, value: i });
+        ev.push(Event::Clwb { addr: a });
+        ev.push(Event::Sfence);
+        ev.push(Event::Pcommit);
+        ev.push(Event::Sfence);
+        ev.push(Event::Compute(200));
+    }
+    ev
+}
+
+fn bench_pipeline_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    let trace = barrier_trace(200);
+    g.bench_function("barriers_baseline", |b| {
+        b.iter(|| black_box(simulate(&trace, &CpuConfig::baseline()).cpu.cycles))
+    });
+    g.bench_function("barriers_sp256", |b| {
+        b.iter(|| black_box(simulate(&trace, &CpuConfig::with_sp()).cpu.cycles))
+    });
+    g.finish();
+}
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bench_run");
+    g.sample_size(10);
+    let exp = Experiment { scale: 5000, seed: 7 };
+    for id in BenchId::ALL {
+        g.bench_with_input(BenchmarkId::new("logpsf_sp", id.abbrev()), &id, |b, &id| {
+            b.iter(|| {
+                let (_, sim) = run_variant(id, Variant::LogPSf, &exp, &CpuConfig::with_sp());
+                black_box(sim.cpu.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline_replay, bench_full_runs);
+criterion_main!(benches);

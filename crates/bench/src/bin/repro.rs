@@ -1,0 +1,165 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <command> [--scale N] [--seed S]
+//!
+//! Commands:
+//!   all        every table and figure (plus the ablation study)
+//!   table1 | table2 | table3
+//!   fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14
+//!   ablation   SP design-choice sensitivity (beyond the paper)
+//!   incremental  full vs incremental logging on the B-tree (§3.2)
+//!   flushmode  clwb vs clflushopt vs clflush (§2.2 footnote)
+//!   trace <BENCH> <VARIANT>  inspect one recorded trace (uop mix)
+//!   json       run the suite and print machine-readable JSON
+//!   multicore  multi-programmed persist interference (future work)
+//!
+//! Options:
+//!   --scale N  divide Table 1's op counts by N (default 50; 1 = paper)
+//!   --seed S   RNG seed (default 0x5EED)
+//! ```
+
+use std::process::ExitCode;
+
+use spp_bench::report;
+use spp_bench::{run_suite, Experiment};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore> [--scale N] [--seed S]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else { return usage() };
+    let mut exp = Experiment::default();
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                exp.scale = v;
+                i += 2;
+            }
+            "--seed" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                exp.seed = v;
+                i += 2;
+            }
+            other => {
+                positional.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    if exp.scale == 0 {
+        eprintln!("--scale must be at least 1");
+        return ExitCode::FAILURE;
+    }
+
+    let needs_suite = matches!(
+        cmd.as_str(),
+        "all" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig14" | "json"
+    );
+    let runs = if needs_suite {
+        eprintln!("# running suite at scale 1/{} (seed {:#x})...", exp.scale, exp.seed);
+        run_suite(&exp)
+    } else {
+        Vec::new()
+    };
+
+    match cmd.as_str() {
+        "all" => {
+            print!("{}", report::table1(&exp));
+            print!("{}", report::table2());
+            print!("{}", report::table3());
+            print!("{}", report::fig8(&runs));
+            print!("{}", report::fig9(&runs));
+            print!("{}", report::fig10(&runs));
+            print!("{}", report::fig11(&runs));
+            print!("{}", report::fig12(&runs));
+            eprintln!("# running Fig. 13 SSB sweep...");
+            print!("{}", report::fig13(&exp));
+            print!("{}", report::fig14(&runs));
+            eprintln!("# running ablation...");
+            print!("{}", report::ablation(&exp));
+            eprintln!("# running logging comparison...");
+            print!("{}", report::incremental(&exp));
+            eprintln!("# running flush-mode ablation...");
+            print!("{}", report::flushmode(&exp));
+            eprintln!("# running multicore study...");
+            print!("{}", report::multicore(&exp));
+        }
+        "table1" => print!("{}", report::table1(&exp)),
+        "table2" => print!("{}", report::table2()),
+        "table3" => print!("{}", report::table3()),
+        "fig8" => print!("{}", report::fig8(&runs)),
+        "fig9" => print!("{}", report::fig9(&runs)),
+        "fig10" => print!("{}", report::fig10(&runs)),
+        "fig11" => print!("{}", report::fig11(&runs)),
+        "fig12" => print!("{}", report::fig12(&runs)),
+        "fig13" => print!("{}", report::fig13(&exp)),
+        "fig14" => print!("{}", report::fig14(&runs)),
+        "ablation" => print!("{}", report::ablation(&exp)),
+        "incremental" => print!("{}", report::incremental(&exp)),
+        "flushmode" => print!("{}", report::flushmode(&exp)),
+        "json" => println!("{}", spp_bench::json::suite_json(&runs)),
+        "multicore" => print!("{}", report::multicore(&exp)),
+        "trace" => return trace_cmd(&positional, &exp),
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro trace <BENCH> <VARIANT>`: record one trace and print its
+/// micro-op mix and per-operation averages.
+fn trace_cmd(positional: &[String], exp: &Experiment) -> ExitCode {
+    use spp_pmem::Variant;
+    use spp_workloads::{run_benchmark, BenchId, BenchSpec, RunConfig};
+    let (Some(bench), Some(variant)) = (positional.first(), positional.get(1)) else {
+        eprintln!("usage: repro trace <GH|HM|LL|SS|AT|BT|RT> <base|log|logp|logpsf> [--scale N]");
+        return ExitCode::FAILURE;
+    };
+    let Some(id) = BenchId::ALL.iter().copied().find(|b| {
+        b.abbrev().eq_ignore_ascii_case(bench)
+    }) else {
+        eprintln!("unknown benchmark {bench:?}");
+        return ExitCode::FAILURE;
+    };
+    let variant = match variant.to_ascii_lowercase().as_str() {
+        "base" => Variant::Base,
+        "log" => Variant::Log,
+        "logp" | "log+p" => Variant::LogP,
+        "logpsf" | "log+p+sf" => Variant::LogPSf,
+        other => {
+            eprintln!("unknown variant {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = BenchSpec::scaled(id, exp.scale);
+    let out = run_benchmark(&RunConfig { variant, spec, seed: exp.seed, capture_base: false });
+    let c = out.trace.counts;
+    let ops = spec.sim_ops;
+    println!("{} / {} at scale 1/{} ({} ops recorded)", id.name(), variant, exp.scale, ops);
+    println!("{:<22} {:>12} {:>10}", "class", "micro-ops", "per op");
+    for (name, v) in [
+        ("compute", c.compute),
+        ("loads", c.loads),
+        ("stores", c.stores),
+        ("flushes (clwb/...)", c.flushes),
+        ("pcommits", c.pcommits),
+        ("fences", c.fences),
+    ] {
+        println!("{:<22} {:>12} {:>10.1}", name, v, v as f64 / ops as f64);
+    }
+    println!("{:<22} {:>12} {:>10.1}", "TOTAL", c.total(), c.total() as f64 / ops as f64);
+    println!("transactions: {}", c.transactions);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,153 @@
+//! Minimal JSON emission for machine-readable results (no external
+//! dependency needed for these flat records).
+
+use std::fmt::Write as _;
+
+use crate::BenchRun;
+
+/// A JSON object under construction.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a numeric field.
+    pub fn num(&mut self, key: &str, v: impl Into<f64>) -> &mut Self {
+        let v: f64 = v.into();
+        // Integers render without a fraction; everything else with
+        // enough digits to round-trip sensibly.
+        let s = if v.fract() == 0.0 && v.abs() < 9.0e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v:.6}")
+        };
+        self.fields.push((key.to_string(), s));
+        self
+    }
+
+    /// Adds a string field (escaping quotes and backslashes).
+    pub fn str(&mut self, key: &str, v: &str) -> &mut Self {
+        let escaped: String = v
+            .chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                '\n' => vec!['\\', 'n'],
+                c => vec![c],
+            })
+            .collect();
+        self.fields.push((key.to_string(), format!("\"{escaped}\"")));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (e.g. a nested object/array).
+    pub fn raw(&mut self, key: &str, v: String) -> &mut Self {
+        self.fields.push((key.to_string(), v));
+        self
+    }
+
+    /// Renders the object.
+    pub fn render(&self) -> String {
+        let mut s = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{k}\":{v}");
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Renders an array of pre-rendered values.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut s = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&item);
+    }
+    s.push(']');
+    s
+}
+
+/// Serializes the full suite results (everything figs. 8-12/14 need) as
+/// one JSON document.
+pub fn suite_json(runs: &[BenchRun]) -> String {
+    let items = runs.iter().map(|r| {
+        let mut o = JsonObject::new();
+        o.str("bench", r.id.abbrev());
+        o.num("init_ops", r.spec.init_ops as f64);
+        o.num("sim_ops", r.spec.sim_ops as f64);
+        for (name, v) in [
+            ("base", &r.base),
+            ("log", &r.log),
+            ("logp", &r.logp),
+            ("logpsf", &r.logpsf),
+        ] {
+            let mut vo = JsonObject::new();
+            vo.num("cycles", v.sim.cpu.cycles as f64)
+                .num("uops", v.counts.total() as f64)
+                .num("fetch_stalls", v.sim.cpu.fetch_stall_cycles as f64)
+                .num("fence_stalls", v.sim.cpu.fence_stall_cycles as f64)
+                .num("pcommits", v.counts.pcommits as f64)
+                .num("max_inflight_pcommits", v.sim.cpu.max_inflight_pcommits as f64)
+                .num("stores_per_pcommit", v.sim.stores_per_pcommit());
+            o.raw(name, vo.render());
+        }
+        let mut sp = JsonObject::new();
+        sp.num("cycles", r.sp256.cpu.cycles as f64)
+            .num("fetch_stalls", r.sp256.cpu.fetch_stall_cycles as f64)
+            .num("epochs", r.sp256.cpu.epochs as f64)
+            .num("ssb_high_water", r.sp256.ssb.high_water as f64)
+            .num("bloom_fp_rate", r.sp256.bloom_false_positive_rate())
+            .num("checkpoint_high_water", r.sp256.checkpoints.high_water as f64);
+        o.raw("sp256", sp.render());
+        o.render()
+    });
+    let mut root = JsonObject::new();
+    root.str("schema", "specpersist/suite-v1");
+    root.raw("benchmarks", array(items));
+    root.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_rendering() {
+        let mut o = JsonObject::new();
+        o.num("a", 1.0).num("b", 2.5).str("c", "x\"y\\z");
+        assert_eq!(o.render(), r#"{"a":1,"b":2.500000,"c":"x\"y\\z"}"#);
+    }
+
+    #[test]
+    fn array_rendering() {
+        assert_eq!(array(["1".to_string(), "2".to_string()]), "[1,2]");
+        assert_eq!(array(std::iter::empty::<String>()), "[]");
+    }
+
+    #[test]
+    fn suite_json_is_parseable_shape() {
+        // A smoke check: run one tiny benchmark and assert basic
+        // structure (balanced braces, expected keys).
+        let exp = crate::Experiment { scale: 5000, seed: 3 };
+        let runs = vec![crate::run_bench(spp_workloads::BenchId::LinkedList, &exp)];
+        let j = suite_json(&runs);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        for key in ["\"bench\"", "\"logpsf\"", "\"sp256\"", "\"bloom_fp_rate\""] {
+            assert!(j.contains(key), "missing {key}");
+        }
+    }
+}

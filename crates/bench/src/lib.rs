@@ -1,0 +1,367 @@
+//! # spp-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (§5-§6): for each Table 1 benchmark it records traces in all four
+//! build variants, replays them through the pipeline with and without
+//! speculative persistence, and prints the same rows/series the paper
+//! reports. See `EXPERIMENTS.md` at the repository root for the
+//! paper-vs-measured comparison.
+//!
+//! The `repro` binary drives it:
+//!
+//! ```text
+//! repro all --scale 50      # every figure at 1/50 of Table 1 sizing
+//! repro fig8 --scale 200    # just the headline overhead figure
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod report;
+
+use spp_cpu::{simulate, CpuConfig, SimResult, SpConfig};
+use spp_pmem::{TraceCounts, Variant};
+use spp_workloads::{run_benchmark, BenchId, BenchSpec, RunConfig};
+
+/// Harness-wide parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Divisor applied to Table 1's `#InitOps`/`#SimOps` (1 = paper
+    /// scale; the default harness uses 50).
+    pub scale: u64,
+    /// RNG seed shared by every run so operation streams match across
+    /// variants.
+    pub seed: u64,
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Experiment { scale: 50, seed: 0x5EED }
+    }
+}
+
+/// One variant's trace-and-timing outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct VariantRun {
+    /// Micro-op counts of the recorded trace.
+    pub counts: TraceCounts,
+    /// Pipeline results without speculation.
+    pub sim: SimResult,
+}
+
+/// Everything measured for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchRun {
+    /// Which benchmark.
+    pub id: BenchId,
+    /// The actual (scaled) sizing used.
+    pub spec: BenchSpec,
+    /// `Base` build.
+    pub base: VariantRun,
+    /// `Log` build.
+    pub log: VariantRun,
+    /// `Log+P` build.
+    pub logp: VariantRun,
+    /// `Log+P+Sf` build.
+    pub logpsf: VariantRun,
+    /// `Log+P+Sf` trace on the SP256 core.
+    pub sp256: SimResult,
+}
+
+impl BenchRun {
+    /// Execution-time overhead of `cycles` relative to the `Base` build.
+    pub fn overhead(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.base.sim.cpu.cycles as f64 - 1.0
+    }
+}
+
+/// Records one benchmark's trace in `variant` and simulates it on `cpu`.
+pub fn run_variant(
+    id: BenchId,
+    variant: Variant,
+    exp: &Experiment,
+    cpu: &CpuConfig,
+) -> (TraceCounts, SimResult) {
+    let out = run_benchmark(&RunConfig {
+        variant,
+        spec: BenchSpec::scaled(id, exp.scale),
+        seed: exp.seed,
+        capture_base: false,
+    });
+    let sim = simulate(&out.trace.events, cpu);
+    (out.trace.counts, sim)
+}
+
+/// Runs the full Fig. 8-12/14 sweep for one benchmark: all four
+/// variants on the baseline core, plus SP256 on the `Log+P+Sf` trace.
+pub fn run_bench(id: BenchId, exp: &Experiment) -> BenchRun {
+    let baseline = CpuConfig::baseline();
+    let with_sp = CpuConfig::with_sp();
+    let (c0, s0) = run_variant(id, Variant::Base, exp, &baseline);
+    let (c1, s1) = run_variant(id, Variant::Log, exp, &baseline);
+    let (c2, s2) = run_variant(id, Variant::LogP, exp, &baseline);
+    let (c3, s3) = run_variant(id, Variant::LogPSf, exp, &baseline);
+    let (_, sp) = run_variant(id, Variant::LogPSf, exp, &with_sp);
+    BenchRun {
+        id,
+        spec: BenchSpec::scaled(id, exp.scale),
+        base: VariantRun { counts: c0, sim: s0 },
+        log: VariantRun { counts: c1, sim: s1 },
+        logp: VariantRun { counts: c2, sim: s2 },
+        logpsf: VariantRun { counts: c3, sim: s3 },
+        sp256: sp,
+    }
+}
+
+/// Runs the whole suite.
+pub fn run_suite(exp: &Experiment) -> Vec<BenchRun> {
+    BenchId::ALL.iter().map(|&id| run_bench(id, exp)).collect()
+}
+
+/// Fig. 13: the `Log+P+Sf` trace of one benchmark on SP cores with each
+/// Table 3 SSB size. Returns `(entries, overhead_vs_base)` pairs.
+pub fn run_ssb_sweep(id: BenchId, exp: &Experiment) -> Vec<(usize, f64)> {
+    let out = run_benchmark(&RunConfig {
+        variant: Variant::LogPSf,
+        spec: BenchSpec::scaled(id, exp.scale),
+        seed: exp.seed,
+        capture_base: false,
+    });
+    let base = run_variant(id, Variant::Base, exp, &CpuConfig::baseline()).1;
+    spp_core::SSB_DESIGN_POINTS
+        .iter()
+        .map(|&(entries, _)| {
+            let cfg = CpuConfig {
+                sp: Some(SpConfig::with_ssb_entries(entries)),
+                ..CpuConfig::baseline()
+            };
+            let sim = simulate(&out.trace.events, &cfg);
+            (entries, sim.cpu.cycles as f64 / base.cpu.cycles as f64 - 1.0)
+        })
+        .collect()
+}
+
+/// Ablation: SP256 without the combined `sfence-pcommit-sfence` opcode
+/// and with a varying checkpoint count. Returns overhead vs `Base`.
+pub fn run_sp_ablation(
+    id: BenchId,
+    exp: &Experiment,
+    combine_barrier: bool,
+    checkpoints: usize,
+) -> f64 {
+    let out = run_benchmark(&RunConfig {
+        variant: Variant::LogPSf,
+        spec: BenchSpec::scaled(id, exp.scale),
+        seed: exp.seed,
+        capture_base: false,
+    });
+    let base = run_variant(id, Variant::Base, exp, &CpuConfig::baseline()).1;
+    let cfg = CpuConfig {
+        sp: Some(SpConfig { combine_barrier, checkpoints, ..SpConfig::paper_default() }),
+        ..CpuConfig::baseline()
+    };
+    let sim = simulate(&out.trace.events, &cfg);
+    sim.cpu.cycles as f64 / base.cpu.cycles as f64 - 1.0
+}
+
+/// Comparison of full vs incremental logging on the B-tree (§3.2,
+/// Figs. 4-5): cycles, pcommits and logged volume per operation, on the
+/// baseline and SP cores.
+#[derive(Debug, Clone, Copy)]
+pub struct LoggingComparison {
+    /// Baseline-core cycles per op with full logging.
+    pub full_cycles: u64,
+    /// Baseline-core cycles per op with incremental logging.
+    pub inc_cycles: u64,
+    /// SP-core cycles per op with full logging.
+    pub full_sp_cycles: u64,
+    /// SP-core cycles per op with incremental logging.
+    pub inc_sp_cycles: u64,
+    /// pcommits per op, full logging.
+    pub full_pcommits: f64,
+    /// pcommits per op, incremental logging.
+    pub inc_pcommits: f64,
+    /// Store micro-ops per op (log volume proxy), full logging.
+    pub full_stores: f64,
+    /// Store micro-ops per op, incremental.
+    pub inc_stores: f64,
+}
+
+/// Runs the full-vs-incremental logging ablation on the B-tree.
+pub fn run_logging_comparison(exp: &Experiment) -> LoggingComparison {
+    use rand::SeedableRng;
+    let spec = BenchSpec::scaled(BenchId::BTree, exp.scale);
+    let run = |incremental: bool| -> (spp_pmem::Trace, u64) {
+        let mut env = spp_pmem::PmemEnv::new(Variant::LogPSf);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(exp.seed);
+        env.set_recording(false);
+        let mut w: Box<dyn spp_workloads::Workload> = if incremental {
+            Box::new(spp_workloads::btree_inc::IncBTree::new())
+        } else {
+            Box::new(spp_workloads::btree::BTree::new())
+        };
+        w.setup(&mut env, &mut rng, spec.init_ops);
+        let mut drv = spp_workloads::driver::Driver::new(&mut env, &mut rng);
+        env.set_recording(true);
+        for op in 0..spec.sim_ops {
+            drv.before_op(&mut env);
+            w.run_op(&mut env, &mut rng, op);
+        }
+        (env.take_trace(), spec.sim_ops)
+    };
+    let (full_trace, ops) = run(false);
+    let (inc_trace, _) = run(true);
+    let base = CpuConfig::baseline();
+    let sp = CpuConfig::with_sp();
+    let fb = simulate(&full_trace.events, &base);
+    let fs = simulate(&full_trace.events, &sp);
+    let ib = simulate(&inc_trace.events, &base);
+    let is_ = simulate(&inc_trace.events, &sp);
+    LoggingComparison {
+        full_cycles: fb.cpu.cycles / ops,
+        inc_cycles: ib.cpu.cycles / ops,
+        full_sp_cycles: fs.cpu.cycles / ops,
+        inc_sp_cycles: is_.cpu.cycles / ops,
+        full_pcommits: full_trace.counts.pcommits as f64 / ops as f64,
+        inc_pcommits: inc_trace.counts.pcommits as f64 / ops as f64,
+        full_stores: full_trace.counts.stores as f64 / ops as f64,
+        inc_stores: inc_trace.counts.stores as f64 / ops as f64,
+    }
+}
+
+/// Runs one benchmark's `Log+P+Sf` build with the given flush
+/// instruction (the §2.2 footnote ablation: `clwb` vs `clflushopt` vs
+/// legacy `clflush`). Returns cycles per operation on the baseline and
+/// SP cores.
+pub fn run_flushmode(
+    id: BenchId,
+    mode: spp_pmem::FlushMode,
+    exp: &Experiment,
+) -> (u64, u64) {
+    use rand::SeedableRng;
+    let spec = BenchSpec::scaled(id, exp.scale);
+    let mut env = spp_pmem::PmemEnv::new(Variant::LogPSf);
+    env.set_flush_mode(mode);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(exp.seed);
+    let mut w = spp_workloads::make_workload(id);
+    env.set_recording(false);
+    w.setup(&mut env, &mut rng, spec.init_ops);
+    let mut drv = spp_workloads::driver::Driver::new(&mut env, &mut rng);
+    env.set_recording(true);
+    for op in 0..spec.sim_ops {
+        drv.before_op(&mut env);
+        w.run_op(&mut env, &mut rng, op);
+    }
+    let trace = env.take_trace();
+    let base = simulate(&trace.events, &CpuConfig::baseline());
+    let sp = simulate(&trace.events, &CpuConfig::with_sp());
+    (base.cpu.cycles / spec.sim_ops, sp.cpu.cycles / spec.sim_ops)
+}
+
+/// One row of the multi-programmed interference study: worst-core
+/// cycles/op at a core count, baseline vs SP.
+#[derive(Debug, Clone, Copy)]
+pub struct MulticoreRow {
+    /// Number of cores sharing the memory controller.
+    pub cores: usize,
+    /// Worst core's cycles per operation without speculation.
+    pub base_cycles_per_op: u64,
+    /// Worst core's cycles per operation with SP256.
+    pub sp_cycles_per_op: u64,
+}
+
+/// The multi-programmed extension study (the paper's future-work
+/// direction): N copies of a benchmark, each on its own core with
+/// private caches, sharing one bank-limited memory controller. Every
+/// core's `pcommit` must drain every core's pending writes, so persist
+/// barriers interfere across cores.
+pub fn run_multicore(id: BenchId, exp: &Experiment, banks: usize) -> Vec<MulticoreRow> {
+    use spp_cpu::MultiCore;
+    let spec = BenchSpec::scaled(id, exp.scale);
+    // Distinct seeds per core: independent programs.
+    let traces: Vec<_> = (0..4u64)
+        .map(|core| {
+            run_benchmark(&RunConfig {
+                variant: Variant::LogPSf,
+                spec,
+                seed: exp.seed ^ (core * 0x9E37),
+                capture_base: false,
+            })
+            .trace
+        })
+        .collect();
+    let mem = spp_mem::MemConfig { nvmm_banks: banks, ..spp_mem::MemConfig::paper() };
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 4] {
+        let refs: Vec<&[spp_pmem::Event]> =
+            traces[..n].iter().map(|t| t.events.as_slice()).collect();
+        let worst = |cfg: CpuConfig| -> u64 {
+            MultiCore::new(&refs, cfg)
+                .run()
+                .iter()
+                .map(|r| r.cpu.cycles)
+                .max()
+                .expect("at least one core")
+                / spec.sim_ops
+        };
+        rows.push(MulticoreRow {
+            cores: n,
+            base_cycles_per_op: worst(CpuConfig { mem, ..CpuConfig::baseline() }),
+            sp_cycles_per_op: worst(CpuConfig { mem, ..CpuConfig::with_sp() }),
+        });
+    }
+    rows
+}
+
+/// Geometric mean of `(1 + overhead)` ratios, returned as an overhead
+/// (the paper's aggregation for Fig. 8).
+pub fn geomean_overhead(overheads: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0f64, 0u32);
+    for o in overheads {
+        log_sum += (1.0 + o).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / f64::from(n)).exp() - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Experiment {
+        Experiment { scale: 2000, seed: 1 }
+    }
+
+    #[test]
+    fn geomean_matches_hand_example() {
+        assert!(geomean_overhead([0.0, 0.0]).abs() < 1e-12);
+        assert!((geomean_overhead([0.5, 0.5]) - 0.5).abs() < 1e-12);
+        assert_eq!(geomean_overhead(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn variant_ordering_holds_for_linked_list() {
+        let r = run_bench(BenchId::LinkedList, &tiny());
+        // More machinery, more cycles (2% slack: at this tiny scale the
+        // handful of operations leaves room for cache-warming noise).
+        assert!(r.log.sim.cpu.cycles * 102 >= r.base.sim.cpu.cycles * 100);
+        assert!(r.logpsf.sim.cpu.cycles > r.logp.sim.cpu.cycles);
+        // SP recovers most of the fence cost.
+        assert!(r.sp256.cpu.cycles < r.logpsf.sim.cpu.cycles);
+        // Committed micro-ops match the traces exactly.
+        assert_eq!(r.sp256.cpu.committed_uops, r.logpsf.counts.total());
+    }
+
+    #[test]
+    fn ssb_sweep_produces_all_design_points() {
+        let pts = run_ssb_sweep(BenchId::LinkedList, &Experiment { scale: 5000, seed: 1 });
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0].0, 32);
+        assert_eq!(pts[5].0, 1024);
+    }
+}

@@ -1,0 +1,192 @@
+//! The SSB bloom filter (§4.2.2).
+//!
+//! A 256-entry SSB needs a 5-cycle CAM access — longer than the L1D.
+//! To keep loads off that path, a 512-byte bloom filter summarizes the
+//! buffered store addresses (as in CPR): a load checks the filter first
+//! and only searches the SSB on a positive. Bits are set as stores are
+//! inserted and the whole filter resets when speculation ends, so it
+//! yields false positives but never false negatives. False positives
+//! also arise when a store has drained from the SSB while its bits
+//! linger until the next reset — the effect behind String Swap's
+//! outlier rate in Fig. 14.
+
+use spp_pmem::PAddr;
+
+/// Default filter size: 512 bytes = 4096 bits (§4.2.2).
+pub const PAPER_FILTER_BYTES: usize = 512;
+
+/// Filter statistics for the Fig. 14 false-positive analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BloomStats {
+    /// Membership queries.
+    pub queries: u64,
+    /// Queries that returned "maybe present".
+    pub positives: u64,
+    /// Positives the caller reported as false (SSB lookup missed).
+    pub false_positives: u64,
+    /// Addresses inserted.
+    pub inserts: u64,
+    /// Filter resets (speculation exits).
+    pub resets: u64,
+}
+
+/// A fixed-size bloom filter over 8-byte store granule addresses.
+///
+/// ```
+/// use spp_core::BloomFilter;
+/// use spp_pmem::PAddr;
+///
+/// let mut bf = BloomFilter::with_bytes(512);
+/// bf.insert(PAddr::new(0x40));
+/// assert!(bf.query(PAddr::new(0x40)), "no false negatives, ever");
+/// bf.reset();
+/// assert!(!bf.query(PAddr::new(0x40)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    mask: u64,
+    stats: BloomStats,
+}
+
+impl BloomFilter {
+    /// Creates a filter of `bytes` (must be a power of two ≥ 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-power-of-two or undersized `bytes`.
+    pub fn with_bytes(bytes: usize) -> Self {
+        assert!(bytes >= 8 && bytes.is_power_of_two(), "filter size must be a power of two >= 8");
+        let nbits = (bytes * 8) as u64;
+        BloomFilter { bits: vec![0; bytes / 8], mask: nbits - 1, stats: BloomStats::default() }
+    }
+
+    /// The paper's 512-byte filter.
+    pub fn paper_default() -> Self {
+        Self::with_bytes(PAPER_FILTER_BYTES)
+    }
+
+    fn hashes(&self, addr: PAddr) -> (u64, u64) {
+        let g = addr.raw() >> 3; // granule number
+        let h1 = g.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 13;
+        let h2 = g.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 29;
+        (h1 & self.mask, h2 & self.mask)
+    }
+
+    fn set(&mut self, bit: u64) {
+        self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+    }
+
+    fn get(&self, bit: u64) -> bool {
+        self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+    }
+
+    /// Records a store address (called as the store enters the SSB).
+    pub fn insert(&mut self, addr: PAddr) {
+        let (a, b) = self.hashes(addr);
+        self.set(a);
+        self.set(b);
+        self.stats.inserts += 1;
+    }
+
+    /// Membership test: `false` definitely absent, `true` maybe present.
+    pub fn query(&mut self, addr: PAddr) -> bool {
+        self.stats.queries += 1;
+        let (a, b) = self.hashes(addr);
+        let hit = self.get(a) && self.get(b);
+        if hit {
+            self.stats.positives += 1;
+        }
+        hit
+    }
+
+    /// Records that the last positive was false (the SSB search missed)
+    /// — maintained by the pipeline for Fig. 14.
+    pub fn record_false_positive(&mut self) {
+        self.stats.false_positives += 1;
+    }
+
+    /// Clears every bit (speculation exit).
+    pub fn reset(&mut self) {
+        self.bits.fill(0);
+        self.stats.resets += 1;
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> BloomStats {
+        self.stats
+    }
+
+    /// Fraction of queries that were false positives (Fig. 14 metric);
+    /// `None` before any query.
+    pub fn false_positive_rate(&self) -> Option<f64> {
+        (self.stats.queries > 0)
+            .then(|| self.stats.false_positives as f64 / self.stats.queries as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives_under_load() {
+        let mut bf = BloomFilter::paper_default();
+        let addrs: Vec<PAddr> = (0..500).map(|i| PAddr::new(i * 8 + 0x1000)).collect();
+        for &a in &addrs {
+            bf.insert(a);
+        }
+        for &a in &addrs {
+            assert!(bf.query(a), "false negative at {a}");
+        }
+    }
+
+    #[test]
+    fn fresh_filter_rejects_everything() {
+        let mut bf = BloomFilter::paper_default();
+        for i in 0..1000 {
+            assert!(!bf.query(PAddr::new(i * 64)));
+        }
+        assert_eq!(bf.stats().positives, 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut bf = BloomFilter::paper_default();
+        bf.insert(PAddr::new(0x88));
+        bf.reset();
+        assert!(!bf.query(PAddr::new(0x88)));
+        assert_eq!(bf.stats().resets, 1);
+    }
+
+    #[test]
+    fn false_positive_rate_accounting() {
+        let mut bf = BloomFilter::paper_default();
+        bf.insert(PAddr::new(8));
+        assert!(bf.query(PAddr::new(8)));
+        // Suppose a stale positive: the caller reports it.
+        if bf.query(PAddr::new(16)) {
+            bf.record_false_positive();
+        }
+        let rate = bf.false_positive_rate().unwrap();
+        assert!(rate <= 0.5);
+    }
+
+    #[test]
+    fn small_filter_saturates_but_stays_sound() {
+        let mut bf = BloomFilter::with_bytes(8); // 64 bits: will saturate
+        let addrs: Vec<PAddr> = (0..200).map(|i| PAddr::new(i * 8)).collect();
+        for &a in &addrs {
+            bf.insert(a);
+        }
+        for &a in &addrs {
+            assert!(bf.query(a));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn size_validated() {
+        let _ = BloomFilter::with_bytes(100);
+    }
+}

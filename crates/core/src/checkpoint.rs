@@ -1,0 +1,190 @@
+//! The checkpoint buffer (§4.1-4.2).
+//!
+//! Each speculative epoch begins by capturing the architectural
+//! registers into a hardware checkpoint. The buffer holds four entries
+//! (Table 2) — Fig. 11 shows at most four pcommits are ever concurrently
+//! in flight, so four checkpoints suffice. When no checkpoint is free,
+//! the pipeline stalls at the fence that needed one.
+//!
+//! In the trace-driven model a checkpoint's "register state" is simply
+//! the trace position to resume from on rollback (plus the cycle it was
+//! taken, for statistics).
+
+/// Identifier of an allocated checkpoint slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CheckpointId(u64);
+
+impl CheckpointId {
+    /// The raw allocation number (monotonically increasing).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One live checkpoint: where to resume on rollback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Allocation id.
+    pub id: CheckpointId,
+    /// Trace index of the first instruction after the checkpoint (the
+    /// rollback target).
+    pub resume_idx: usize,
+    /// Cycle the checkpoint was captured.
+    pub taken_at: u64,
+}
+
+/// Statistics for checkpoint pressure analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Checkpoints taken.
+    pub taken: u64,
+    /// Allocation attempts that failed (pipeline had to stall).
+    pub exhaustions: u64,
+    /// Maximum simultaneously live checkpoints.
+    pub high_water: usize,
+}
+
+/// A fixed-capacity buffer of live checkpoints, freed oldest-first as
+/// epochs commit.
+///
+/// ```
+/// use spp_core::CheckpointBuffer;
+///
+/// let mut cb = CheckpointBuffer::new(4);
+/// let a = cb.take(0, 100).unwrap();
+/// let b = cb.take(50, 400).unwrap();
+/// assert_eq!(cb.live(), 2);
+/// cb.release_oldest(); // epoch of `a` committed
+/// assert_eq!(cb.oldest().unwrap().id, b.id);
+/// # let _ = (a, b);
+/// ```
+#[derive(Debug)]
+pub struct CheckpointBuffer {
+    capacity: usize,
+    live: Vec<Checkpoint>,
+    next_id: u64,
+    stats: CheckpointStats,
+}
+
+impl CheckpointBuffer {
+    /// Creates a buffer with `capacity` slots (the paper uses 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "checkpoint buffer needs at least one slot");
+        CheckpointBuffer { capacity, live: Vec::new(), next_id: 0, stats: CheckpointStats::default() }
+    }
+
+    /// Slots configured.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live checkpoints.
+    pub fn live(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Is a slot available?
+    pub fn available(&self) -> bool {
+        self.live.len() < self.capacity
+    }
+
+    /// Captures a checkpoint; `None` (and an exhaustion tick) if all
+    /// slots are in use.
+    pub fn take(&mut self, resume_idx: usize, now: u64) -> Option<Checkpoint> {
+        if self.live.len() >= self.capacity {
+            self.stats.exhaustions += 1;
+            return None;
+        }
+        let cp = Checkpoint { id: CheckpointId(self.next_id), resume_idx, taken_at: now };
+        self.next_id += 1;
+        self.live.push(cp);
+        self.stats.taken += 1;
+        self.stats.high_water = self.stats.high_water.max(self.live.len());
+        Some(cp)
+    }
+
+    /// The oldest live checkpoint (the rollback target).
+    pub fn oldest(&self) -> Option<Checkpoint> {
+        self.live.first().copied()
+    }
+
+    /// Frees the oldest checkpoint (its epoch committed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no checkpoint is live.
+    pub fn release_oldest(&mut self) -> Checkpoint {
+        assert!(!self.live.is_empty(), "no checkpoint to release");
+        self.live.remove(0)
+    }
+
+    /// Frees everything and returns the oldest (rollback: execution
+    /// resumes from its `resume_idx`).
+    pub fn rollback_all(&mut self) -> Option<Checkpoint> {
+        let oldest = self.oldest();
+        self.live.clear();
+        oldest
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> CheckpointStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_exhausts_at_capacity() {
+        let mut cb = CheckpointBuffer::new(2);
+        assert!(cb.take(0, 0).is_some());
+        assert!(cb.take(1, 1).is_some());
+        assert!(cb.take(2, 2).is_none());
+        assert_eq!(cb.stats().exhaustions, 1);
+        assert_eq!(cb.stats().high_water, 2);
+    }
+
+    #[test]
+    fn release_frees_in_fifo_order() {
+        let mut cb = CheckpointBuffer::new(4);
+        let a = cb.take(10, 0).unwrap();
+        let b = cb.take(20, 5).unwrap();
+        let freed = cb.release_oldest();
+        assert_eq!(freed.id, a.id);
+        assert_eq!(freed.resume_idx, 10);
+        assert_eq!(cb.oldest().unwrap().id, b.id);
+        assert!(cb.available());
+    }
+
+    #[test]
+    fn rollback_targets_the_oldest() {
+        let mut cb = CheckpointBuffer::new(4);
+        cb.take(100, 0).unwrap();
+        cb.take(200, 1).unwrap();
+        cb.take(300, 2).unwrap();
+        let target = cb.rollback_all().unwrap();
+        assert_eq!(target.resume_idx, 100);
+        assert_eq!(cb.live(), 0);
+    }
+
+    #[test]
+    fn ids_are_unique_across_reuse() {
+        let mut cb = CheckpointBuffer::new(1);
+        let a = cb.take(0, 0).unwrap();
+        cb.release_oldest();
+        let b = cb.take(0, 1).unwrap();
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    #[should_panic(expected = "no checkpoint")]
+    fn release_on_empty_panics() {
+        CheckpointBuffer::new(1).release_oldest();
+    }
+}

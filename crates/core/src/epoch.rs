@@ -1,0 +1,227 @@
+//! Speculative epochs and their in-order commit discipline (§4.1).
+//!
+//! A *speculative epoch* runs from the fence that began speculating to
+//! the point that fence would have retired. Fences (and other
+//! strongly-ordered instructions) inside the shadow of an outstanding
+//! persist barrier cannot be re-ordered, so each one ends the current
+//! epoch and begins a *child* epoch with a fresh checkpoint. Epochs
+//! commit strictly oldest-first: an epoch may commit only after its
+//! predecessor has fully committed and its own pending persist work has
+//! completed, preserving the transactional ordering the fences demanded.
+
+use std::collections::VecDeque;
+
+use crate::checkpoint::{Checkpoint, CheckpointBuffer, CheckpointStats};
+
+/// Why an epoch could not be started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoCheckpointFree;
+
+impl std::fmt::Display for NoCheckpointFree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("all checkpoints are in use; the pipeline must stall")
+    }
+}
+
+impl std::error::Error for NoCheckpointFree {}
+
+/// Execution state of one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochState {
+    /// The youngest epoch: still retiring instructions speculatively.
+    Executing,
+    /// Done executing (a child epoch exists); awaiting its turn to
+    /// commit.
+    Ended,
+}
+
+/// One speculative epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Epoch {
+    /// Monotonically increasing epoch number (used as the SSB tag).
+    pub id: u64,
+    /// The register checkpoint backing this epoch.
+    pub checkpoint: Checkpoint,
+    /// Current state.
+    pub state: EpochState,
+}
+
+/// Manager of the live speculative epochs and their checkpoints.
+///
+/// ```
+/// use spp_core::EpochManager;
+///
+/// let mut em = EpochManager::new(4);
+/// let e0 = em.begin(100, 0).unwrap();
+/// let e1 = em.begin(150, 10).unwrap(); // child epoch: e0 ends
+/// assert_eq!(em.oldest().unwrap().id, e0);
+/// em.commit_oldest();
+/// assert_eq!(em.oldest().unwrap().id, e1);
+/// em.commit_oldest();
+/// assert!(!em.speculating());
+/// ```
+#[derive(Debug)]
+pub struct EpochManager {
+    epochs: VecDeque<Epoch>,
+    checkpoints: CheckpointBuffer,
+    next_id: u64,
+    epochs_started: u64,
+    rollbacks: u64,
+}
+
+impl EpochManager {
+    /// Creates a manager with `checkpoints` checkpoint slots (the paper
+    /// uses 4).
+    pub fn new(checkpoints: usize) -> Self {
+        EpochManager {
+            epochs: VecDeque::new(),
+            checkpoints: CheckpointBuffer::new(checkpoints),
+            next_id: 0,
+            epochs_started: 0,
+            rollbacks: 0,
+        }
+    }
+
+    /// Is the core in speculative mode?
+    pub fn speculating(&self) -> bool {
+        !self.epochs.is_empty()
+    }
+
+    /// Number of live epochs.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// `true` when no epoch is live.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// Is a checkpoint free (can a new epoch begin)?
+    pub fn can_begin(&self) -> bool {
+        self.checkpoints.available()
+    }
+
+    /// Begins a new epoch checkpointed at `resume_idx`/`now`; the
+    /// previously youngest epoch (if any) transitions to
+    /// [`EpochState::Ended`]. Returns the new epoch's id (the SSB tag).
+    ///
+    /// # Errors
+    ///
+    /// [`NoCheckpointFree`] when the checkpoint buffer is exhausted; the
+    /// pipeline must stall until an epoch commits.
+    pub fn begin(&mut self, resume_idx: usize, now: u64) -> Result<u64, NoCheckpointFree> {
+        let checkpoint = self.checkpoints.take(resume_idx, now).ok_or(NoCheckpointFree)?;
+        if let Some(youngest) = self.epochs.back_mut() {
+            youngest.state = EpochState::Ended;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.epochs_started += 1;
+        self.epochs.push_back(Epoch { id, checkpoint, state: EpochState::Executing });
+        Ok(id)
+    }
+
+    /// The oldest live epoch (next to commit).
+    pub fn oldest(&self) -> Option<Epoch> {
+        self.epochs.front().copied()
+    }
+
+    /// The youngest live epoch (currently executing).
+    pub fn youngest(&self) -> Option<Epoch> {
+        self.epochs.back().copied()
+    }
+
+    /// Commits the oldest epoch, freeing its checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no epoch is live.
+    pub fn commit_oldest(&mut self) -> Epoch {
+        let e = self.epochs.pop_front().expect("no epoch to commit");
+        let freed = self.checkpoints.release_oldest();
+        debug_assert_eq!(freed.id, e.checkpoint.id, "checkpoints must free in epoch order");
+        e
+    }
+
+    /// Rolls back all speculation to the oldest checkpoint; returns the
+    /// trace index to resume from (`None` if nothing was speculative).
+    pub fn rollback(&mut self) -> Option<usize> {
+        let target = self.checkpoints.rollback_all();
+        self.epochs.clear();
+        if target.is_some() {
+            self.rollbacks += 1;
+        }
+        target.map(|c| c.resume_idx)
+    }
+
+    /// Checkpoint-pressure statistics.
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.checkpoints.stats()
+    }
+
+    /// `(epochs_started, rollbacks)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.epochs_started, self.rollbacks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_epoch_ends_its_parent() {
+        let mut em = EpochManager::new(4);
+        let e0 = em.begin(0, 0).unwrap();
+        assert_eq!(em.youngest().unwrap().state, EpochState::Executing);
+        let e1 = em.begin(10, 5).unwrap();
+        assert!(e1 > e0);
+        assert_eq!(em.oldest().unwrap().state, EpochState::Ended);
+        assert_eq!(em.youngest().unwrap().state, EpochState::Executing);
+        assert_eq!(em.len(), 2);
+    }
+
+    #[test]
+    fn commit_is_strictly_oldest_first() {
+        let mut em = EpochManager::new(4);
+        let ids: Vec<u64> = (0..3).map(|i| em.begin(i, i as u64).unwrap()).collect();
+        assert_eq!(em.commit_oldest().id, ids[0]);
+        assert_eq!(em.commit_oldest().id, ids[1]);
+        assert_eq!(em.commit_oldest().id, ids[2]);
+        assert!(!em.speculating());
+    }
+
+    #[test]
+    fn checkpoint_exhaustion_blocks_new_epochs() {
+        let mut em = EpochManager::new(2);
+        em.begin(0, 0).unwrap();
+        em.begin(1, 1).unwrap();
+        assert_eq!(em.begin(2, 2), Err(NoCheckpointFree));
+        assert!(!em.can_begin());
+        em.commit_oldest();
+        assert!(em.can_begin());
+        em.begin(2, 3).unwrap();
+        assert_eq!(em.checkpoint_stats().exhaustions, 1);
+    }
+
+    #[test]
+    fn rollback_returns_oldest_resume_point() {
+        let mut em = EpochManager::new(4);
+        em.begin(111, 0).unwrap();
+        em.begin(222, 1).unwrap();
+        assert_eq!(em.rollback(), Some(111));
+        assert!(em.is_empty());
+        assert_eq!(em.counters().1, 1);
+        assert_eq!(em.rollback(), None, "nothing speculative anymore");
+    }
+
+    #[test]
+    fn epoch_ids_are_monotone_across_sessions() {
+        let mut em = EpochManager::new(2);
+        let a = em.begin(0, 0).unwrap();
+        em.commit_oldest();
+        let b = em.begin(0, 1).unwrap();
+        assert!(b > a, "SSB tags must never repeat while entries linger");
+    }
+}

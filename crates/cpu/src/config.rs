@@ -1,0 +1,112 @@
+//! Pipeline configuration (Table 2) and speculative-persistence options.
+
+use spp_core::SsbConfig;
+use spp_mem::MemConfig;
+
+/// Speculative persistence (SP) configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpConfig {
+    /// Speculative store buffer geometry (Table 3).
+    pub ssb: SsbConfig,
+    /// Checkpoint buffer entries (Table 2: 4).
+    pub checkpoints: usize,
+    /// Bloom filter size in bytes (§4.2.2: 512).
+    pub bloom_bytes: usize,
+    /// Use the combined `sfence-pcommit-sfence` SSB opcode so a whole
+    /// persist barrier costs one checkpoint (§4.2.2). Disabling it is
+    /// the ablation where every fence takes its own checkpoint.
+    pub combine_barrier: bool,
+}
+
+impl SpConfig {
+    /// The paper's SP256 configuration.
+    pub fn paper_default() -> Self {
+        SpConfig {
+            ssb: SsbConfig::paper_default(),
+            checkpoints: 4,
+            bloom_bytes: 512,
+            combine_barrier: true,
+        }
+    }
+
+    /// SP with a Table 3 SSB size (Fig. 13 sweep).
+    pub fn with_ssb_entries(entries: usize) -> Self {
+        SpConfig { ssb: SsbConfig::table3(entries), ..Self::paper_default() }
+    }
+}
+
+/// Full core configuration (Table 2).
+#[derive(Debug, Clone, Copy)]
+pub struct CpuConfig {
+    /// Fetch/dispatch/issue/retire width (4).
+    pub width: usize,
+    /// Reorder-buffer entries (128).
+    pub rob_entries: usize,
+    /// Fetch-queue entries (48).
+    pub fetch_queue: usize,
+    /// Issue-window entries (48): how deep into the ROB the scheduler
+    /// looks for ready micro-ops.
+    pub issue_queue: usize,
+    /// Load/store-queue entries (48): memory micro-ops live in the ROB
+    /// and an LSQ slot simultaneously.
+    pub lsq_entries: usize,
+    /// Post-retirement store buffer entries.
+    pub store_buffer: usize,
+    /// Memory-system configuration (Table 2).
+    pub mem: MemConfig,
+    /// Speculative persistence; `None` reproduces the non-speculative
+    /// baseline (the Log+P+Sf bars of Fig. 8).
+    pub sp: Option<SpConfig>,
+}
+
+impl CpuConfig {
+    /// The paper's baseline core without speculation.
+    pub fn baseline() -> Self {
+        CpuConfig {
+            width: 4,
+            rob_entries: 128,
+            fetch_queue: 48,
+            issue_queue: 48,
+            lsq_entries: 48,
+            store_buffer: 32,
+            mem: MemConfig::paper(),
+            sp: None,
+        }
+    }
+
+    /// The baseline plus SP256 (the paper's headline configuration).
+    pub fn with_sp() -> Self {
+        CpuConfig { sp: Some(SpConfig::paper_default()), ..Self::baseline() }
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = CpuConfig::baseline();
+        assert_eq!((c.width, c.rob_entries, c.fetch_queue, c.lsq_entries), (4, 128, 48, 48));
+        assert!(c.sp.is_none());
+        let sp = CpuConfig::with_sp().sp.unwrap();
+        assert_eq!(sp.ssb.entries, 256);
+        assert_eq!(sp.checkpoints, 4);
+        assert_eq!(sp.bloom_bytes, 512);
+        assert!(sp.combine_barrier);
+    }
+
+    #[test]
+    fn fig13_sweep_points() {
+        for entries in [32, 64, 128, 256, 512, 1024] {
+            let sp = SpConfig::with_ssb_entries(entries);
+            assert_eq!(sp.ssb.entries, entries);
+        }
+    }
+}

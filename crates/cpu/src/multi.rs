@@ -1,0 +1,159 @@
+//! Multi-programmed multi-core simulation (the paper's future-work
+//! direction, §4.1).
+//!
+//! The paper evaluates single-threaded workloads and leaves
+//! multi-threading to future work, but its persist bottleneck — the
+//! memory controller's write-pending queue — is a *shared* resource.
+//! [`MultiCore`] runs N independent workloads ("multi-programmed": no
+//! data sharing, so no coherence traffic) on N cores with private cache
+//! hierarchies over one shared memory controller, quantifying how
+//! persist barriers from different cores interfere: every core's
+//! `pcommit` must drain every core's pending writes.
+//!
+//! Cores are advanced lagging-core-first, so requests reach the shared
+//! controller in near-global time order (the controller clamps the
+//! residual skew).
+
+use spp_mem::{shared_mem_ctrl, MemorySystem};
+use spp_pmem::Event;
+
+use crate::config::CpuConfig;
+use crate::pipeline::Pipeline;
+use crate::stats::SimResult;
+
+/// N cores with private caches sharing one memory controller.
+#[derive(Debug)]
+pub struct MultiCore<'t> {
+    cores: Vec<Pipeline<'t>>,
+}
+
+impl<'t> MultiCore<'t> {
+    /// Builds one pipeline per trace, all on `cfg`, with a shared
+    /// memory controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    pub fn new(traces: &[&'t [Event]], cfg: CpuConfig) -> Self {
+        assert!(!traces.is_empty(), "at least one core required");
+        let mc = shared_mem_ctrl(cfg.mem);
+        let cores = traces
+            .iter()
+            .map(|t| Pipeline::with_memory(t, cfg, MemorySystem::with_shared_mc(cfg.mem, mc.clone())))
+            .collect();
+        MultiCore { cores }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Runs every core to completion and returns per-core results.
+    pub fn run(mut self) -> Vec<SimResult> {
+        loop {
+            // Advance the laggard among unfinished cores.
+            let next = self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.is_done())
+                .min_by_key(|(_, c)| c.now())
+                .map(|(i, _)| i);
+            match next {
+                Some(i) => self.cores[i].step(),
+                None => break,
+            }
+        }
+        self.cores.iter().map(|c| c.result()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use spp_pmem::PAddr;
+
+    fn barrier_trace(n: u64, salt: u64) -> Vec<Event> {
+        let mut ev = Vec::new();
+        for i in 0..n {
+            let a = PAddr::new(4096 + (i + salt * 1000) * 64);
+            ev.push(Event::Store { addr: a, size: 8, value: i });
+            ev.push(Event::Clwb { addr: a });
+            ev.push(Event::Sfence);
+            ev.push(Event::Pcommit);
+            ev.push(Event::Sfence);
+            ev.push(Event::Compute(150));
+        }
+        ev
+    }
+
+    #[test]
+    fn single_core_multi_matches_solo() {
+        let t = barrier_trace(30, 0);
+        let solo = simulate(&t, &CpuConfig::baseline());
+        let multi = MultiCore::new(&[&t], CpuConfig::baseline()).run();
+        assert_eq!(multi.len(), 1);
+        assert_eq!(multi[0].cpu.cycles, solo.cpu.cycles);
+        assert_eq!(multi[0].cpu.committed_uops, solo.cpu.committed_uops);
+    }
+
+    #[test]
+    fn every_core_commits_its_own_trace() {
+        let traces: Vec<Vec<Event>> =
+            (0..4).map(|i| barrier_trace(20 + i * 5, i)).collect();
+        let refs: Vec<&[Event]> = traces.iter().map(|t| t.as_slice()).collect();
+        let results = MultiCore::new(&refs, CpuConfig::with_sp()).run();
+        assert_eq!(results.len(), 4);
+        for (r, t) in results.iter().zip(&traces) {
+            let expect: u64 = t.iter().map(|e| e.micro_ops()).sum();
+            assert_eq!(r.cpu.committed_uops, expect);
+        }
+    }
+
+    #[test]
+    fn sharing_the_controller_slows_persist_heavy_cores() {
+        // A bank-limited controller makes the interference visible at
+        // this scale (the default 32 banks absorb four cores easily).
+        let cfg = CpuConfig {
+            mem: spp_mem::MemConfig { nvmm_banks: 2, ..spp_mem::MemConfig::paper() },
+            ..CpuConfig::baseline()
+        };
+        let t = barrier_trace(40, 0);
+        let solo = simulate(&t, &cfg).cpu.cycles;
+        let traces: Vec<Vec<Event>> = (0..4).map(|i| barrier_trace(40, i)).collect();
+        let refs: Vec<&[Event]> = traces.iter().map(|x| x.as_slice()).collect();
+        let quad = MultiCore::new(&refs, cfg).run();
+        let worst = quad.iter().map(|r| r.cpu.cycles).max().unwrap();
+        assert!(
+            worst > solo,
+            "4 cores' pcommits must contend at the shared WPQ (worst {worst} vs solo {solo})"
+        );
+    }
+
+    #[test]
+    fn sp_helps_under_contention_too() {
+        let traces: Vec<Vec<Event>> = (0..2).map(|i| barrier_trace(40, i)).collect();
+        let refs: Vec<&[Event]> = traces.iter().map(|x| x.as_slice()).collect();
+        let base: u64 = MultiCore::new(&refs, CpuConfig::baseline())
+            .run()
+            .iter()
+            .map(|r| r.cpu.cycles)
+            .max()
+            .unwrap();
+        let sp: u64 = MultiCore::new(&refs, CpuConfig::with_sp())
+            .run()
+            .iter()
+            .map(|r| r.cpu.cycles)
+            .max()
+            .unwrap();
+        assert!(sp <= base, "SP must not lose under contention ({sp} vs {base})");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_core_set_rejected() {
+        let _ = MultiCore::new(&[], CpuConfig::baseline());
+    }
+}

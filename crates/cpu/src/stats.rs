@@ -1,0 +1,88 @@
+//! Simulation statistics: the raw counters behind Figs. 8-14.
+
+use spp_core::{BloomStats, BltStats, CheckpointStats, SsbStats};
+use spp_mem::{Cycle, McStats, MemStats};
+
+/// Everything a simulation run measures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuStats {
+    /// Total execution cycles (Fig. 8 numerator).
+    pub cycles: Cycle,
+    /// Committed micro-ops (Fig. 9 numerator). Speculatively retired
+    /// micro-ops later rolled back are subtracted.
+    pub committed_uops: u64,
+    /// Cycles in which the fetch queue held micro-ops but none could
+    /// dispatch (back-end pressure; Fig. 10 numerator).
+    pub fetch_stall_cycles: Cycle,
+    /// Cycles retirement was blocked at a fence waiting for persist
+    /// visibility.
+    pub fence_stall_cycles: Cycle,
+    /// Cycles retirement was blocked because the SSB was full.
+    pub ssb_full_stall_cycles: Cycle,
+    /// Cycles retirement was blocked waiting for a free checkpoint.
+    pub checkpoint_stall_cycles: Cycle,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Committed flushes (clwb + clflushopt + clflush).
+    pub flushes: u64,
+    /// Committed pcommits.
+    pub pcommits: u64,
+    /// Committed fences.
+    pub fences: u64,
+    /// Maximum pcommits simultaneously outstanding (Fig. 11).
+    pub max_inflight_pcommits: u64,
+    /// Stores (including clwb/clflush, per the paper) retired while at
+    /// least one pcommit was outstanding (Fig. 12 numerator).
+    pub stores_while_pcommit: u64,
+    /// Speculative epochs entered.
+    pub epochs: u64,
+    /// Rollbacks taken (coherence conflicts).
+    pub rollbacks: u64,
+    /// Micro-ops squashed by rollbacks.
+    pub squashed_uops: u64,
+    /// Loads forwarded from the SSB.
+    pub ssb_forwards: u64,
+    /// Loads forwarded from older in-flight stores in the window.
+    pub lsq_forwards: u64,
+}
+
+/// Aggregated result of a simulation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimResult {
+    /// Core counters.
+    pub cpu: CpuStats,
+    /// Cache-hierarchy counters.
+    pub mem: MemStats,
+    /// Memory-controller counters.
+    pub mc: McStats,
+    /// SSB counters (zero when SP is disabled).
+    pub ssb: SsbStats,
+    /// Bloom-filter counters (zero when SP is disabled).
+    pub bloom: BloomStats,
+    /// Checkpoint counters (zero when SP is disabled).
+    pub checkpoints: CheckpointStats,
+    /// BLT counters (zero when SP is disabled).
+    pub blt: BltStats,
+}
+
+impl SimResult {
+    /// Fig. 14 metric: bloom false positives per query.
+    pub fn bloom_false_positive_rate(&self) -> f64 {
+        if self.bloom.queries == 0 {
+            0.0
+        } else {
+            self.bloom.false_positives as f64 / self.bloom.queries as f64
+        }
+    }
+
+    /// Fig. 12 metric: average stores in flight per pcommit.
+    pub fn stores_per_pcommit(&self) -> f64 {
+        if self.cpu.pcommits == 0 {
+            0.0
+        } else {
+            self.cpu.stores_while_pcommit as f64 / self.cpu.pcommits as f64
+        }
+    }
+}

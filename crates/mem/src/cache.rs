@@ -1,0 +1,233 @@
+//! A set-associative, write-back, LRU cache tag array.
+
+use spp_pmem::BlockId;
+
+use crate::config::CacheConfig;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    lru: u64,
+}
+
+/// Result of inserting a block: the evicted victim, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The evicted block.
+    pub block: BlockId,
+    /// Whether the victim held dirty data (needs writing downstream).
+    pub dirty: bool,
+}
+
+/// One cache level: tags, valid/dirty bits, and true-LRU replacement.
+/// Purely a timing structure — data contents live in the functional
+/// shadow memory.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: u64,
+    ways: u64,
+    lines: Vec<Line>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache {
+            sets,
+            ways: cfg.ways,
+            lines: vec![Line::default(); (sets * cfg.ways) as usize],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_range(&self, block: BlockId) -> std::ops::Range<usize> {
+        let set = (block.raw() % self.sets) as usize;
+        let w = self.ways as usize;
+        set * w..(set + 1) * w
+    }
+
+    fn tag(&self, block: BlockId) -> u64 {
+        block.raw() / self.sets
+    }
+
+    /// Looks up `block`; on a hit, refreshes LRU and optionally marks it
+    /// dirty. Returns whether it hit.
+    pub fn access(&mut self, block: BlockId, mark_dirty: bool) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let tag = self.tag(block);
+        let range = self.set_range(block);
+        for line in &mut self.lines[range] {
+            if line.valid && line.tag == tag {
+                line.lru = tick;
+                line.dirty |= mark_dirty;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Checks residency without perturbing LRU or statistics.
+    pub fn probe(&self, block: BlockId) -> Option<bool> {
+        let tag = self.tag(block);
+        self.lines[self.set_range(block)]
+            .iter()
+            .find(|l| l.valid && l.tag == tag)
+            .map(|l| l.dirty)
+    }
+
+    /// Inserts `block` (after a miss), evicting the LRU victim if the
+    /// set is full. Re-inserting a resident block just updates its
+    /// dirty bit and LRU.
+    pub fn insert(&mut self, block: BlockId, dirty: bool) -> Option<Eviction> {
+        self.tick += 1;
+        let tick = self.tick;
+        let tag = self.tag(block);
+        let sets = self.sets;
+        let range = self.set_range(block);
+        // Already resident?
+        if let Some(line) =
+            self.lines[range.clone()].iter_mut().find(|l| l.valid && l.tag == tag)
+        {
+            line.dirty |= dirty;
+            line.lru = tick;
+            return None;
+        }
+        // Free way?
+        let set_base = range.start;
+        if let Some(line) = self.lines[range.clone()].iter_mut().find(|l| !l.valid) {
+            *line = Line { valid: true, dirty, tag, lru: tick };
+            return None;
+        }
+        // Evict LRU.
+        let victim_idx = {
+            let lines = &self.lines[range];
+            let (i, _) = lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("non-empty set");
+            set_base + i
+        };
+        let victim = self.lines[victim_idx];
+        let set = block.raw() % sets;
+        let evicted = BlockId::new(victim.tag * sets + set);
+        self.lines[victim_idx] = Line { valid: true, dirty, tag, lru: tick };
+        Some(Eviction { block: evicted, dirty: victim.dirty })
+    }
+
+    /// Clears the dirty bit of `block` if resident; returns whether it
+    /// was dirty. With `invalidate`, the line is also dropped.
+    pub fn clean(&mut self, block: BlockId, invalidate: bool) -> bool {
+        let tag = self.tag(block);
+        let range = self.set_range(block);
+        for line in &mut self.lines[range] {
+            if line.valid && line.tag == tag {
+                let was_dirty = line.dirty;
+                line.dirty = false;
+                if invalidate {
+                    line.valid = false;
+                }
+                return was_dirty;
+            }
+        }
+        false
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways.
+        Cache::new(&CacheConfig { size_bytes: 4 * 64, ways: 2, latency: 1 })
+    }
+
+    fn b(n: u64) -> BlockId {
+        BlockId::new(n)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(b(0), false));
+        c.insert(b(0), false);
+        assert!(c.access(b(0), false));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Blocks 0, 2, 4 all map to set 0 (2 sets).
+        c.insert(b(0), false);
+        c.insert(b(2), false);
+        assert!(c.access(b(0), false)); // refresh 0; LRU is now 2
+        let ev = c.insert(b(4), true).expect("eviction");
+        assert_eq!(ev.block, b(2));
+        assert!(!ev.dirty);
+        assert!(c.probe(b(0)).is_some());
+        assert!(c.probe(b(2)).is_none());
+        assert_eq!(c.probe(b(4)), Some(true));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny();
+        c.insert(b(0), false);
+        assert!(c.access(b(0), true)); // dirty it
+        c.insert(b(2), false);
+        let ev = c.insert(b(4), false).expect("eviction");
+        assert_eq!(ev.block, b(0));
+        assert!(ev.dirty, "victim was stored to");
+    }
+
+    #[test]
+    fn clean_clears_dirty_and_can_invalidate() {
+        let mut c = tiny();
+        c.insert(b(3), true);
+        assert!(c.clean(b(3), false));
+        assert_eq!(c.probe(b(3)), Some(false));
+        assert!(!c.clean(b(3), false), "already clean");
+        c.access(b(3), true);
+        assert!(c.clean(b(3), true));
+        assert!(c.probe(b(3)).is_none(), "invalidated");
+    }
+
+    #[test]
+    fn reinsert_merges_dirty() {
+        let mut c = tiny();
+        c.insert(b(1), true);
+        assert!(c.insert(b(1), false).is_none());
+        assert_eq!(c.probe(b(1)), Some(true), "dirty bit survives re-fill");
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = tiny();
+        c.insert(b(0), false);
+        c.insert(b(1), false);
+        c.insert(b(2), false);
+        c.insert(b(3), false);
+        // Set 0 holds {0,2}; set 1 holds {1,3}. All resident.
+        for i in 0..4 {
+            assert!(c.probe(b(i)).is_some(), "block {i}");
+        }
+    }
+}

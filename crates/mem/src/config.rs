@@ -1,0 +1,121 @@
+//! Memory-system configuration (Table 2 of the paper).
+
+/// A cycle count or timestamp at the simulated 2.1 GHz core clock.
+pub type Cycle = u64;
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u64,
+    /// Access latency in cycles.
+    pub latency: Cycle,
+}
+
+impl CacheConfig {
+    /// Number of sets for 64-byte blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, or capacity not
+    /// a multiple of `ways * 64`).
+    pub fn sets(&self) -> u64 {
+        assert!(self.ways > 0, "cache must have at least one way");
+        let sets = self.size_bytes / (self.ways * 64);
+        assert!(sets > 0, "cache smaller than one set");
+        assert_eq!(self.size_bytes % (self.ways * 64), 0, "capacity not way-aligned");
+        sets
+    }
+}
+
+/// Full memory-system configuration.
+///
+/// Defaults ([`MemConfig::paper`]) reproduce Table 2: three cache levels
+/// over an NVMM with 50 ns reads and 150 ns writes (105 / 315 cycles at
+/// 2.1 GHz).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// L1 data cache (32 KB, 8-way, 2 cycles). The instruction cache of
+    /// Table 2 is not modelled: the micro-op trace carries no
+    /// instruction addresses and the kernels' code footprints fit L1I.
+    pub l1d: CacheConfig,
+    /// Unified L2 (256 KB, 8-way, 11 cycles).
+    pub l2: CacheConfig,
+    /// Shared L3 (2 MB, 16-way, 20 cycles).
+    pub l3: CacheConfig,
+    /// NVMM read latency in cycles (50 ns at 2.1 GHz).
+    pub nvmm_read: Cycle,
+    /// NVMM write latency in cycles (150 ns at 2.1 GHz).
+    pub nvmm_write: Cycle,
+    /// Write-pending-queue capacity in the memory controller.
+    pub wpq_entries: usize,
+    /// NVMM banks writable in parallel while draining the WPQ.
+    pub nvmm_banks: usize,
+    /// Cycles to transfer an evicted/flushed block from the LLC to the
+    /// memory controller.
+    pub transfer_latency: Cycle,
+}
+
+impl MemConfig {
+    /// The paper's Table 2 configuration.
+    pub fn paper() -> Self {
+        MemConfig {
+            l1d: CacheConfig { size_bytes: 32 * 1024, ways: 8, latency: 2 },
+            l2: CacheConfig { size_bytes: 256 * 1024, ways: 8, latency: 11 },
+            l3: CacheConfig { size_bytes: 2 * 1024 * 1024, ways: 16, latency: 20 },
+            nvmm_read: 105,
+            nvmm_write: 315,
+            // Table 2 does not specify the memory controller's internals.
+            // The paper's pcommit latencies ("100s to 1000s of cycles")
+            // imply a bandwidth-generous WPQ whose drain time is
+            // dominated by the 315-cycle write latency rather than by
+            // bank contention, so the defaults keep write bandwidth off
+            // the critical path at the benchmarks' writeback rates.
+            wpq_entries: 128,
+            nvmm_banks: 32,
+            transfer_latency: 8,
+        }
+    }
+
+    /// Latency of walking all three tag arrays (a full-hierarchy probe,
+    /// e.g. for a `clwb` of a block whose location is unknown).
+    pub fn full_probe_latency(&self) -> Cycle {
+        self.l1d.latency + self.l2.latency + self.l3.latency
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let c = MemConfig::paper();
+        assert_eq!(c.l1d.sets(), 64);
+        assert_eq!(c.l2.sets(), 512);
+        assert_eq!(c.l3.sets(), 2048);
+        assert_eq!(c.full_probe_latency(), 33);
+    }
+
+    #[test]
+    fn latencies_match_50_and_150_ns_at_2_1_ghz() {
+        let c = MemConfig::paper();
+        assert_eq!(c.nvmm_read, 105); // 50 ns * 2.1 GHz
+        assert_eq!(c.nvmm_write, 315); // 150 ns * 2.1 GHz
+    }
+
+    #[test]
+    #[should_panic(expected = "way-aligned")]
+    fn degenerate_geometry_rejected() {
+        let c = CacheConfig { size_bytes: 1000, ways: 3, latency: 1 };
+        let _ = c.sets();
+    }
+}

@@ -1,0 +1,324 @@
+//! The three-level cache hierarchy glued to the memory controller.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use spp_pmem::BlockId;
+
+use crate::cache::Cache;
+use crate::config::{Cycle, MemConfig};
+use crate::memctrl::{McStats, MemCtrl};
+
+/// A memory controller shared by several cores' memory systems (the
+/// multi-programmed extension: private caches, one WPQ and NVMM).
+pub type SharedMemCtrl = Rc<RefCell<MemCtrl>>;
+
+/// Creates a controller for sharing across [`MemorySystem`]s.
+pub fn shared_mem_ctrl(cfg: MemConfig) -> SharedMemCtrl {
+    Rc::new(RefCell::new(MemCtrl::new(cfg)))
+}
+
+/// What kind of demand access is being performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load (read).
+    Load,
+    /// A store committing its data to the L1D (write-allocate).
+    Store,
+}
+
+/// Where a demand access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// L1 data cache.
+    L1,
+    /// Unified L2.
+    L2,
+    /// Shared L3.
+    L3,
+    /// NVMM.
+    Memory,
+}
+
+/// Outcome of a `clwb`/`clflushopt`: when the writeback became globally
+/// visible (admitted to the WPQ) and when it becomes durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushOutcome {
+    /// Cycle at which the flush is globally visible to a following
+    /// fence. For clean/absent blocks this is just the probe latency.
+    pub visible_at: Cycle,
+    /// Whether dirty data was actually written back.
+    pub wrote_back: bool,
+}
+
+/// Hierarchy + memory-controller statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemStats {
+    /// Demand accesses satisfied per level.
+    pub hits_l1: u64,
+    /// Demand accesses satisfied in L2.
+    pub hits_l2: u64,
+    /// Demand accesses satisfied in L3.
+    pub hits_l3: u64,
+    /// Demand accesses that went to NVMM.
+    pub mem_accesses: u64,
+    /// Dirty blocks written back due to capacity evictions.
+    pub capacity_writebacks: u64,
+    /// Dirty blocks written back due to `clwb`/`clflushopt`.
+    pub flush_writebacks: u64,
+}
+
+/// The memory system: L1D/L2/L3 plus the NVMM memory controller.
+///
+/// Purely a timing model: every method takes the current cycle and
+/// returns completion cycles; data contents live in the functional
+/// shadow memory of `spp-pmem`.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    l1: Cache,
+    l2: Cache,
+    l3: Cache,
+    mc: SharedMemCtrl,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Builds the memory system for `cfg` with its own private memory
+    /// controller.
+    pub fn new(cfg: MemConfig) -> Self {
+        Self::with_shared_mc(cfg, shared_mem_ctrl(cfg))
+    }
+
+    /// Builds a memory system whose caches are private but whose memory
+    /// controller (WPQ + NVMM banks) is shared with other cores — the
+    /// multi-programmed configuration.
+    pub fn with_shared_mc(cfg: MemConfig, mc: SharedMemCtrl) -> Self {
+        MemorySystem {
+            l1: Cache::new(&cfg.l1d),
+            l2: Cache::new(&cfg.l2),
+            l3: Cache::new(&cfg.l3),
+            mc,
+            cfg,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Performs a demand access to `block` at cycle `now`; returns the
+    /// completion cycle and the level that satisfied it. Misses fill all
+    /// levels (write-allocate for stores); dirty victims cascade down
+    /// and, from L3, enter the memory controller's WPQ.
+    pub fn access(&mut self, now: Cycle, block: BlockId, kind: AccessKind) -> (Cycle, HitLevel) {
+        let dirty = kind == AccessKind::Store;
+        let l1_lat = self.cfg.l1d.latency;
+        if self.l1.access(block, dirty) {
+            self.stats.hits_l1 += 1;
+            return (now + l1_lat, HitLevel::L1);
+        }
+        let l2_lat = l1_lat + self.cfg.l2.latency;
+        if self.l2.access(block, false) {
+            self.stats.hits_l2 += 1;
+            self.fill_l1(now + l2_lat, block, dirty);
+            return (now + l2_lat, HitLevel::L2);
+        }
+        let l3_lat = l2_lat + self.cfg.l3.latency;
+        if self.l3.access(block, false) {
+            self.stats.hits_l3 += 1;
+            self.fill_l2(now + l3_lat, block);
+            self.fill_l1(now + l3_lat, block, dirty);
+            return (now + l3_lat, HitLevel::L3);
+        }
+        // Miss to memory.
+        self.stats.mem_accesses += 1;
+        let done = self.mc.borrow_mut().read(now + l3_lat + self.cfg.transfer_latency);
+        self.fill_l3(done, block);
+        self.fill_l2(done, block);
+        self.fill_l1(done, block, dirty);
+        (done, HitLevel::Memory)
+    }
+
+    fn fill_l1(&mut self, now: Cycle, block: BlockId, dirty: bool) {
+        if let Some(ev) = self.l1.insert(block, dirty) {
+            if ev.dirty {
+                // Dirty L1 victim merges into L2.
+                self.fill_l2_dirty(now, ev.block, true);
+            }
+        }
+    }
+
+    fn fill_l2(&mut self, now: Cycle, block: BlockId) {
+        self.fill_l2_dirty(now, block, false);
+    }
+
+    fn fill_l2_dirty(&mut self, now: Cycle, block: BlockId, dirty: bool) {
+        if self.l2.probe(block).is_some() {
+            if dirty {
+                self.l2.access(block, true);
+            }
+            return;
+        }
+        if let Some(ev) = self.l2.insert(block, dirty) {
+            if ev.dirty {
+                self.fill_l3_dirty(now, ev.block, true);
+            }
+        }
+    }
+
+    fn fill_l3(&mut self, now: Cycle, block: BlockId) {
+        self.fill_l3_dirty(now, block, false);
+    }
+
+    fn fill_l3_dirty(&mut self, now: Cycle, block: BlockId, dirty: bool) {
+        if self.l3.probe(block).is_some() {
+            if dirty {
+                self.l3.access(block, true);
+            }
+            return;
+        }
+        if let Some(ev) = self.l3.insert(block, dirty) {
+            if ev.dirty {
+                // Capacity writeback to NVMM.
+                self.stats.capacity_writebacks += 1;
+                let _ = self.mc.borrow_mut().write_back(now + self.cfg.transfer_latency);
+            }
+        }
+    }
+
+    /// Executes a `clwb` (or `clflushopt` with `invalidate`) of `block`
+    /// issued at `now`. Cleans the block everywhere; if dirty data was
+    /// found, sends one writeback to the memory controller.
+    pub fn flush(&mut self, now: Cycle, block: BlockId, invalidate: bool) -> FlushOutcome {
+        let probe = self.cfg.full_probe_latency();
+        let d1 = self.l1.clean(block, invalidate);
+        let d2 = self.l2.clean(block, invalidate);
+        let d3 = self.l3.clean(block, invalidate);
+        if d1 || d2 || d3 {
+            self.stats.flush_writebacks += 1;
+            let (admitted, _durable) =
+                self.mc.borrow_mut().write_back(now + probe + self.cfg.transfer_latency);
+            FlushOutcome { visible_at: admitted, wrote_back: true }
+        } else {
+            FlushOutcome { visible_at: now + probe, wrote_back: false }
+        }
+    }
+
+    /// Issues a `pcommit` at `now`; returns the cycle its
+    /// acknowledgement reaches the core.
+    pub fn pcommit(&mut self, now: Cycle) -> Cycle {
+        self.mc.borrow_mut().pcommit(now)
+    }
+
+    /// Current WPQ occupancy.
+    pub fn wpq_occupancy(&mut self, now: Cycle) -> usize {
+        self.mc.borrow_mut().wpq_occupancy(now)
+    }
+
+    /// Hierarchy statistics.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Memory-controller statistics.
+    pub fn mc_stats(&self) -> McStats {
+        self.mc.borrow().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(n: u64) -> BlockId {
+        BlockId::new(n)
+    }
+
+    #[test]
+    fn first_touch_misses_to_memory_then_hits_l1() {
+        let mut m = MemorySystem::new(MemConfig::paper());
+        let (done, lvl) = m.access(0, b(1), AccessKind::Load);
+        assert_eq!(lvl, HitLevel::Memory);
+        assert_eq!(done, 33 + 8 + 105);
+        let (done2, lvl2) = m.access(done, b(1), AccessKind::Load);
+        assert_eq!(lvl2, HitLevel::L1);
+        assert_eq!(done2, done + 2);
+    }
+
+    #[test]
+    fn l1_capacity_falls_back_to_l2() {
+        let cfg = MemConfig::paper();
+        let mut m = MemorySystem::new(cfg);
+        // L1: 64 sets * 8 ways. Touch 9 blocks in the same L1 set.
+        for i in 0..9 {
+            m.access(i * 1000, b(1 + i * 64), AccessKind::Load);
+        }
+        // Block 1 was evicted from L1 but lives in L2.
+        let (_, lvl) = m.access(100_000, b(1), AccessKind::Load);
+        assert_eq!(lvl, HitLevel::L2);
+    }
+
+    #[test]
+    fn flush_of_dirty_block_writes_back_once() {
+        let mut m = MemorySystem::new(MemConfig::paper());
+        m.access(0, b(5), AccessKind::Store);
+        let f = m.flush(200, b(5), false);
+        assert!(f.wrote_back);
+        assert!(f.visible_at >= 200 + 33);
+        assert_eq!(m.mc_stats().nvmm_writes, 1);
+        // Clean now: a second flush writes nothing.
+        let f2 = m.flush(f.visible_at, b(5), false);
+        assert!(!f2.wrote_back);
+        assert_eq!(m.mc_stats().nvmm_writes, 1);
+        // Block still resident (clwb does not evict).
+        let (_, lvl) = m.access(f2.visible_at, b(5), AccessKind::Load);
+        assert_eq!(lvl, HitLevel::L1);
+    }
+
+    #[test]
+    fn clflushopt_invalidates() {
+        let mut m = MemorySystem::new(MemConfig::paper());
+        m.access(0, b(7), AccessKind::Store);
+        let f = m.flush(100, b(7), true);
+        assert!(f.wrote_back);
+        let (_, lvl) = m.access(f.visible_at + 1, b(7), AccessKind::Load);
+        assert_eq!(lvl, HitLevel::Memory, "flushed + evicted");
+    }
+
+    #[test]
+    fn flush_then_pcommit_orders_durability() {
+        let mut m = MemorySystem::new(MemConfig::paper());
+        m.access(0, b(9), AccessKind::Store);
+        let f = m.flush(10, b(9), false);
+        let ack = m.pcommit(f.visible_at);
+        assert!(ack >= f.visible_at + 315 - 1, "pcommit waits for the NVMM write");
+    }
+
+    #[test]
+    fn pcommit_with_clean_wpq_is_fast() {
+        let mut m = MemorySystem::new(MemConfig::paper());
+        assert_eq!(m.pcommit(500), 500);
+    }
+
+    #[test]
+    fn stores_mark_dirty_and_evictions_write_back() {
+        let cfg = MemConfig {
+            l1d: crate::config::CacheConfig { size_bytes: 2 * 64, ways: 1, latency: 2 },
+            l2: crate::config::CacheConfig { size_bytes: 2 * 64, ways: 1, latency: 11 },
+            l3: crate::config::CacheConfig { size_bytes: 2 * 64, ways: 1, latency: 20 },
+            ..MemConfig::paper()
+        };
+        let mut m = MemorySystem::new(cfg);
+        m.access(0, b(0), AccessKind::Store);
+        // All even blocks map to the same (single-way) set at every
+        // level; enough of them push the dirty block 0 out to memory.
+        for i in 1..=4 {
+            m.access(i * 1000, b(i * 2), AccessKind::Store);
+        }
+        assert!(m.stats().capacity_writebacks >= 1);
+        assert!(m.mc_stats().nvmm_writes >= 1);
+    }
+}

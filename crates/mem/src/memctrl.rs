@@ -1,0 +1,227 @@
+//! The memory controller: write-pending queue (WPQ), bank-parallel NVMM
+//! write draining, and `pcommit` completion tracking.
+//!
+//! `clwb`/`clflushopt` writebacks become *globally visible* once admitted
+//! to the WPQ; they are *durable* only once the bank write finishes.
+//! `pcommit` completes when every write admitted before it has drained —
+//! this is the long-latency operation (hundreds to thousands of cycles)
+//! that the paper's speculative persistence hides.
+
+use std::collections::VecDeque;
+
+use crate::config::{Cycle, MemConfig};
+
+/// Statistics collected by the memory controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct McStats {
+    /// NVMM block writes performed (WPQ drains).
+    pub nvmm_writes: u64,
+    /// NVMM block reads performed (LLC miss fills).
+    pub nvmm_reads: u64,
+    /// Cycles writebacks spent waiting for a WPQ slot.
+    pub wpq_stall_cycles: u64,
+    /// Maximum WPQ occupancy observed at admission.
+    pub wpq_high_water: usize,
+    /// `pcommit` operations issued.
+    pub pcommits: u64,
+    /// Total cycles from `pcommit` issue to completion.
+    pub pcommit_latency_total: u64,
+    /// Worst single `pcommit` latency.
+    pub pcommit_latency_max: u64,
+}
+
+/// The memory controller model.
+///
+/// Time advances only through the caller-provided `now` arguments, which
+/// must be non-decreasing across calls (the pipeline drives this with
+/// its own clock).
+#[derive(Debug)]
+pub struct MemCtrl {
+    cfg: MemConfig,
+    /// Completion times of writes admitted to the WPQ, in admission
+    /// order (monotone, since every write takes equally long and banks
+    /// are granted in order).
+    inflight: VecDeque<Cycle>,
+    /// Per-bank next-free times.
+    bank_free: Vec<Cycle>,
+    /// High-water mark of observed request times. Multi-core callers
+    /// whose local clocks drift slightly are clamped forward to keep
+    /// the admission order monotone.
+    last_seen: Cycle,
+    stats: McStats,
+}
+
+impl MemCtrl {
+    /// Creates a controller for the given configuration.
+    pub fn new(cfg: MemConfig) -> Self {
+        MemCtrl {
+            inflight: VecDeque::new(),
+            bank_free: vec![0; cfg.nvmm_banks.max(1)],
+            last_seen: 0,
+            cfg,
+            stats: McStats::default(),
+        }
+    }
+
+    fn clamp_time(&mut self, t: Cycle) -> Cycle {
+        self.last_seen = self.last_seen.max(t);
+        self.last_seen
+    }
+
+    fn drop_completed(&mut self, now: Cycle) {
+        while self.inflight.front().is_some_and(|&d| d <= now) {
+            self.inflight.pop_front();
+        }
+    }
+
+    /// Current WPQ occupancy (writes admitted but not yet drained).
+    pub fn wpq_occupancy(&mut self, now: Cycle) -> usize {
+        self.drop_completed(now);
+        self.inflight.len()
+    }
+
+    /// Admits a block writeback arriving at the controller at `arrival`.
+    /// Returns `(admitted_at, durable_at)`: the writeback is globally
+    /// visible at `admitted_at` (it may first wait for a WPQ slot) and
+    /// durable at `durable_at`.
+    pub fn write_back(&mut self, arrival: Cycle) -> (Cycle, Cycle) {
+        let arrival = self.clamp_time(arrival);
+        self.drop_completed(arrival);
+        let mut admitted = arrival;
+        if self.inflight.len() >= self.cfg.wpq_entries {
+            // Wait for the oldest in-flight write to drain (FIFO slots).
+            let idx = self.inflight.len() - self.cfg.wpq_entries;
+            let free_at = self.inflight[idx];
+            admitted = admitted.max(free_at);
+            self.stats.wpq_stall_cycles += free_at.saturating_sub(arrival);
+        }
+        self.stats.wpq_high_water = self.stats.wpq_high_water.max(self.inflight.len() + 1);
+        // Grant the earliest-free bank.
+        let bank = (0..self.bank_free.len())
+            .min_by_key(|&i| self.bank_free[i])
+            .expect("at least one bank");
+        let start = self.bank_free[bank].max(admitted);
+        let done = start + self.cfg.nvmm_write;
+        self.bank_free[bank] = done;
+        debug_assert!(self.inflight.back().is_none_or(|&b| b <= done));
+        self.inflight.push_back(done);
+        self.stats.nvmm_writes += 1;
+        (admitted, done)
+    }
+
+    /// Issues a `pcommit` arriving at the controller at `arrival`.
+    /// Returns the cycle at which every write admitted so far has
+    /// drained and the acknowledgement is back at the core.
+    pub fn pcommit(&mut self, arrival: Cycle) -> Cycle {
+        let arrival = self.clamp_time(arrival);
+        self.drop_completed(arrival);
+        let done = self.inflight.back().copied().unwrap_or(arrival).max(arrival);
+        self.stats.pcommits += 1;
+        let lat = done - arrival;
+        self.stats.pcommit_latency_total += lat;
+        self.stats.pcommit_latency_max = self.stats.pcommit_latency_max.max(lat);
+        done
+    }
+
+    /// A read fill for an LLC miss arriving at `arrival`; returns its
+    /// completion time. Reads bypass the WPQ (the controller prioritizes
+    /// them on a dedicated path).
+    pub fn read(&mut self, arrival: Cycle) -> Cycle {
+        self.stats.nvmm_reads += 1;
+        arrival + self.cfg.nvmm_read
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> McStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc(banks: usize, wpq: usize) -> MemCtrl {
+        let cfg = MemConfig { nvmm_banks: banks, wpq_entries: wpq, ..MemConfig::paper() };
+        MemCtrl::new(cfg)
+    }
+
+    #[test]
+    fn single_write_takes_write_latency() {
+        let mut m = mc(1, 8);
+        let (adm, done) = m.write_back(100);
+        assert_eq!(adm, 100);
+        assert_eq!(done, 100 + 315);
+    }
+
+    #[test]
+    fn banks_drain_in_parallel() {
+        let mut m = mc(2, 8);
+        let (_, d0) = m.write_back(0);
+        let (_, d1) = m.write_back(0);
+        let (_, d2) = m.write_back(0);
+        assert_eq!(d0, 315);
+        assert_eq!(d1, 315);
+        assert_eq!(d2, 630, "third write waits for a bank");
+    }
+
+    #[test]
+    fn pcommit_waits_for_all_prior_writes() {
+        let mut m = mc(1, 8);
+        m.write_back(0);
+        m.write_back(0);
+        let done = m.pcommit(10);
+        assert_eq!(done, 630);
+        assert_eq!(m.stats().pcommit_latency_max, 620);
+    }
+
+    #[test]
+    fn pcommit_on_empty_wpq_is_immediate() {
+        let mut m = mc(2, 8);
+        assert_eq!(m.pcommit(42), 42);
+        // A drained queue behaves the same.
+        m.write_back(50);
+        assert_eq!(m.pcommit(1000), 1000);
+    }
+
+    #[test]
+    fn pcommit_ignores_later_writes() {
+        let mut m = mc(1, 8);
+        m.write_back(0);
+        let done = m.pcommit(5);
+        assert_eq!(done, 315);
+        // A write arriving after the pcommit does not extend it.
+        let (_, d2) = m.write_back(10);
+        assert!(d2 > done);
+        assert_eq!(m.pcommit(5), 315.max(d2).max(5)); // new pcommit sees it
+    }
+
+    #[test]
+    fn wpq_backpressure_delays_admission() {
+        let mut m = mc(1, 2);
+        let (a0, _) = m.write_back(0);
+        let (a1, _) = m.write_back(0);
+        let (a2, d2) = m.write_back(0);
+        assert_eq!((a0, a1), (0, 0));
+        // Queue of 2 is full; third admission waits for the first drain.
+        assert_eq!(a2, 315);
+        assert_eq!(d2, 3 * 315);
+        assert!(m.stats().wpq_stall_cycles >= 315);
+    }
+
+    #[test]
+    fn occupancy_tracks_time() {
+        let mut m = mc(2, 8);
+        m.write_back(0);
+        m.write_back(0);
+        assert_eq!(m.wpq_occupancy(1), 2);
+        assert_eq!(m.wpq_occupancy(315), 0);
+    }
+
+    #[test]
+    fn reads_have_fixed_latency() {
+        let mut m = mc(1, 2);
+        assert_eq!(m.read(7), 7 + 105);
+        assert_eq!(m.stats().nvmm_reads, 1);
+    }
+}

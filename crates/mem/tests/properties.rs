@@ -1,0 +1,225 @@
+//! Property tests for the memory system, checked against independent
+//! reference models.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use spp_mem::{AccessKind, Cache, CacheConfig, HitLevel, MemConfig, MemCtrl, MemorySystem};
+use spp_pmem::BlockId;
+
+/// A trivially correct fully-explicit LRU cache model.
+#[derive(Debug, Default)]
+struct RefCache {
+    sets: u64,
+    ways: usize,
+    /// Per set: (block, dirty), most-recently-used last.
+    sets_v: HashMap<u64, Vec<(u64, bool)>>,
+}
+
+impl RefCache {
+    fn new(sets: u64, ways: usize) -> Self {
+        RefCache { sets, ways, sets_v: HashMap::new() }
+    }
+
+    fn set_of(&self, b: u64) -> u64 {
+        b % self.sets
+    }
+
+    fn access(&mut self, b: u64, dirty: bool) -> bool {
+        let set = self.sets_v.entry(self.set_of(b)).or_default();
+        if let Some(pos) = set.iter().position(|&(x, _)| x == b) {
+            let (_, d) = set.remove(pos);
+            set.push((b, d || dirty));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, b: u64, dirty: bool) -> Option<(u64, bool)> {
+        let ways = self.ways;
+        let set = self.sets_v.entry(self.set_of(b)).or_default();
+        if let Some(pos) = set.iter().position(|&(x, _)| x == b) {
+            let (_, d) = set.remove(pos);
+            set.push((b, d || dirty));
+            return None;
+        }
+        let victim = if set.len() >= ways { Some(set.remove(0)) } else { None };
+        set.push((b, dirty));
+        victim
+    }
+
+    fn probe(&self, b: u64) -> Option<bool> {
+        self.sets_v
+            .get(&self.set_of(b))
+            .and_then(|s| s.iter().find(|&&(x, _)| x == b))
+            .map(|&(_, d)| d)
+    }
+
+    fn clean(&mut self, b: u64, invalidate: bool) -> bool {
+        let set_idx = self.set_of(b);
+        let Some(set) = self.sets_v.get_mut(&set_idx) else { return false };
+        if let Some(pos) = set.iter().position(|&(x, _)| x == b) {
+            let dirty = set[pos].1;
+            if invalidate {
+                set.remove(pos);
+            } else {
+                set[pos].1 = false;
+            }
+            dirty
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Access { block: u64, dirty: bool },
+    Insert { block: u64, dirty: bool },
+    Clean { block: u64, invalidate: bool },
+    Probe { block: u64 },
+}
+
+fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..64, any::<bool>()).prop_map(|(block, dirty)| CacheOp::Access { block, dirty }),
+            (0u64..64, any::<bool>()).prop_map(|(block, dirty)| CacheOp::Insert { block, dirty }),
+            (0u64..64, any::<bool>())
+                .prop_map(|(block, invalidate)| CacheOp::Clean { block, invalidate }),
+            (0u64..64).prop_map(|block| CacheOp::Probe { block }),
+        ],
+        0..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The tag array agrees with the explicit reference LRU model on
+    /// every operation's outcome.
+    #[test]
+    fn cache_matches_reference_lru(ops in cache_ops()) {
+        // 4 sets x 4 ways over a 64-block universe.
+        let cfg = CacheConfig { size_bytes: 16 * 64, ways: 4, latency: 1 };
+        let mut dut = Cache::new(&cfg);
+        let mut r = RefCache::new(4, 4);
+        for op in ops {
+            match op {
+                CacheOp::Access { block, dirty } => {
+                    prop_assert_eq!(
+                        dut.access(BlockId::new(block), dirty),
+                        r.access(block, dirty),
+                        "access({})", block
+                    );
+                }
+                CacheOp::Insert { block, dirty } => {
+                    let got = dut.insert(BlockId::new(block), dirty);
+                    let want = r.insert(block, dirty);
+                    prop_assert_eq!(
+                        got.map(|e| (e.block.raw(), e.dirty)),
+                        want,
+                        "insert({})", block
+                    );
+                }
+                CacheOp::Clean { block, invalidate } => {
+                    prop_assert_eq!(
+                        dut.clean(BlockId::new(block), invalidate),
+                        r.clean(block, invalidate),
+                        "clean({})", block
+                    );
+                }
+                CacheOp::Probe { block } => {
+                    prop_assert_eq!(dut.probe(BlockId::new(block)), r.probe(block));
+                }
+            }
+        }
+    }
+
+    /// Memory-controller sanity under arbitrary schedules:
+    /// * write durability times are monotone in admission order;
+    /// * pcommit covers every prior write and never waits on later ones;
+    /// * a write is never durable before one write latency has passed.
+    #[test]
+    fn memctrl_ordering_invariants(
+        gaps in prop::collection::vec(0u64..600, 1..80),
+        pcommit_at in prop::collection::vec(any::<prop::sample::Index>(), 1..8),
+    ) {
+        let cfg = MemConfig { nvmm_banks: 2, wpq_entries: 8, ..MemConfig::paper() };
+        let mut mc = MemCtrl::new(cfg);
+        let mut now = 0u64;
+        let mut dones: Vec<u64> = Vec::new();
+        let commit_points: Vec<usize> =
+            pcommit_at.iter().map(|i| i.index(gaps.len())).collect();
+        for (i, gap) in gaps.iter().enumerate() {
+            now += gap;
+            let (admitted, done) = mc.write_back(now);
+            prop_assert!(admitted >= now);
+            prop_assert!(done >= admitted + cfg.nvmm_write);
+            if let Some(&prev) = dones.last() {
+                prop_assert!(done >= prev, "durability must be FIFO-monotone");
+            }
+            dones.push(done);
+            if commit_points.contains(&i) {
+                let ack = mc.pcommit(now + 1);
+                let max_done = *dones.iter().max().expect("non-empty");
+                prop_assert!(ack >= (now + 1).min(max_done));
+                prop_assert!(
+                    ack >= max_done || ack > now,
+                    "pcommit must cover all prior writes"
+                );
+                prop_assert!(ack >= max_done || max_done <= now + 1,
+                    "ack {ack} leaves write at {max_done} unflushed");
+            }
+        }
+    }
+
+    /// Hierarchy locality: after any access, an immediate re-access hits
+    /// L1 and is never slower.
+    #[test]
+    fn reaccess_always_hits_l1(blocks in prop::collection::vec(0u64..4096, 1..100)) {
+        let mut m = MemorySystem::new(MemConfig::paper());
+        let mut t = 0u64;
+        for b in blocks {
+            let (done, _) = m.access(t, BlockId::new(b), AccessKind::Load);
+            let (done2, lvl) = m.access(done, BlockId::new(b), AccessKind::Load);
+            prop_assert_eq!(lvl, HitLevel::L1, "block {} not resident after fill", b);
+            prop_assert_eq!(done2 - done, 2, "L1 hit latency");
+            t = done2;
+        }
+    }
+
+    /// Flush idempotence: flushing twice writes back at most once, and a
+    /// clean block never generates NVMM traffic.
+    #[test]
+    fn flush_writes_back_at_most_once(
+        blocks in prop::collection::vec(0u64..512, 1..60),
+        store in any::<bool>(),
+    ) {
+        let mut m = MemorySystem::new(MemConfig::paper());
+        let mut t = 0u64;
+        for b in &blocks {
+            let kind = if store { AccessKind::Store } else { AccessKind::Load };
+            let (done, _) = m.access(t, BlockId::new(*b), kind);
+            t = done;
+        }
+        let writes_before = m.mc_stats().nvmm_writes;
+        for b in &blocks {
+            let f1 = m.flush(t, BlockId::new(*b), false);
+            let f2 = m.flush(f1.visible_at, BlockId::new(*b), false);
+            prop_assert!(!f2.wrote_back, "second flush of {b} wrote back again");
+            t = f2.visible_at;
+        }
+        let new_writes = m.mc_stats().nvmm_writes - writes_before;
+        if store {
+            // Distinct dirty blocks wrote back exactly once each.
+            let distinct = blocks.iter().collect::<std::collections::HashSet<_>>().len() as u64;
+            // Capacity evictions may have cleaned some early; never more
+            // than one writeback per distinct block from the flushes.
+            prop_assert!(new_writes <= distinct);
+        } else {
+            prop_assert_eq!(new_writes, 0, "clean blocks must not write back");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Persistent addresses and cache-block arithmetic.
+
+use std::fmt;
+
+/// Size of a cache block in bytes (64 B, per Table 1/2 of the paper).
+pub const BLOCK_SIZE: u64 = 64;
+
+/// A byte address in the simulated persistent (NVMM) address space.
+///
+/// Addresses are plain 64-bit offsets into the shadow memory managed by
+/// [`crate::Space`]. The newtype prevents accidental mixing with host
+/// pointers, key values, or cycle counts.
+///
+/// ```
+/// use spp_pmem::PAddr;
+/// let a = PAddr::new(0x1040);
+/// assert_eq!(a.block(), PAddr::new(0x1040).block());
+/// assert_eq!(a.block_offset(), 0x00);
+/// assert_eq!(a.offset(8).raw(), 0x1048);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(u64);
+
+impl PAddr {
+    /// The null address. Allocation never returns it, so data structures
+    /// use it as their "no node" sentinel.
+    pub const NULL: PAddr = PAddr(0);
+
+    /// Creates an address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        PAddr(raw)
+    }
+
+    /// Returns the raw byte offset.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is [`PAddr::NULL`].
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the identifier of the 64-byte cache block containing this
+    /// address.
+    pub const fn block(self) -> BlockId {
+        BlockId(self.0 / BLOCK_SIZE)
+    }
+
+    /// Returns the offset of this address within its cache block.
+    pub const fn block_offset(self) -> u64 {
+        self.0 % BLOCK_SIZE
+    }
+
+    /// Returns the address `bytes` past this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on address-space overflow.
+    pub fn offset(self, bytes: u64) -> PAddr {
+        PAddr(self.0.checked_add(bytes).expect("persistent address overflow"))
+    }
+
+    /// Returns this address rounded down to its cache-block base.
+    pub const fn block_base(self) -> PAddr {
+        PAddr(self.0 - self.0 % BLOCK_SIZE)
+    }
+}
+
+impl fmt::Display for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p:{:#x}", self.0)
+    }
+}
+
+impl From<PAddr> for u64 {
+    fn from(a: PAddr) -> u64 {
+        a.0
+    }
+}
+
+/// Identifier of a 64-byte cache block (the address divided by
+/// [`BLOCK_SIZE`]).
+///
+/// ```
+/// use spp_pmem::{BlockId, PAddr};
+/// assert_eq!(PAddr::new(130).block(), BlockId::new(2));
+/// assert_eq!(BlockId::new(2).base(), PAddr::new(128));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockId(u64);
+
+impl BlockId {
+    /// Creates a block id from a raw block number.
+    pub const fn new(raw: u64) -> Self {
+        BlockId(raw)
+    }
+
+    /// Returns the raw block number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte address of the first byte of the block.
+    pub const fn base(self) -> PAddr {
+        PAddr(self.0 * BLOCK_SIZE)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b:{:#x}", self.0)
+    }
+}
+
+/// Iterates over the block ids overlapped by the byte range
+/// `[addr, addr + len)`.
+///
+/// ```
+/// use spp_pmem::{blocks_covering, PAddr};
+/// let blocks: Vec<_> = blocks_covering(PAddr::new(60), 8).collect();
+/// assert_eq!(blocks.len(), 2);
+/// ```
+pub fn blocks_covering(addr: PAddr, len: u64) -> impl Iterator<Item = BlockId> {
+    let first = addr.raw() / BLOCK_SIZE;
+    let last = if len == 0 {
+        first
+    } else {
+        (addr.raw() + len - 1) / BLOCK_SIZE
+    };
+    (first..=last).map(BlockId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_arithmetic() {
+        let a = PAddr::new(64 * 5 + 17);
+        assert_eq!(a.block(), BlockId::new(5));
+        assert_eq!(a.block_offset(), 17);
+        assert_eq!(a.block_base(), PAddr::new(320));
+        assert_eq!(a.block().base(), PAddr::new(320));
+    }
+
+    #[test]
+    fn null_is_block_zero() {
+        assert!(PAddr::NULL.is_null());
+        assert_eq!(PAddr::NULL.block(), BlockId::new(0));
+    }
+
+    #[test]
+    fn covering_single_block() {
+        let v: Vec<_> = blocks_covering(PAddr::new(128), 64).collect();
+        assert_eq!(v, vec![BlockId::new(2)]);
+    }
+
+    #[test]
+    fn covering_straddles() {
+        let v: Vec<_> = blocks_covering(PAddr::new(120), 16).collect();
+        assert_eq!(v, vec![BlockId::new(1), BlockId::new(2)]);
+    }
+
+    #[test]
+    fn covering_empty_range() {
+        let v: Vec<_> = blocks_covering(PAddr::new(64), 0).collect();
+        assert_eq!(v, vec![BlockId::new(1)]);
+    }
+
+    #[test]
+    fn offset_advances() {
+        assert_eq!(PAddr::new(8).offset(8), PAddr::new(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn offset_overflow_panics() {
+        let _ = PAddr::new(u64::MAX).offset(1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Sparse shadow memory backing the simulated NVMM address space.
+
+use std::collections::HashMap;
+
+use crate::addr::PAddr;
+
+const PAGE_SIZE: u64 = 4096;
+
+/// A sparse, byte-addressable shadow memory.
+///
+/// `Space` holds the *functional* contents of the simulated persistent
+/// address space: every store performed through
+/// [`PmemEnv`](crate::PmemEnv) lands here immediately, independent of any
+/// timing model. Crash simulation builds alternative `Space` images that
+/// reflect which stores actually reached NVMM (see [`crate::crash`]).
+///
+/// Unwritten memory reads as zero, like fresh pages.
+///
+/// ```
+/// use spp_pmem::{PAddr, Space};
+/// let mut s = Space::new();
+/// assert_eq!(s.read_u64(PAddr::new(64)), 0);
+/// s.write_u64(PAddr::new(64), 7);
+/// assert_eq!(s.read_u64(PAddr::new(64)), 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Space {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl Space {
+    /// Creates an empty space; all bytes read as zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages that have been materialized by writes.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`. Missing pages read as
+    /// zero.
+    pub fn read_bytes(&self, addr: PAddr, buf: &mut [u8]) {
+        let mut a = addr.raw();
+        let mut done = 0usize;
+        while done < buf.len() {
+            let page = a / PAGE_SIZE;
+            let off = (a % PAGE_SIZE) as usize;
+            let n = usize::min(buf.len() - done, PAGE_SIZE as usize - off);
+            match self.pages.get(&page) {
+                Some(p) => buf[done..done + n].copy_from_slice(&p[off..off + n]),
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
+            a += n as u64;
+        }
+    }
+
+    /// Writes `buf` starting at `addr`, materializing pages as needed.
+    pub fn write_bytes(&mut self, addr: PAddr, buf: &[u8]) {
+        let mut a = addr.raw();
+        let mut done = 0usize;
+        while done < buf.len() {
+            let page = a / PAGE_SIZE;
+            let off = (a % PAGE_SIZE) as usize;
+            let n = usize::min(buf.len() - done, PAGE_SIZE as usize - off);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+            p[off..off + n].copy_from_slice(&buf[done..done + n]);
+            done += n;
+            a += n as u64;
+        }
+    }
+
+    /// Reads a little-endian `u64` at `addr` (no alignment requirement).
+    pub fn read_u64(&self, addr: PAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: PAddr, v: u64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Reads `size` bytes (1..=8) at `addr` as a zero-extended integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is 0 or greater than 8.
+    pub fn read_uint(&self, addr: PAddr, size: u8) -> u64 {
+        assert!((1..=8).contains(&size), "size must be 1..=8");
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b[..size as usize]);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes the low `size` bytes (1..=8) of `v` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is 0 or greater than 8.
+    pub fn write_uint(&mut self, addr: PAddr, size: u8, v: u64) {
+        assert!((1..=8).contains(&size), "size must be 1..=8");
+        self.write_bytes(addr, &v.to_le_bytes()[..size as usize]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let s = Space::new();
+        let mut buf = [0xAAu8; 16];
+        s.read_bytes(PAddr::new(12345), &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn roundtrip_u64() {
+        let mut s = Space::new();
+        s.write_u64(PAddr::new(8), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(s.read_u64(PAddr::new(8)), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn cross_page_write_and_read() {
+        let mut s = Space::new();
+        let addr = PAddr::new(PAGE_SIZE - 3);
+        let data: Vec<u8> = (0..10).collect();
+        s.write_bytes(addr, &data);
+        let mut back = [0u8; 10];
+        s.read_bytes(addr, &mut back);
+        assert_eq!(&back[..], &data[..]);
+        assert_eq!(s.resident_pages(), 2);
+    }
+
+    #[test]
+    fn partial_uint() {
+        let mut s = Space::new();
+        s.write_uint(PAddr::new(100), 2, 0xABCD);
+        assert_eq!(s.read_uint(PAddr::new(100), 2), 0xABCD);
+        // The neighbouring byte is untouched.
+        assert_eq!(s.read_uint(PAddr::new(102), 1), 0);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut s = Space::new();
+        s.write_u64(PAddr::new(0), 1);
+        let snap = s.clone();
+        s.write_u64(PAddr::new(0), 2);
+        assert_eq!(snap.read_u64(PAddr::new(0)), 1);
+        assert_eq!(s.read_u64(PAddr::new(0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be")]
+    fn uint_size_validated() {
+        let s = Space::new();
+        let _ = s.read_uint(PAddr::new(0), 9);
+    }
+}

@@ -1,0 +1,113 @@
+//! Benchmark build variants (Fig. 8's successive additions).
+
+use std::fmt;
+
+/// Which failure-safety machinery a workload build includes.
+///
+/// The paper evaluates each benchmark in four successively richer builds
+/// (Fig. 8). Only [`Variant::LogPSf`] is actually failure safe; the
+/// others isolate the cost of each ingredient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Variant {
+    /// Original code: no logging, no persistence instructions.
+    Base,
+    /// Adds undo-logging code (`Log`).
+    Log,
+    /// Adds the PMEM instructions `clwb`/`clflushopt`/`pcommit`
+    /// (`Log+P`), but no fences to order them.
+    LogP,
+    /// Adds `sfence` ordering (`Log+P+Sf`) — the correct, failure-safe
+    /// build.
+    LogPSf,
+}
+
+impl Variant {
+    /// All four variants in Fig. 8 order.
+    pub const ALL: [Variant; 4] = [Variant::Base, Variant::Log, Variant::LogP, Variant::LogPSf];
+
+    /// Does this build execute the undo-logging code?
+    pub fn has_logging(self) -> bool {
+        self >= Variant::Log
+    }
+
+    /// Does this build emit `clwb`/`clflushopt`/`pcommit`?
+    pub fn has_persist_ops(self) -> bool {
+        self >= Variant::LogP
+    }
+
+    /// Does this build emit `sfence` ordering?
+    pub fn has_fences(self) -> bool {
+        self == Variant::LogPSf
+    }
+
+    /// Short label used in reports ("Base", "Log", "Log+P", "Log+P+Sf").
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Base => "Base",
+            Variant::Log => "Log",
+            Variant::LogP => "Log+P",
+            Variant::LogPSf => "Log+P+Sf",
+        }
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which x86 instruction the environment emits to write a cache block
+/// back (§2.2). The paper uses `clwb`; `clflushopt` additionally evicts
+/// the line (costing a re-fetch on the next touch); legacy `clflush`
+/// serializes and "has much worse performance", which is why the paper
+/// excludes it — the `repro flushmode` ablation quantifies that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FlushMode {
+    /// `clwb`: write back, keep the line (the paper's choice).
+    #[default]
+    Clwb,
+    /// `clflushopt`: write back and evict.
+    ClflushOpt,
+    /// Legacy `clflush`: write back, evict, and serialize.
+    Clflush,
+}
+
+impl FlushMode {
+    /// All modes, fastest first.
+    pub const ALL: [FlushMode; 3] = [FlushMode::Clwb, FlushMode::ClflushOpt, FlushMode::Clflush];
+
+    /// Instruction mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FlushMode::Clwb => "clwb",
+            FlushMode::ClflushOpt => "clflushopt",
+            FlushMode::Clflush => "clflush",
+        }
+    }
+}
+
+impl fmt::Display for FlushMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_ladder() {
+        assert!(!Variant::Base.has_logging());
+        assert!(Variant::Log.has_logging() && !Variant::Log.has_persist_ops());
+        assert!(Variant::LogP.has_persist_ops() && !Variant::LogP.has_fences());
+        assert!(Variant::LogPSf.has_fences() && Variant::LogPSf.has_logging());
+    }
+
+    #[test]
+    fn labels() {
+        let labels: Vec<_> = Variant::ALL.iter().map(|v| v.label()).collect();
+        assert_eq!(labels, ["Base", "Log", "Log+P", "Log+P+Sf"]);
+    }
+}

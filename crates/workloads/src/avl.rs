@@ -1,0 +1,437 @@
+//! AT: a persistent AVL tree with full logging (§3.2).
+//!
+//! Tree operations use the paper's *full logging* policy: the entire
+//! root-to-leaf search path is undo-logged before any modification, so a
+//! single set of four persist barriers covers the operation whether or
+//! not rebalancing triggers, and the tree is always balanced after
+//! recovery. Deletions additionally log the rebalancing pivots they
+//! *might* rotate through (the opposite-direction child of every path
+//! node and its children), matching the paper's "always assume the
+//! worst" stance.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use spp_pmem::{PAddr, PmemEnv, Space};
+
+use crate::spec::BenchId;
+use crate::staged::Staged;
+use crate::{OpOutcome, VerifyError, VerifySummary, Workload};
+
+// Node layout (one 64-byte block).
+const KEY: u64 = 0;
+const VALUE: u64 = 8;
+const LEFT: u64 = 16;
+const RIGHT: u64 = 24;
+const HEIGHT: u64 = 32;
+
+// Header block layout.
+const ROOT: u64 = 0;
+const SIZE: u64 = 8;
+
+const ROOT_SLOT: usize = 0;
+
+fn value_for(key: u64) -> u64 {
+    key.wrapping_mul(0x100_0193).wrapping_add(0x811C)
+}
+
+/// The AT benchmark: AVL tree with full-logging WAL transactions.
+#[derive(Debug, Default)]
+pub struct AvlTree {
+    header: PAddr,
+    key_range: u64,
+}
+
+impl AvlTree {
+    /// Creates an uninitialized benchmark; call
+    /// [`setup`](Workload::setup) first.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn height(tx: &mut Staged<'_>, n: PAddr) -> u64 {
+        if n.is_null() {
+            tx.compute(1);
+            0
+        } else {
+            tx.read(n.offset(HEIGHT))
+        }
+    }
+
+    fn fix_height(tx: &mut Staged<'_>, n: PAddr) {
+        let l = tx.read_ptr(n.offset(LEFT));
+        let r = tx.read_ptr(n.offset(RIGHT));
+        let hl = Self::height(tx, l);
+        let hr = Self::height(tx, r);
+        tx.write(n.offset(HEIGHT), hl.max(hr) + 1);
+    }
+
+    /// Right rotation around `z`; returns the new subtree root.
+    fn rotate_right(tx: &mut Staged<'_>, z: PAddr) -> PAddr {
+        let y = tx.read_ptr(z.offset(LEFT));
+        let t = tx.read_ptr(y.offset(RIGHT));
+        tx.write_ptr(z.offset(LEFT), t);
+        tx.write_ptr(y.offset(RIGHT), z);
+        Self::fix_height(tx, z);
+        Self::fix_height(tx, y);
+        y
+    }
+
+    /// Left rotation around `z`; returns the new subtree root.
+    fn rotate_left(tx: &mut Staged<'_>, z: PAddr) -> PAddr {
+        let y = tx.read_ptr(z.offset(RIGHT));
+        let t = tx.read_ptr(y.offset(LEFT));
+        tx.write_ptr(z.offset(RIGHT), t);
+        tx.write_ptr(y.offset(LEFT), z);
+        Self::fix_height(tx, z);
+        Self::fix_height(tx, y);
+        y
+    }
+
+    /// Restores the AVL invariant at `n`; returns the subtree root.
+    fn rebalance(tx: &mut Staged<'_>, n: PAddr) -> PAddr {
+        let l = tx.read_ptr(n.offset(LEFT));
+        let r = tx.read_ptr(n.offset(RIGHT));
+        let hl = Self::height(tx, l);
+        let hr = Self::height(tx, r);
+        tx.compute(2);
+        if hl > hr + 1 {
+            let ll = tx.read_ptr(l.offset(LEFT));
+            let lr = tx.read_ptr(l.offset(RIGHT));
+            if Self::height(tx, ll) >= Self::height(tx, lr) {
+                Self::rotate_right(tx, n)
+            } else {
+                let nl = Self::rotate_left(tx, l);
+                tx.write_ptr(n.offset(LEFT), nl);
+                Self::rotate_right(tx, n)
+            }
+        } else if hr > hl + 1 {
+            let rl = tx.read_ptr(r.offset(LEFT));
+            let rr = tx.read_ptr(r.offset(RIGHT));
+            if Self::height(tx, rr) >= Self::height(tx, rl) {
+                Self::rotate_left(tx, n)
+            } else {
+                let nr = Self::rotate_right(tx, r);
+                tx.write_ptr(n.offset(RIGHT), nr);
+                Self::rotate_left(tx, n)
+            }
+        } else {
+            tx.write(n.offset(HEIGHT), hl.max(hr) + 1);
+            n
+        }
+    }
+
+    /// Inserts `key`; returns `(new_subtree_root, inserted)`.
+    fn insert_rec(tx: &mut Staged<'_>, n: PAddr, key: u64) -> (PAddr, bool) {
+        if n.is_null() {
+            let m = tx.alloc_block();
+            tx.write(m.offset(KEY), key);
+            tx.write(m.offset(VALUE), value_for(key));
+            tx.write_ptr(m.offset(LEFT), PAddr::NULL);
+            tx.write_ptr(m.offset(RIGHT), PAddr::NULL);
+            tx.write(m.offset(HEIGHT), 1);
+            return (m, true);
+        }
+        tx.note_path(n);
+        let k = tx.read(n.offset(KEY));
+        tx.compute(1);
+        if k == key {
+            return (n, false);
+        }
+        let side = if key < k { LEFT } else { RIGHT };
+        let child = tx.read_ptr(n.offset(side));
+        let (child2, inserted) = Self::insert_rec(tx, child, key);
+        if child2 != child {
+            tx.write_ptr(n.offset(side), child2);
+        }
+        if !inserted {
+            return (n, false);
+        }
+        (Self::rebalance(tx, n), true)
+    }
+
+    /// Deletes `key`; returns `(new_subtree_root, deleted)`.
+    fn delete_rec(tx: &mut Staged<'_>, n: PAddr, key: u64) -> (PAddr, bool) {
+        if n.is_null() {
+            return (PAddr::NULL, false);
+        }
+        tx.note_path(n);
+        let k = tx.read(n.offset(KEY));
+        tx.compute(1);
+        if key != k {
+            let side = if key < k { LEFT } else { RIGHT };
+            // Full logging pessimism: the opposite child is the pivot a
+            // rebalance at `n` could rotate through. (Double rotations
+            // also write the pivot's child; that block enters the log
+            // set through the staged write set, which finish() always
+            // logs.)
+            let opp = PAddr::new(tx.read(n.offset(if side == LEFT { RIGHT } else { LEFT })));
+            tx.log_extra(opp);
+            let child = tx.read_ptr(n.offset(side));
+            let (child2, deleted) = Self::delete_rec(tx, child, key);
+            if child2 != child {
+                tx.write_ptr(n.offset(side), child2);
+            }
+            if !deleted {
+                return (n, false);
+            }
+            return (Self::rebalance(tx, n), true);
+        }
+        // Found `n`.
+        let l = tx.read_ptr(n.offset(LEFT));
+        let r = tx.read_ptr(n.offset(RIGHT));
+        tx.compute(1);
+        if l.is_null() {
+            return (r, true);
+        }
+        if r.is_null() {
+            return (l, true);
+        }
+        // Two children: replace with the successor (leftmost of the
+        // right subtree), then delete the successor from that subtree.
+        let mut m = r;
+        loop {
+            tx.note_path(m);
+            let ml = tx.read_ptr(m.offset(LEFT));
+            if ml.is_null() {
+                break;
+            }
+            m = ml;
+        }
+        let succ_key = tx.read(m.offset(KEY));
+        let succ_val = tx.read(m.offset(VALUE));
+        tx.write(n.offset(KEY), succ_key);
+        tx.write(n.offset(VALUE), succ_val);
+        let (r2, _) = Self::delete_rec(tx, r, succ_key);
+        if r2 != r {
+            tx.write_ptr(n.offset(RIGHT), r2);
+        }
+        (Self::rebalance(tx, n), true)
+    }
+
+    /// One insert-or-delete operation on `key`.
+    fn op(&self, env: &mut PmemEnv, key: u64, op_id: u64) -> OpOutcome {
+        let mut tx = Staged::begin(env, op_id);
+        let h = self.header;
+        tx.note_path(h);
+        let root = tx.read_ptr(h.offset(ROOT));
+        // Search to decide insert vs delete (one walk, noting the path —
+        // this is the walk full logging piggybacks on).
+        let mut cur = root;
+        let mut found = false;
+        while !cur.is_null() {
+            tx.note_path(cur);
+            let k = tx.read_dep(cur.offset(KEY));
+            tx.compute(3);
+            if k == key {
+                found = true;
+                break;
+            }
+            cur = tx.read_ptr(cur.offset(if key < k { LEFT } else { RIGHT }));
+        }
+        let size = tx.read(h.offset(SIZE));
+        let outcome = if found {
+            let (root2, deleted) = Self::delete_rec(&mut tx, root, key);
+            debug_assert!(deleted);
+            tx.write_ptr(h.offset(ROOT), root2);
+            tx.write(h.offset(SIZE), size - 1);
+            OpOutcome::Deleted(key)
+        } else {
+            let (root2, inserted) = Self::insert_rec(&mut tx, root, key);
+            debug_assert!(inserted);
+            tx.write_ptr(h.offset(ROOT), root2);
+            tx.write(h.offset(SIZE), size + 1);
+            OpOutcome::Inserted(key)
+        };
+        tx.finish();
+        outcome
+    }
+
+    fn pick_key(&self, rng: &mut StdRng) -> u64 {
+        rng.gen_range(0..self.key_range)
+    }
+
+    fn verify_rec(
+        space: &Space,
+        n: PAddr,
+        lo: Option<u64>,
+        hi: Option<u64>,
+        keys: &mut Vec<u64>,
+    ) -> Result<u64, VerifyError> {
+        if n.is_null() {
+            return Ok(0);
+        }
+        if keys.len() > 10_000_000 {
+            return Err(VerifyError::new("AT: runaway traversal (cycle?)"));
+        }
+        let k = space.read_u64(n.offset(KEY));
+        if lo.is_some_and(|b| k <= b) || hi.is_some_and(|b| k >= b) {
+            return Err(VerifyError::new(format!("AT: BST order violated at key {k}")));
+        }
+        if space.read_u64(n.offset(VALUE)) != value_for(k) {
+            return Err(VerifyError::new(format!("AT: torn value for key {k}")));
+        }
+        let hl = Self::verify_rec(space, PAddr::new(space.read_u64(n.offset(LEFT))), lo, Some(k), keys)?;
+        keys.push(k);
+        let hr =
+            Self::verify_rec(space, PAddr::new(space.read_u64(n.offset(RIGHT))), Some(k), hi, keys)?;
+        if hl.abs_diff(hr) > 1 {
+            return Err(VerifyError::new(format!("AT: balance violated at key {k}")));
+        }
+        let h = hl.max(hr) + 1;
+        if space.read_u64(n.offset(HEIGHT)) != h {
+            return Err(VerifyError::new(format!("AT: stale height at key {k}")));
+        }
+        Ok(h)
+    }
+}
+
+impl Workload for AvlTree {
+    fn id(&self) -> BenchId {
+        BenchId::AvlTree
+    }
+
+    fn setup(&mut self, env: &mut PmemEnv, rng: &mut StdRng, init_ops: u64) {
+        self.key_range = (2 * init_ops).max(16);
+        self.header = env.alloc_block();
+        env.store_ptr(self.header.offset(ROOT), PAddr::NULL);
+        env.store_u64(self.header.offset(SIZE), 0);
+        env.set_root(ROOT_SLOT, self.header);
+        for op in 0..init_ops {
+            let key = self.pick_key(rng);
+            self.op(env, key, u64::MAX - op);
+        }
+    }
+
+    fn run_op(&mut self, env: &mut PmemEnv, rng: &mut StdRng, op_id: u64) -> OpOutcome {
+        let key = self.pick_key(rng);
+        self.op(env, key, op_id)
+    }
+
+    fn verify(&self, space: &Space) -> Result<VerifySummary, VerifyError> {
+        let h = PAddr::new(space.read_u64(PmemEnv::root_addr(ROOT_SLOT)));
+        let root = PAddr::new(space.read_u64(h.offset(ROOT)));
+        let mut keys = Vec::new();
+        Self::verify_rec(space, root, None, None, &mut keys)?;
+        if keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(VerifyError::new("AT: in-order walk not strictly sorted"));
+        }
+        let size = space.read_u64(h.offset(SIZE));
+        if keys.len() as u64 != size {
+            return Err(VerifyError::new(format!(
+                "AT: size field {size} != node count {}",
+                keys.len()
+            )));
+        }
+        Ok(VerifySummary { keys, size })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::oracle_check;
+    use rand::SeedableRng;
+    use spp_pmem::Variant;
+
+    #[test]
+    fn oracle_agreement_all_variants() {
+        for v in Variant::ALL {
+            oracle_check(BenchId::AvlTree, v, 200, 400, 5);
+        }
+    }
+
+    #[test]
+    fn sequential_inserts_stay_balanced() {
+        // Ascending inserts are the classic AVL stress: every insert
+        // rotates.
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut at = AvlTree::new();
+        at.setup(&mut env, &mut rng, 0);
+        at.key_range = u64::MAX;
+        for k in 0..256 {
+            assert_eq!(at.op(&mut env, k, k), OpOutcome::Inserted(k));
+        }
+        let s = at.verify(env.space()).unwrap();
+        assert_eq!(s.size, 256);
+        assert_eq!(s.keys, (0..256).collect::<Vec<_>>());
+        // Height of a 256-node AVL tree is at most 1.44 log2(257) ≈ 12.
+        let root = PAddr::new(env.space().read_u64(at.header.offset(ROOT)));
+        assert!(env.space().read_u64(root.offset(HEIGHT)) <= 12);
+    }
+
+    #[test]
+    fn descending_deletes_stay_balanced() {
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut at = AvlTree::new();
+        at.setup(&mut env, &mut rng, 0);
+        at.key_range = u64::MAX;
+        for k in 0..128 {
+            at.op(&mut env, k, k);
+        }
+        for k in (32..128).rev() {
+            assert_eq!(at.op(&mut env, k, 1000 + k), OpOutcome::Deleted(k));
+            at.verify(env.space()).unwrap();
+        }
+        let s = at.verify(env.space()).unwrap();
+        assert_eq!(s.keys, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn delete_node_with_two_children() {
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut at = AvlTree::new();
+        at.setup(&mut env, &mut rng, 0);
+        at.key_range = u64::MAX;
+        for k in [50, 25, 75, 10, 30, 60, 90, 27, 35] {
+            at.op(&mut env, k, k);
+        }
+        // 25 has two children; successor is 27.
+        assert_eq!(at.op(&mut env, 25, 100), OpOutcome::Deleted(25));
+        let s = at.verify(env.space()).unwrap();
+        assert!(!s.keys.contains(&25));
+        assert!(s.keys.contains(&27));
+    }
+
+    #[test]
+    fn delete_root() {
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut at = AvlTree::new();
+        at.setup(&mut env, &mut rng, 0);
+        at.key_range = u64::MAX;
+        for k in [2, 1, 3] {
+            at.op(&mut env, k, k);
+        }
+        assert_eq!(at.op(&mut env, 2, 10), OpOutcome::Deleted(2));
+        let s = at.verify(env.space()).unwrap();
+        assert_eq!(s.keys, vec![1, 3]);
+    }
+
+    #[test]
+    fn full_logging_covers_the_path() {
+        // A deep insert must log at least the whole search path.
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut at = AvlTree::new();
+        at.setup(&mut env, &mut rng, 0);
+        at.key_range = u64::MAX;
+        env.set_recording(false);
+        for k in 0..512 {
+            at.op(&mut env, k * 2, k);
+        }
+        env.set_recording(true);
+        let mut tx = Staged::begin(&mut env, 0);
+        tx.note_path(at.header);
+        let root = tx.read_ptr(at.header.offset(ROOT));
+        let (r2, ins) = AvlTree::insert_rec(&mut tx, root, 601);
+        assert!(ins);
+        tx.write_ptr(at.header.offset(ROOT), r2);
+        let sz = tx.read(at.header.offset(SIZE));
+        tx.write(at.header.offset(SIZE), sz + 1);
+        let logged = tx.finish();
+        assert!(logged >= 8, "expected path-length logging, got {logged}");
+    }
+}

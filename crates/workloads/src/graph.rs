@@ -1,0 +1,232 @@
+//! GH: a persistent directed graph with adjacency lists.
+//!
+//! Vertices live in a contiguous head-pointer table; each edge is one
+//! 64-byte node on a singly linked adjacency list. An operation picks a
+//! random ordered pair `(u, v)` and deletes the edge if present,
+//! inserts it at the head of `u`'s list otherwise — logging only the
+//! link being spliced plus the edge-count header (the paper's "few
+//! nodes involved" benchmark type).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use spp_pmem::{PAddr, PmemEnv, Space};
+
+use crate::spec::BenchId;
+use crate::staged::Staged;
+use crate::{OpOutcome, VerifyError, VerifySummary, Workload};
+
+// Header block layout.
+const VTABLE: u64 = 0;
+const NVERTS: u64 = 8;
+const NEDGES: u64 = 16;
+
+// Edge node layout (one 64-byte block).
+const TO: u64 = 0;
+const NEXT: u64 = 8;
+const WEIGHT: u64 = 16;
+
+const ROOT_SLOT: usize = 0;
+/// Average target degree used to derive the vertex count from Table 1's
+/// `#InitOps` (2.6 M initial edge operations). Adjacency lists average
+/// 16 edges, so an operation's list walk is a short pointer chase and
+/// the persist barriers remain a significant fraction of the operation
+/// (the paper singles GH out as fence-sensitive).
+const TARGET_DEGREE: u64 = 16;
+
+fn weight_for(u: u64, v: u64) -> u64 {
+    (u << 32 | v).wrapping_mul(0x5851_F42D_4C95_7F2D)
+}
+
+/// Encodes an edge for [`VerifySummary::keys`].
+pub fn edge_key(u: u64, v: u64) -> u64 {
+    (u << 32) | v
+}
+
+/// The GH benchmark: adjacency-list graph with WAL edge transactions.
+#[derive(Debug, Default)]
+pub struct Graph {
+    header: PAddr,
+    vtable: PAddr,
+    nverts: u64,
+}
+
+impl Graph {
+    /// Creates an uninitialized benchmark; call
+    /// [`setup`](Workload::setup) first.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn head_addr(&self, u: u64) -> PAddr {
+        self.vtable.offset(u * 8)
+    }
+
+    /// One insert-or-delete operation on edge `(u, v)`.
+    fn op(&self, env: &mut PmemEnv, u: u64, v: u64, op_id: u64) -> OpOutcome {
+        let mut tx = Staged::begin(env, op_id);
+        let h = self.header;
+        // `link` is the address of the pointer that points at `cur`:
+        // first the vertex-table head slot, then edge `next` fields.
+        let mut link = self.head_addr(u);
+        let mut cur = tx.read_ptr(link);
+        let outcome = loop {
+            if cur.is_null() {
+                // Absent: insert at the head of u's list.
+                let e = tx.alloc_block();
+                let head_addr = self.head_addr(u);
+                let head = tx.read_ptr(head_addr);
+                tx.write(e.offset(TO), v);
+                tx.write_ptr(e.offset(NEXT), head);
+                tx.write(e.offset(WEIGHT), weight_for(u, v));
+                tx.write_ptr(head_addr, e);
+                let n = tx.read(h.offset(NEDGES));
+                tx.write(h.offset(NEDGES), n + 1);
+                break OpOutcome::Inserted(edge_key(u, v));
+            }
+            let to = tx.read_dep(cur.offset(TO));
+            tx.compute(3);
+            if to == v {
+                // Present: splice it out of the list.
+                let next = tx.read_ptr(cur.offset(NEXT));
+                tx.write_ptr(link, next);
+                let n = tx.read(h.offset(NEDGES));
+                tx.write(h.offset(NEDGES), n - 1);
+                break OpOutcome::Deleted(edge_key(u, v));
+            }
+            link = cur.offset(NEXT);
+            cur = tx.read_ptr(link);
+        };
+        tx.finish();
+        outcome
+    }
+
+    fn pick_edge(&self, rng: &mut StdRng) -> (u64, u64) {
+        let u = rng.gen_range(0..self.nverts);
+        let mut v = rng.gen_range(0..self.nverts);
+        if v == u {
+            v = (v + 1) % self.nverts;
+        }
+        (u, v)
+    }
+}
+
+impl Workload for Graph {
+    fn id(&self) -> BenchId {
+        BenchId::Graph
+    }
+
+    fn setup(&mut self, env: &mut PmemEnv, rng: &mut StdRng, init_ops: u64) {
+        self.nverts = (init_ops / TARGET_DEGREE).max(16);
+        self.header = env.alloc_block();
+        let vtable_blocks = (self.nverts * 8).div_ceil(64);
+        self.vtable = env.alloc_blocks(vtable_blocks);
+        env.store_ptr(self.header.offset(VTABLE), self.vtable);
+        env.store_u64(self.header.offset(NVERTS), self.nverts);
+        env.store_u64(self.header.offset(NEDGES), 0);
+        env.set_root(ROOT_SLOT, self.header);
+        for op in 0..init_ops {
+            let (u, v) = self.pick_edge(rng);
+            self.op(env, u, v, u64::MAX - op);
+        }
+    }
+
+    fn run_op(&mut self, env: &mut PmemEnv, rng: &mut StdRng, op_id: u64) -> OpOutcome {
+        let (u, v) = self.pick_edge(rng);
+        self.op(env, u, v, op_id)
+    }
+
+    fn verify(&self, space: &Space) -> Result<VerifySummary, VerifyError> {
+        let h = PAddr::new(space.read_u64(PmemEnv::root_addr(ROOT_SLOT)));
+        let vtable = PAddr::new(space.read_u64(h.offset(VTABLE)));
+        let nverts = space.read_u64(h.offset(NVERTS));
+        let nedges = space.read_u64(h.offset(NEDGES));
+        let mut keys = Vec::new();
+        for u in 0..nverts {
+            let mut cur = PAddr::new(space.read_u64(vtable.offset(u * 8)));
+            let mut seen = std::collections::HashSet::new();
+            let mut walked = 0u64;
+            while !cur.is_null() {
+                walked += 1;
+                if walked > nedges + 1 {
+                    return Err(VerifyError::new(format!("GH: cycle in vertex {u} list")));
+                }
+                let to = space.read_u64(cur.offset(TO));
+                if to >= nverts {
+                    return Err(VerifyError::new(format!("GH: edge to invalid vertex {to}")));
+                }
+                if !seen.insert(to) {
+                    return Err(VerifyError::new(format!("GH: duplicate edge ({u}, {to})")));
+                }
+                if space.read_u64(cur.offset(WEIGHT)) != weight_for(u, to) {
+                    return Err(VerifyError::new(format!("GH: torn weight on ({u}, {to})")));
+                }
+                keys.push(edge_key(u, to));
+                cur = PAddr::new(space.read_u64(cur.offset(NEXT)));
+            }
+        }
+        if keys.len() as u64 != nedges {
+            return Err(VerifyError::new(format!(
+                "GH: edge count {nedges} != walked {}",
+                keys.len()
+            )));
+        }
+        keys.sort_unstable();
+        Ok(VerifySummary { keys, size: nedges })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::oracle_check;
+    use rand::SeedableRng;
+    use spp_pmem::Variant;
+
+    #[test]
+    fn oracle_agreement_all_variants() {
+        for v in Variant::ALL {
+            oracle_check(BenchId::Graph, v, 300, 300, 3);
+        }
+    }
+
+    #[test]
+    fn insert_delete_specific_edges() {
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut g = Graph::new();
+        g.setup(&mut env, &mut rng, 0);
+        assert_eq!(g.op(&mut env, 1, 2, 0), OpOutcome::Inserted(edge_key(1, 2)));
+        assert_eq!(g.op(&mut env, 1, 3, 1), OpOutcome::Inserted(edge_key(1, 3)));
+        assert_eq!(g.op(&mut env, 2, 1, 2), OpOutcome::Inserted(edge_key(2, 1)));
+        let s = g.verify(env.space()).unwrap();
+        assert_eq!(s.size, 3);
+        // Delete the middle-of-list edge (1,2) — inserted first, so it is
+        // now at the tail of vertex 1's list.
+        assert_eq!(g.op(&mut env, 1, 2, 3), OpOutcome::Deleted(edge_key(1, 2)));
+        let s = g.verify(env.space()).unwrap();
+        assert_eq!(s.keys, vec![edge_key(1, 3), edge_key(2, 1)]);
+    }
+
+    #[test]
+    fn self_edges_are_never_generated() {
+        let mut g = Graph::new();
+        g.nverts = 16;
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let (u, v) = g.pick_edge(&mut rng);
+            assert_ne!(u, v);
+            assert!(u < 16 && v < 16);
+        }
+    }
+
+    #[test]
+    fn direction_matters() {
+        let mut env = PmemEnv::new(Variant::Base);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut g = Graph::new();
+        g.setup(&mut env, &mut rng, 0);
+        g.op(&mut env, 4, 5, 0);
+        // (5,4) is a different edge: this inserts rather than deletes.
+        assert_eq!(g.op(&mut env, 5, 4, 1), OpOutcome::Inserted(edge_key(5, 4)));
+    }
+}

@@ -1,0 +1,255 @@
+//! # spp-workloads — the paper's benchmark suite (Table 1)
+//!
+//! Seven single-threaded persistent data structures with write-ahead
+//! logging failure safety, exactly the suite of §3 of *"Hiding the Long
+//! Latency of Persist Barriers Using Speculative Execution"* (ISCA '17):
+//!
+//! | Abbrev | Benchmark | Operation |
+//! |---|---|---|
+//! | GH | [`graph`] | insert or delete edges |
+//! | HM | [`hashmap`] | insert or delete entries (with resizing) |
+//! | LL | [`linked_list`] | insert or delete nodes (max 1024) |
+//! | SS | [`string_swap`] | swap 256-byte strings |
+//! | AT | [`avl`] | insert or delete nodes (full logging) |
+//! | BT | [`btree`] | insert or delete nodes (full logging) |
+//! | RT | [`rbtree`] | insert or delete nodes (full logging) |
+//!
+//! Every operation searches a random key and deletes it if present,
+//! inserts it otherwise (String Swap swaps two random entries). Each
+//! structure keeps all state in the persistent address space of a
+//! [`PmemEnv`], sizes nodes to one 64-byte cache block, and runs each
+//! operation as one [`Staged`] transaction (four persist barriers, §3.1).
+//!
+//! ```
+//! use spp_pmem::Variant;
+//! use spp_workloads::{BenchId, BenchSpec, RunConfig};
+//!
+//! let cfg = RunConfig {
+//!     variant: Variant::LogPSf,
+//!     spec: BenchSpec { id: BenchId::LinkedList, init_ops: 100, sim_ops: 50 },
+//!     seed: 42,
+//!     capture_base: false,
+//! };
+//! let out = spp_workloads::run_benchmark(&cfg);
+//! assert!(out.trace.counts.pcommits >= 4 * 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avl;
+pub mod btree;
+pub mod btree_inc;
+pub mod driver;
+pub mod graph;
+pub mod hashmap;
+pub mod linked_list;
+pub mod rbtree;
+pub mod spec;
+mod staged;
+pub mod string_swap;
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spp_pmem::{PmemEnv, Space, Trace, Variant};
+
+pub use spec::{BenchId, BenchSpec};
+pub use staged::Staged;
+
+/// What a benchmark operation did (used by crash tests to track the
+/// expected logical state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// A key was inserted.
+    Inserted(u64),
+    /// A key was deleted.
+    Deleted(u64),
+    /// Two string-array entries were swapped.
+    Swapped(u64, u64),
+    /// The operation had no effect (e.g. the linked list hit its
+    /// 1024-node cap on an insert).
+    Noop,
+}
+
+/// Structural summary returned by a successful verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifySummary {
+    /// The structure's logical keys, sorted. (String Swap reports each
+    /// entry's embedded original index; the graph encodes edges as
+    /// `from << 32 | to`.)
+    pub keys: Vec<u64>,
+    /// The structure's recorded element count.
+    pub size: u64,
+}
+
+/// A structural-invariant violation found during verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError(String);
+
+impl VerifyError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        VerifyError(msg.into())
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "structure verification failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A persistent data-structure benchmark.
+///
+/// Implementations keep *all* structure state in the persistent address
+/// space (reachable from the root directory), so [`verify`](Self::verify)
+/// can run against any memory image — including post-crash, post-recovery
+/// images that the live workload object never saw.
+pub trait Workload: fmt::Debug {
+    /// Which Table 1 benchmark this is.
+    fn id(&self) -> BenchId;
+
+    /// Creates the structure and populates it with `init_ops` operations
+    /// (the paper's fast-forward phase; callers typically disable trace
+    /// recording around this).
+    fn setup(&mut self, env: &mut PmemEnv, rng: &mut StdRng, init_ops: u64);
+
+    /// Runs one measured operation.
+    fn run_op(&mut self, env: &mut PmemEnv, rng: &mut StdRng, op_id: u64) -> OpOutcome;
+
+    /// Checks every structural invariant against `space` and returns the
+    /// logical contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VerifyError`] describing the first violated invariant.
+    fn verify(&self, space: &Space) -> Result<VerifySummary, VerifyError>;
+}
+
+/// Instantiates the named benchmark.
+pub fn make_workload(id: BenchId) -> Box<dyn Workload> {
+    match id {
+        BenchId::Graph => Box::new(graph::Graph::new()),
+        BenchId::HashMap => Box::new(hashmap::HashMap::new()),
+        BenchId::LinkedList => Box::new(linked_list::LinkedList::new()),
+        BenchId::StringSwap => Box::new(string_swap::StringSwap::new()),
+        BenchId::AvlTree => Box::new(avl::AvlTree::new()),
+        BenchId::BTree => Box::new(btree::BTree::new()),
+        BenchId::RbTree => Box::new(rbtree::RbTree::new()),
+    }
+}
+
+/// Configuration of one benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// The build variant (Fig. 8 bar).
+    pub variant: Variant,
+    /// Benchmark and sizing.
+    pub spec: BenchSpec,
+    /// RNG seed; identical seeds produce identical operation streams
+    /// across variants, so variant comparisons are apples-to-apples.
+    pub seed: u64,
+    /// Capture a post-init memory snapshot (needed by crash tests;
+    /// costs a full copy of the heap).
+    pub capture_base: bool,
+}
+
+/// Everything a benchmark run produces.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The recorded micro-op trace of the measured phase.
+    pub trace: Trace,
+    /// Post-init memory image (only if `capture_base` was set).
+    pub base_image: Option<Space>,
+    /// Per-operation outcomes, in order.
+    pub outcomes: Vec<OpOutcome>,
+    /// The environment after the run (final memory image, undo-log
+    /// layout, heap bounds).
+    pub env: PmemEnv,
+    /// The workload object (for post-hoc verification of images).
+    pub workload: Box<dyn Workload>,
+}
+
+/// Runs one benchmark end to end: populate in fast-forward, record the
+/// measured operations, and verify the final structure.
+///
+/// # Panics
+///
+/// Panics if the final structure fails verification — that would be a
+/// bug in this crate, never an expected outcome.
+pub fn run_benchmark(cfg: &RunConfig) -> RunOutput {
+    let mut env = PmemEnv::new(cfg.variant);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut w = make_workload(cfg.spec.id);
+
+    env.set_recording(false);
+    w.setup(&mut env, &mut rng, cfg.spec.init_ops);
+    env.set_recording(true);
+
+    // The application-context driver is created after population but
+    // before measurement (it is pre-existing application state).
+    let mut drv = driver::Driver::new(&mut env, &mut rng);
+
+    let base_image = if cfg.capture_base { Some(env.snapshot()) } else { None };
+
+    let mut outcomes = Vec::with_capacity(cfg.spec.sim_ops as usize);
+    for op in 0..cfg.spec.sim_ops {
+        drv.before_op(&mut env);
+        outcomes.push(w.run_op(&mut env, &mut rng, op));
+    }
+    let trace = env.take_trace();
+
+    if let Err(e) = w.verify(env.space()) {
+        panic!("{} final image invalid: {e}", cfg.spec.id);
+    }
+
+    RunOutput { trace, base_image, outcomes, env, workload: w }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for per-structure unit tests.
+
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// Drives `sim_ops` operations against both the workload and a
+    /// `BTreeSet` oracle, checking outcome agreement and invariants
+    /// periodically.
+    pub fn oracle_check(id: BenchId, variant: Variant, init_ops: u64, sim_ops: u64, seed: u64) {
+        let mut env = PmemEnv::new(variant);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = make_workload(id);
+        env.set_recording(false);
+        w.setup(&mut env, &mut rng, init_ops);
+
+        // Bootstrap the oracle from the verified initial contents.
+        let init = w.verify(env.space()).expect("post-init verify");
+        let mut oracle: BTreeSet<u64> = init.keys.iter().copied().collect();
+        assert_eq!(oracle.len() as u64, init.size, "{id}: init size mismatch");
+
+        for op in 0..sim_ops {
+            match w.run_op(&mut env, &mut rng, op) {
+                OpOutcome::Inserted(k) => {
+                    assert!(oracle.insert(k), "{id}: inserted key {k} already present");
+                }
+                OpOutcome::Deleted(k) => {
+                    assert!(oracle.remove(&k), "{id}: deleted key {k} was absent");
+                }
+                OpOutcome::Swapped(_, _) | OpOutcome::Noop => {}
+            }
+            if op % 16 == 0 || op + 1 == sim_ops {
+                let s = match w.verify(env.space()) {
+                    Ok(s) => s,
+                    Err(e) => panic!("{id} op {op}: {e}"),
+                };
+                let got: BTreeSet<u64> = s.keys.iter().copied().collect();
+                assert_eq!(s.keys.len(), got.len(), "{id}: duplicate keys reported");
+                assert_eq!(got, oracle, "{id}: keys diverged at op {op}");
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! LL: a sorted, singly linked persistent list (max 1024 nodes).
+//!
+//! This is the structure the paper walks through in detail (§3.1.1,
+//! Fig. 2): inserting or deleting a node logs the predecessor node before
+//! splicing, giving one small transaction with four persist barriers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use spp_pmem::{PAddr, PmemEnv, Space};
+
+use crate::spec::BenchId;
+use crate::staged::Staged;
+use crate::{OpOutcome, VerifyError, VerifySummary, Workload};
+
+/// Table 1: "Max:1024" — the list is capped so search time does not
+/// dominate the operation.
+pub const MAX_NODES: u64 = 1024;
+
+// Node layout (one 64-byte block).
+const KEY: u64 = 0;
+const VALUE: u64 = 8;
+const NEXT: u64 = 16;
+// Sentinel-only field.
+const SIZE: u64 = 24;
+
+const ROOT_SLOT: usize = 0;
+
+fn value_for(key: u64) -> u64 {
+    key.wrapping_mul(31).wrapping_add(7)
+}
+
+/// The LL benchmark: sorted singly linked list with WAL transactions.
+#[derive(Debug, Default)]
+pub struct LinkedList {
+    sentinel: PAddr,
+    key_range: u64,
+}
+
+impl LinkedList {
+    /// Creates an uninitialized benchmark; call
+    /// [`setup`](Workload::setup) before running operations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One insert-or-delete operation on `key`.
+    fn op(&self, env: &mut PmemEnv, key: u64, op_id: u64) -> OpOutcome {
+        let mut tx = Staged::begin(env, op_id);
+        let sent = self.sentinel;
+        let mut prev = sent;
+        let mut cur = tx.read_ptr(prev.offset(NEXT));
+        let outcome = loop {
+            if cur.is_null() {
+                break self.insert_at(&mut tx, prev, PAddr::NULL, key);
+            }
+            let k = tx.read_dep(cur.offset(KEY));
+            tx.compute(3); // compare, branch, address generation
+            if k == key {
+                // Delete: splice out `cur`; the node is not garbage
+                // collected (paper assumption), so only `prev` changes.
+                let next = tx.read_ptr(cur.offset(NEXT));
+                tx.write_ptr(prev.offset(NEXT), next);
+                let size = tx.read(sent.offset(SIZE));
+                tx.write(sent.offset(SIZE), size - 1);
+                break OpOutcome::Deleted(key);
+            }
+            if k > key {
+                break self.insert_at(&mut tx, prev, cur, key);
+            }
+            prev = cur;
+            cur = tx.read_ptr(cur.offset(NEXT));
+        };
+        tx.finish();
+        outcome
+    }
+
+    fn insert_at(&self, tx: &mut Staged<'_>, prev: PAddr, cur: PAddr, key: u64) -> OpOutcome {
+        let size = tx.read(self.sentinel.offset(SIZE));
+        tx.compute(1);
+        if size >= MAX_NODES {
+            return OpOutcome::Noop;
+        }
+        let node = tx.alloc_block();
+        tx.write(node.offset(KEY), key);
+        tx.write(node.offset(VALUE), value_for(key));
+        tx.write_ptr(node.offset(NEXT), cur);
+        tx.write_ptr(prev.offset(NEXT), node);
+        tx.write(self.sentinel.offset(SIZE), size + 1);
+        OpOutcome::Inserted(key)
+    }
+
+    fn pick_key(&self, rng: &mut StdRng) -> u64 {
+        rng.gen_range(0..self.key_range)
+    }
+}
+
+impl Workload for LinkedList {
+    fn id(&self) -> BenchId {
+        BenchId::LinkedList
+    }
+
+    fn setup(&mut self, env: &mut PmemEnv, rng: &mut StdRng, init_ops: u64) {
+        self.key_range = MAX_NODES;
+        self.sentinel = env.alloc_block();
+        env.store_u64(self.sentinel.offset(NEXT), 0);
+        env.store_u64(self.sentinel.offset(SIZE), 0);
+        env.set_root(ROOT_SLOT, self.sentinel);
+        for op in 0..init_ops {
+            let key = self.pick_key(rng);
+            self.op(env, key, u64::MAX - op);
+        }
+    }
+
+    fn run_op(&mut self, env: &mut PmemEnv, rng: &mut StdRng, op_id: u64) -> OpOutcome {
+        let key = self.pick_key(rng);
+        self.op(env, key, op_id)
+    }
+
+    fn verify(&self, space: &Space) -> Result<VerifySummary, VerifyError> {
+        let sent = PAddr::new(space.read_u64(PmemEnv::root_addr(ROOT_SLOT)));
+        if sent.is_null() {
+            return Err(VerifyError::new("LL: null sentinel"));
+        }
+        let size = space.read_u64(sent.offset(SIZE));
+        let mut keys = Vec::new();
+        let mut cur = PAddr::new(space.read_u64(sent.offset(NEXT)));
+        let mut last: Option<u64> = None;
+        while !cur.is_null() {
+            if keys.len() as u64 > MAX_NODES {
+                return Err(VerifyError::new("LL: list longer than cap (cycle?)"));
+            }
+            let k = space.read_u64(cur.offset(KEY));
+            if let Some(prev) = last {
+                if prev >= k {
+                    return Err(VerifyError::new(format!("LL: order violated ({prev} >= {k})")));
+                }
+            }
+            if space.read_u64(cur.offset(VALUE)) != value_for(k) {
+                return Err(VerifyError::new(format!("LL: torn value for key {k}")));
+            }
+            keys.push(k);
+            last = Some(k);
+            cur = PAddr::new(space.read_u64(cur.offset(NEXT)));
+        }
+        if keys.len() as u64 != size {
+            return Err(VerifyError::new(format!(
+                "LL: size field {size} != walked count {}",
+                keys.len()
+            )));
+        }
+        Ok(VerifySummary { keys, size })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::oracle_check;
+    use spp_pmem::Variant;
+
+    #[test]
+    fn oracle_agreement_all_variants() {
+        for v in Variant::ALL {
+            oracle_check(BenchId::LinkedList, v, 100, 300, 1);
+        }
+    }
+
+    #[test]
+    fn empty_list_verifies() {
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut ll = LinkedList::new();
+        ll.setup(&mut env, &mut rng, 0);
+        let s = ll.verify(env.space()).unwrap();
+        assert_eq!(s.size, 0);
+        assert!(s.keys.is_empty());
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let mut env = PmemEnv::new(Variant::Base);
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut ll = LinkedList::new();
+        ll.setup(&mut env, &mut rng, 0);
+        // Insert every key: 1024 inserts succeed, further keys can't exist.
+        for k in 0..MAX_NODES {
+            assert_eq!(ll.op(&mut env, k, k), OpOutcome::Inserted(k));
+        }
+        let s = ll.verify(env.space()).unwrap();
+        assert_eq!(s.size, MAX_NODES);
+        // The next op on an existing key still deletes.
+        assert_eq!(ll.op(&mut env, 5, 9999), OpOutcome::Deleted(5));
+    }
+
+    #[test]
+    fn insert_then_delete_round_trips() {
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut ll = LinkedList::new();
+        ll.setup(&mut env, &mut rng, 0);
+        assert_eq!(ll.op(&mut env, 42, 0), OpOutcome::Inserted(42));
+        assert_eq!(ll.op(&mut env, 42, 1), OpOutcome::Deleted(42));
+        let s = ll.verify(env.space()).unwrap();
+        assert_eq!(s.size, 0);
+    }
+
+    #[test]
+    fn four_pcommits_per_operation() {
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut ll = LinkedList::new();
+        env.set_recording(false);
+        ll.setup(&mut env, &mut rng, 10);
+        env.set_recording(true);
+        ll.op(&mut env, 7, 0);
+        assert_eq!(env.trace().counts.pcommits, 4);
+        assert_eq!(env.trace().counts.fences, 8);
+    }
+}

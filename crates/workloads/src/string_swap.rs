@@ -1,0 +1,218 @@
+//! SS: swapping 256-byte strings in a persistent string array.
+//!
+//! An operation picks two random indexes and exchanges the strings.
+//! Both 256-byte entries (four cache blocks each) are undo-logged —
+//! "eight clwbs are issued for logging entries and one clwb is for
+//! indexes" (§3.2) — then swapped and persisted with another eight
+//! `clwb`s and a `pcommit`. SS moves far more data per transaction than
+//! the other benchmarks, which is why it stands out in the paper's SSB
+//! occupancy (Fig. 12) and bloom-filter (Fig. 14) results.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use spp_pmem::{PAddr, PmemEnv, Space};
+
+use crate::spec::BenchId;
+use crate::staged::Staged;
+use crate::{OpOutcome, VerifyError, VerifySummary, Workload};
+
+/// Bytes per string entry ("The length of each string in the entry is
+/// 256").
+pub const STRING_LEN: u64 = 256;
+
+// Header block layout.
+const BASE: u64 = 0;
+const COUNT: u64 = 8;
+const SERIAL: u64 = 16;
+
+const ROOT_SLOT: usize = 0;
+
+/// Deterministic string content: the entry's original index followed by
+/// a keyed byte pattern, so verification can detect both lost swaps and
+/// torn (mixed) entries.
+fn string_for(index: u64) -> [u8; STRING_LEN as usize] {
+    let mut s = [0u8; STRING_LEN as usize];
+    s[..8].copy_from_slice(&index.to_le_bytes());
+    let mut x = index.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for b in s[8..].iter_mut() {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *b = (x >> 56) as u8;
+    }
+    s
+}
+
+/// The SS benchmark: random pairwise swaps in a string array.
+#[derive(Debug, Default)]
+pub struct StringSwap {
+    header: PAddr,
+    base: PAddr,
+    count: u64,
+}
+
+impl StringSwap {
+    /// Creates an uninitialized benchmark; call
+    /// [`setup`](Workload::setup) first.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn string_addr(&self, i: u64) -> PAddr {
+        self.base.offset(i * STRING_LEN)
+    }
+
+    /// Swaps entries `i` and `j` in one transaction.
+    fn op(&self, env: &mut PmemEnv, i: u64, j: u64, op_id: u64) -> OpOutcome {
+        let mut tx = Staged::begin(env, op_id);
+        let (a, b) = (self.string_addr(i), self.string_addr(j));
+        let mut sa = [0u8; STRING_LEN as usize];
+        let mut sb = [0u8; STRING_LEN as usize];
+        tx.read_bytes(a, &mut sa);
+        tx.read_bytes(b, &mut sb);
+        tx.write_bytes(a, &sb);
+        tx.write_bytes(b, &sa);
+        // The paper's "one clwb for indexes": a persistent swap serial.
+        let s = tx.read(self.header.offset(SERIAL));
+        tx.write(self.header.offset(SERIAL), s + 1);
+        tx.finish();
+        OpOutcome::Swapped(i, j)
+    }
+
+    fn pick_pair(&self, rng: &mut StdRng) -> (u64, u64) {
+        let i = rng.gen_range(0..self.count);
+        let mut j = rng.gen_range(0..self.count);
+        if j == i {
+            j = (j + 1) % self.count;
+        }
+        (i, j)
+    }
+}
+
+impl Workload for StringSwap {
+    fn id(&self) -> BenchId {
+        BenchId::StringSwap
+    }
+
+    /// For SS, `init_ops` is the number of strings populated (Table 1's
+    /// 120 000 initial operations fill the array).
+    fn setup(&mut self, env: &mut PmemEnv, rng: &mut StdRng, init_ops: u64) {
+        let _ = rng;
+        self.count = init_ops.max(2);
+        self.header = env.alloc_block();
+        self.base = env.alloc_blocks(self.count * STRING_LEN / 64);
+        env.store_ptr(self.header.offset(BASE), self.base);
+        env.store_u64(self.header.offset(COUNT), self.count);
+        env.store_u64(self.header.offset(SERIAL), 0);
+        env.set_root(ROOT_SLOT, self.header);
+        for i in 0..self.count {
+            env.store_bytes(self.string_addr(i), &string_for(i));
+        }
+    }
+
+    fn run_op(&mut self, env: &mut PmemEnv, rng: &mut StdRng, op_id: u64) -> OpOutcome {
+        let (i, j) = self.pick_pair(rng);
+        self.op(env, i, j, op_id)
+    }
+
+    fn verify(&self, space: &Space) -> Result<VerifySummary, VerifyError> {
+        let h = PAddr::new(space.read_u64(PmemEnv::root_addr(ROOT_SLOT)));
+        let base = PAddr::new(space.read_u64(h.offset(BASE)));
+        let count = space.read_u64(h.offset(COUNT));
+        let mut keys = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let mut s = [0u8; STRING_LEN as usize];
+            space.read_bytes(base.offset(i * STRING_LEN), &mut s);
+            let mut idx = [0u8; 8];
+            idx.copy_from_slice(&s[..8]);
+            let original = u64::from_le_bytes(idx);
+            if original >= count {
+                return Err(VerifyError::new(format!(
+                    "SS: slot {i} holds invalid original index {original}"
+                )));
+            }
+            if s != string_for(original) {
+                return Err(VerifyError::new(format!(
+                    "SS: slot {i} holds a torn copy of string {original}"
+                )));
+            }
+            keys.push(original);
+        }
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        if sorted.iter().enumerate().any(|(i, &k)| k != i as u64) {
+            return Err(VerifyError::new("SS: string multiset is not a permutation"));
+        }
+        keys.sort_unstable();
+        Ok(VerifySummary { keys, size: count })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spp_pmem::Variant;
+
+    #[test]
+    fn swaps_preserve_permutation_all_variants() {
+        for v in Variant::ALL {
+            let mut env = PmemEnv::new(v);
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut ss = StringSwap::new();
+            ss.setup(&mut env, &mut rng, 32);
+            for op in 0..100 {
+                ss.run_op(&mut env, &mut rng, op);
+                if op % 10 == 0 {
+                    ss.verify(env.space()).unwrap();
+                }
+            }
+            let s = ss.verify(env.space()).unwrap();
+            assert_eq!(s.size, 32);
+        }
+    }
+
+    #[test]
+    fn explicit_swap_moves_contents() {
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ss = StringSwap::new();
+        ss.setup(&mut env, &mut rng, 4);
+        ss.op(&mut env, 0, 3, 0);
+        let mut s0 = [0u8; 256];
+        env.space().read_bytes(ss.string_addr(0), &mut s0);
+        assert_eq!(s0, string_for(3));
+        let mut s3 = [0u8; 256];
+        env.space().read_bytes(ss.string_addr(3), &mut s3);
+        assert_eq!(s3, string_for(0));
+        ss.verify(env.space()).unwrap();
+    }
+
+    #[test]
+    fn swap_logs_nine_blocks() {
+        // Two 256-byte strings = 8 blocks, plus the header serial: the
+        // paper's "eight clwbs ... and one clwb for indexes".
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ss = StringSwap::new();
+        ss.setup(&mut env, &mut rng, 8);
+        env.set_recording(true);
+        let mut tx = Staged::begin(&mut env, 0);
+        let (a, b) = (ss.string_addr(1), ss.string_addr(2));
+        let mut sa = [0u8; 256];
+        let mut sb = [0u8; 256];
+        tx.read_bytes(a, &mut sa);
+        tx.read_bytes(b, &mut sb);
+        tx.write_bytes(a, &sb);
+        tx.write_bytes(b, &sa);
+        let s = tx.read(ss.header.offset(SERIAL));
+        tx.write(ss.header.offset(SERIAL), s + 1);
+        let logged = tx.finish();
+        assert_eq!(logged, 9);
+    }
+
+    #[test]
+    fn string_content_is_index_tagged() {
+        let s = string_for(7);
+        assert_eq!(u64::from_le_bytes(s[..8].try_into().unwrap()), 7);
+        assert_ne!(string_for(7)[8..], string_for(8)[8..]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Coherence-conflict stress: exercise the BLT abort path.
+//!
+//! SP must not expose speculative state to other cores (§4.2.2): the
+//! Block Lookup Table records every block speculation touches, and an
+//! external coherence request that hits it triggers an abort and a
+//! rollback to the oldest checkpoint. The paper leaves multi-threaded
+//! workloads to future work but requires this safety net; here a
+//! synthetic second agent snoops random workload blocks at increasing
+//! rates while the linked-list benchmark runs, and we watch the
+//! rollback machinery pay for itself.
+//!
+//! ```text
+//! cargo run --release --example coherence_stress
+//! ```
+
+use specpersist::cpu::{CpuConfig, Pipeline};
+use specpersist::pmem::{Event, Variant};
+use specpersist::workloads::{run_benchmark, BenchId, BenchSpec, RunConfig};
+
+fn main() {
+    println!("Coherence-conflict stress on the linked-list benchmark\n");
+
+    let out = run_benchmark(&RunConfig {
+        variant: Variant::LogPSf,
+        spec: BenchSpec { id: BenchId::LinkedList, init_ops: 500, sim_ops: 300 },
+        seed: 99,
+        capture_base: false,
+    });
+    // Candidate snoop targets: blocks the workload actually stores to.
+    let targets: Vec<_> = out
+        .trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Store { addr, .. } => Some(addr.block()),
+            _ => None,
+        })
+        .collect();
+    let expected_uops = out.trace.counts.total();
+
+    println!(
+        "{:>14} {:>10} {:>10} {:>12} {:>10} {:>12}",
+        "snoop period", "snoops", "conflicts", "rollbacks", "squashed", "cycles"
+    );
+    for period in [0usize, 5000, 1000, 200, 50] {
+        let mut p = Pipeline::new(&out.trace.events, CpuConfig::with_sp());
+        let mut steps = 0usize;
+        let mut snoops = 0u64;
+        let mut i = 0usize;
+        while !p.is_done() {
+            p.step();
+            steps += 1;
+            if period > 0 && steps.is_multiple_of(period) {
+                i = (i + 131) % targets.len();
+                p.inject_coherence(targets[i]);
+                snoops += 1;
+            }
+        }
+        let r = p.result();
+        assert_eq!(
+            r.cpu.committed_uops, expected_uops,
+            "rollbacks must never lose or duplicate work"
+        );
+        println!(
+            "{:>14} {:>10} {:>10} {:>12} {:>10} {:>12}",
+            if period == 0 { "none".to_string() } else { format!("1/{period}") },
+            snoops,
+            r.blt.conflicts,
+            r.cpu.rollbacks,
+            r.cpu.squashed_uops,
+            r.cpu.cycles
+        );
+    }
+    println!(
+        "\nEvery configuration committed exactly {expected_uops} micro-ops — rollbacks\n\
+         re-execute from the oldest checkpoint without losing or duplicating work.\n\
+         Conflicts stay rare even under heavy snooping because speculation windows\n\
+         are short; the paper relies on exactly this (\"rollback can be expected to\n\
+         be extremely rare\")."
+    );
+}

@@ -1,0 +1,128 @@
+//! Building persistency models from the PMEM primitives (§2.1-§2.2).
+//!
+//! The paper notes that the PMEM instructions are "a more flexible
+//! approach towards memory persistency: it allows programmers to
+//! construct other persistency models such as strict and epoch
+//! persistency". This example does exactly that for a simple persistent
+//! append-log workload:
+//!
+//! * **strict persistency** — every store is individually made durable
+//!   (`store; clwb; sfence; pcommit; sfence`), the simplest model to
+//!   reason about and by far the slowest;
+//! * **epoch persistency** — stores within an epoch (here: one record)
+//!   persist together, one barrier per epoch;
+//! * **transactional (WAL) persistency** — the paper's model: undo
+//!   logging plus four barriers per transaction, the only one of the
+//!   three that is also failure *atomic*.
+//!
+//! ```text
+//! cargo run --release --example persistency_models
+//! ```
+
+use specpersist::cpu::{simulate, CpuConfig};
+use specpersist::pmem::{PmemEnv, Variant};
+
+const RECORDS: u64 = 200;
+const FIELDS: u64 = 6; // 8-byte fields per appended record
+
+fn fresh_env() -> (PmemEnv, specpersist::pmem::PAddr) {
+    let mut env = PmemEnv::new(Variant::LogPSf);
+    let region = env.alloc_blocks(RECORDS); // one block per record
+    env.set_recording(true);
+    (env, region)
+}
+
+/// The application work between appends: a running checksum over a few
+/// earlier records (dependent pointer-style reads plus compute) — the
+/// execution speculative persistence overlaps with the barriers.
+fn between_records(env: &mut PmemEnv, region: specpersist::pmem::PAddr, r: u64) {
+    env.compute(96);
+    let mut probe = r;
+    for _ in 0..6 {
+        probe = probe.wrapping_mul(0x9E37_79B9).wrapping_add(1) % (r + 1);
+        let rec = region.offset((probe % RECORDS) * 64);
+        let _ = env.load_ptr(rec); // dependent read of an earlier record
+        env.compute(24);
+    }
+}
+
+/// Strict persistency: persist after every store.
+fn strict() -> specpersist::pmem::Trace {
+    let (mut env, region) = fresh_env();
+    for r in 0..RECORDS {
+        let rec = region.offset(r * 64);
+        for f in 0..FIELDS {
+            env.store_u64(rec.offset(8 * f), r * 100 + f);
+            env.clwb(rec);
+            env.persist_barrier();
+        }
+        between_records(&mut env, region, r);
+    }
+    env.take_trace()
+}
+
+/// Epoch persistency: one persist barrier per record.
+fn epoch() -> specpersist::pmem::Trace {
+    let (mut env, region) = fresh_env();
+    for r in 0..RECORDS {
+        let rec = region.offset(r * 64);
+        for f in 0..FIELDS {
+            env.store_u64(rec.offset(8 * f), r * 100 + f);
+        }
+        env.clwb(rec);
+        env.persist_barrier();
+        between_records(&mut env, region, r);
+    }
+    env.take_trace()
+}
+
+/// Transactional persistency: the paper's WAL protocol (failure atomic).
+fn transactional() -> specpersist::pmem::Trace {
+    let (mut env, region) = fresh_env();
+    for r in 0..RECORDS {
+        let rec = region.offset(r * 64);
+        env.tx_begin(r);
+        env.tx_log(rec, 64);
+        env.tx_set_logged();
+        for f in 0..FIELDS {
+            env.store_u64(rec.offset(8 * f), r * 100 + f);
+        }
+        env.clwb(rec);
+        env.tx_commit();
+        between_records(&mut env, region, r);
+    }
+    env.take_trace()
+}
+
+fn main() {
+    println!("Persistency models built from the PMEM primitives (§2.1-§2.2)");
+    println!("workload: append {RECORDS} records of {FIELDS} fields each\n");
+    println!(
+        "{:<16} {:>9} {:>9} {:>10} {:>12} {:>12}",
+        "model", "pcommits", "sfences", "cycles", "cycles (SP)", "SP saves"
+    );
+    for (name, trace) in
+        [("strict", strict()), ("epoch", epoch()), ("transactional", transactional())]
+    {
+        let base = simulate(&trace.events, &CpuConfig::baseline());
+        let sp = simulate(&trace.events, &CpuConfig::with_sp());
+        println!(
+            "{:<16} {:>9} {:>9} {:>10} {:>12} {:>11.0}%",
+            name,
+            trace.counts.pcommits,
+            trace.counts.fences,
+            base.cpu.cycles,
+            sp.cpu.cycles,
+            (1.0 - sp.cpu.cycles as f64 / base.cpu.cycles as f64) * 100.0
+        );
+    }
+    println!(
+        "\nStrict persistency orders every store and pays a barrier each time;\n\
+         epoch persistency amortizes one barrier per record; the paper's\n\
+         transactional model adds undo logging (and is the only failure-atomic\n\
+         one). Speculative persistence overlaps the barriers with the program's\n\
+         own work in every model — it is persistency-model agnostic, though a\n\
+         model that leaves no work between barriers (strict) gives it little\n\
+         to hide behind."
+    );
+}

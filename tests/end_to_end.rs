@@ -1,0 +1,234 @@
+//! Cross-crate integration tests: full benchmark traces through the
+//! full pipeline, with and without speculative persistence.
+
+use specpersist::cpu::{simulate, CpuConfig, Pipeline, SpConfig};
+use specpersist::pmem::Variant;
+use specpersist::workloads::{run_benchmark, BenchId, BenchSpec, RunConfig};
+
+fn tiny(id: BenchId) -> BenchSpec {
+    BenchSpec::scaled(id, 2500)
+}
+
+/// The whole suite flows end-to-end in every variant, and committed
+/// micro-op counts match the recorded traces exactly.
+#[test]
+fn every_benchmark_simulates_in_every_variant() {
+    for id in BenchId::ALL {
+        for variant in Variant::ALL {
+            let out = run_benchmark(&RunConfig {
+                variant,
+                spec: tiny(id),
+                seed: 11,
+                capture_base: false,
+            });
+            let r = simulate(&out.trace.events, &CpuConfig::baseline());
+            assert_eq!(
+                r.cpu.committed_uops,
+                out.trace.counts.total(),
+                "{id}/{variant}: committed micro-ops diverge from the trace"
+            );
+            assert_eq!(r.cpu.pcommits, out.trace.counts.pcommits, "{id}/{variant}");
+            assert_eq!(r.cpu.fences, out.trace.counts.fences, "{id}/{variant}");
+        }
+    }
+}
+
+/// SP never changes what commits — only when. And on fence-bearing
+/// traces it must not lose to the stalling baseline.
+#[test]
+fn sp_commits_identically_and_never_loses() {
+    for id in BenchId::ALL {
+        let out = run_benchmark(&RunConfig {
+            variant: Variant::LogPSf,
+            spec: tiny(id),
+            seed: 13,
+            capture_base: false,
+        });
+        let base = simulate(&out.trace.events, &CpuConfig::baseline());
+        let sp = simulate(&out.trace.events, &CpuConfig::with_sp());
+        assert_eq!(base.cpu.committed_uops, sp.cpu.committed_uops, "{id}");
+        assert!(
+            sp.cpu.cycles <= base.cpu.cycles,
+            "{id}: SP ({}) slower than stalling baseline ({})",
+            sp.cpu.cycles,
+            base.cpu.cycles
+        );
+        assert!(sp.cpu.epochs > 0, "{id}: speculation never triggered");
+        assert_eq!(sp.cpu.rollbacks, 0, "{id}: single-threaded run must never roll back");
+    }
+}
+
+/// The four variants order as the paper's Fig. 8 bars: each addition
+/// costs cycles (allowing 2% noise between adjacent small deltas).
+#[test]
+fn variant_cost_ladder_is_monotone() {
+    for id in BenchId::ALL {
+        let mut cycles = Vec::new();
+        for variant in Variant::ALL {
+            let out = run_benchmark(&RunConfig {
+                variant,
+                spec: tiny(id),
+                seed: 17,
+                capture_base: false,
+            });
+            cycles.push(simulate(&out.trace.events, &CpuConfig::baseline()).cpu.cycles);
+        }
+        assert!(cycles[1] * 102 >= cycles[0] * 100, "{id}: Log cheaper than Base");
+        assert!(cycles[2] * 102 >= cycles[1] * 100, "{id}: Log+P cheaper than Log");
+        assert!(cycles[3] > cycles[2], "{id}: fences must cost cycles");
+    }
+}
+
+/// Instruction-count ratios (Fig. 9): logging is the dominant
+/// contributor; PMEM instructions add little; fences are negligible.
+#[test]
+fn instruction_count_structure_matches_fig9() {
+    for id in BenchId::ALL {
+        let counts: Vec<u64> = Variant::ALL
+            .iter()
+            .map(|&variant| {
+                run_benchmark(&RunConfig {
+                    variant,
+                    spec: tiny(id),
+                    seed: 19,
+                    capture_base: false,
+                })
+                .trace
+                .counts
+                .total()
+            })
+            .collect();
+        let (base, log, logp, logpsf) = (counts[0], counts[1], counts[2], counts[3]);
+        assert!(log >= base, "{id}");
+        let log_added = log - base;
+        let p_added = logp - log;
+        let sf_added = logpsf - logp;
+        assert!(
+            log_added >= p_added && log_added >= sf_added,
+            "{id}: logging must dominate the added instructions \
+             (log +{log_added}, P +{p_added}, Sf +{sf_added})"
+        );
+    }
+}
+
+/// A coherence conflict mid-run rolls back, re-executes, and still
+/// commits every micro-op exactly once with an identical final count.
+#[test]
+fn rollback_reexecution_is_exact() {
+    let out = run_benchmark(&RunConfig {
+        variant: Variant::LogPSf,
+        spec: tiny(BenchId::LinkedList),
+        seed: 23,
+        capture_base: false,
+    });
+    let expected = out.trace.counts.total();
+
+    // Snoop every block the workload ever stored, round-robin, until a
+    // conflict lands.
+    let stored: Vec<_> = out
+        .trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            specpersist::pmem::Event::Store { addr, .. } => Some(addr.block()),
+            _ => None,
+        })
+        .collect();
+    let mut p = Pipeline::new(&out.trace.events, CpuConfig::with_sp());
+    let mut rolled = 0;
+    let mut i = 0usize;
+    while !p.is_done() {
+        p.step();
+        if rolled < 2 && !stored.is_empty() {
+            i = (i + 7) % stored.len();
+            if p.inject_coherence(stored[i]) {
+                rolled += 1;
+            }
+        }
+    }
+    let r = p.result();
+    assert_eq!(r.cpu.committed_uops, expected, "rollback corrupted commit accounting");
+    assert_eq!(r.cpu.rollbacks, rolled as u64);
+}
+
+/// The Fig. 13 U-shape: a 32-entry SSB must be measurably worse than
+/// 256 entries on a fence-heavy benchmark.
+#[test]
+fn small_ssb_pays_structural_hazards() {
+    let out = run_benchmark(&RunConfig {
+        variant: Variant::LogPSf,
+        spec: tiny(BenchId::BTree),
+        seed: 29,
+        capture_base: false,
+    });
+    let sp32 = simulate(
+        &out.trace.events,
+        &CpuConfig { sp: Some(SpConfig::with_ssb_entries(32)), ..CpuConfig::baseline() },
+    );
+    let sp256 = simulate(
+        &out.trace.events,
+        &CpuConfig { sp: Some(SpConfig::with_ssb_entries(256)), ..CpuConfig::baseline() },
+    );
+    assert!(
+        sp32.cpu.cycles > sp256.cpu.cycles,
+        "32-entry SSB ({}) should trail 256 ({})",
+        sp32.cpu.cycles,
+        sp256.cpu.cycles
+    );
+    assert!(sp32.cpu.ssb_full_stall_cycles > sp256.cpu.ssb_full_stall_cycles);
+}
+
+/// Multi-programmed cores running real workload traces: every core
+/// commits its own trace exactly, and sharing the controller never
+/// makes the worst core faster than running alone.
+#[test]
+fn multicore_runs_real_workloads() {
+    use specpersist::cpu::MultiCore;
+    let traces: Vec<_> = [BenchId::LinkedList, BenchId::HashMap, BenchId::Graph]
+        .iter()
+        .map(|&id| {
+            run_benchmark(&RunConfig {
+                variant: Variant::LogPSf,
+                spec: tiny(id),
+                seed: 37,
+                capture_base: false,
+            })
+            .trace
+        })
+        .collect();
+    let refs: Vec<&[specpersist::pmem::Event]> =
+        traces.iter().map(|t| t.events.as_slice()).collect();
+    for cfg in [CpuConfig::baseline(), CpuConfig::with_sp()] {
+        let solo: Vec<u64> =
+            refs.iter().map(|t| simulate(t, &cfg).cpu.cycles).collect();
+        let shared = MultiCore::new(&refs, cfg).run();
+        for (i, (r, t)) in shared.iter().zip(&traces).enumerate() {
+            assert_eq!(r.cpu.committed_uops, t.counts.total(), "core {i}");
+            assert!(
+                r.cpu.cycles + 16 >= solo[i],
+                "core {i} got faster under sharing ({} vs {})",
+                r.cpu.cycles,
+                solo[i]
+            );
+        }
+    }
+}
+
+/// Determinism: identical configurations produce identical results.
+#[test]
+fn simulation_is_deterministic() {
+    let cfgs = [CpuConfig::baseline(), CpuConfig::with_sp()];
+    let out = run_benchmark(&RunConfig {
+        variant: Variant::LogPSf,
+        spec: tiny(BenchId::RbTree),
+        seed: 31,
+        capture_base: false,
+    });
+    for cfg in cfgs {
+        let a = simulate(&out.trace.events, &cfg);
+        let b = simulate(&out.trace.events, &cfg);
+        assert_eq!(a.cpu.cycles, b.cpu.cycles);
+        assert_eq!(a.cpu.fetch_stall_cycles, b.cpu.fetch_stall_cycles);
+        assert_eq!(a.mc.nvmm_writes, b.mc.nvmm_writes);
+    }
+}
