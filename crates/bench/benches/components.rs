@@ -3,7 +3,7 @@
 //! paper results — those come from the `repro` binary).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use spp_core::{Blt, BloomFilter, CheckpointBuffer, EpochManager, Ssb, SsbConfig, SsbEntry, SsbOp};
+use spp_core::{BloomFilter, Blt, CheckpointBuffer, EpochManager, Ssb, SsbConfig, SsbEntry, SsbOp};
 use spp_mem::{AccessKind, MemConfig, MemCtrl, MemorySystem};
 use spp_pmem::{BlockId, PAddr};
 
@@ -13,8 +13,13 @@ fn bench_ssb(c: &mut Criterion) {
         b.iter(|| {
             let mut ssb = Ssb::new(SsbConfig::paper_default());
             for i in 0..256u64 {
-                ssb.push(SsbEntry { op: SsbOp::Store { addr: PAddr::new(i * 8) }, epoch: 0 })
-                    .unwrap();
+                ssb.push(SsbEntry {
+                    op: SsbOp::Store {
+                        addr: PAddr::new(i * 8),
+                    },
+                    epoch: 0,
+                })
+                .unwrap();
             }
             black_box(ssb.drain_epoch(0).len())
         })
@@ -22,8 +27,13 @@ fn bench_ssb(c: &mut Criterion) {
     g.bench_function("forwards_miss", |b| {
         let mut ssb = Ssb::new(SsbConfig::paper_default());
         for i in 0..256u64 {
-            ssb.push(SsbEntry { op: SsbOp::Store { addr: PAddr::new(i * 8) }, epoch: 0 })
-                .unwrap();
+            ssb.push(SsbEntry {
+                op: SsbOp::Store {
+                    addr: PAddr::new(i * 8),
+                },
+                epoch: 0,
+            })
+            .unwrap();
         }
         b.iter(|| black_box(ssb.forwards(PAddr::new(0x0DEA_D000))))
     });

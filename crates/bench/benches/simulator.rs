@@ -12,7 +12,11 @@ fn barrier_trace(n: u64) -> Vec<Event> {
     let mut ev = Vec::new();
     for i in 0..n {
         let a = PAddr::new(4096 + i * 64);
-        ev.push(Event::Store { addr: a, size: 8, value: i });
+        ev.push(Event::Store {
+            addr: a,
+            size: 8,
+            value: i,
+        });
         ev.push(Event::Clwb { addr: a });
         ev.push(Event::Sfence);
         ev.push(Event::Pcommit);
@@ -37,7 +41,10 @@ fn bench_pipeline_replay(c: &mut Criterion) {
 fn bench_full_runs(c: &mut Criterion) {
     let mut g = c.benchmark_group("bench_run");
     g.sample_size(10);
-    let exp = Experiment { scale: 5000, seed: 7 };
+    let exp = Experiment {
+        scale: 5000,
+        seed: 7,
+    };
     for id in BenchId::ALL {
         g.bench_with_input(BenchmarkId::new("logpsf_sp", id.abbrev()), &id, |b, &id| {
             b.iter(|| {

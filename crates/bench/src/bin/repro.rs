@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <command> [--scale N] [--seed S]
+//! repro <command> [--scale N] [--seed S] [--jobs J]
 //!
 //! Commands:
 //!   all        every table and figure (plus the ablation study)
@@ -17,24 +17,53 @@
 //! Options:
 //!   --scale N  divide Table 1's op counts by N (default 50; 1 = paper)
 //!   --seed S   RNG seed (default 0x5EED)
+//!   --jobs J   worker threads (default: all cores; 1 = serial)
+//!
+//! Every trace is recorded exactly once per invocation and shared
+//! across all simulator configurations (the `repro all` sweep replays
+//! most traces several times). `--jobs` only changes wall time: the
+//! report on stdout is byte-identical at every job count; stage
+//! timings go to stderr.
 //! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use spp_bench::report;
-use spp_bench::{run_suite, Experiment};
+use spp_bench::{Experiment, Harness};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore> [--scale N] [--seed S]"
+        "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore> [--scale N] [--seed S] [--jobs J]"
     );
     ExitCode::FAILURE
 }
 
+/// Runs one evaluation stage, reporting wall time and throughput on
+/// stderr (`sims` counts the simulator replays the stage issues; 0
+/// suppresses the rate). Stdout stays byte-identical across `--jobs`.
+fn staged<T>(label: &str, sims: usize, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    let dt = t0.elapsed().as_secs_f64();
+    if sims > 0 {
+        eprintln!(
+            "# {label}: {sims} sims in {dt:.2}s ({:.1} sims/s)",
+            sims as f64 / dt.max(1e-9)
+        );
+    } else {
+        eprintln!("# {label}: {dt:.2}s");
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first().cloned() else { return usage() };
+    let Some(cmd) = args.first().cloned() else {
+        return usage();
+    };
     let mut exp = Experiment::default();
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut positional: Vec<String> = Vec::new();
     let mut i = 1;
     while i < args.len() {
@@ -53,6 +82,13 @@ fn main() -> ExitCode {
                 exp.seed = v;
                 i += 2;
             }
+            "--jobs" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                jobs = v;
+                i += 2;
+            }
             other => {
                 positional.push(other.to_string());
                 i += 1;
@@ -63,14 +99,24 @@ fn main() -> ExitCode {
         eprintln!("--scale must be at least 1");
         return ExitCode::FAILURE;
     }
+    if jobs == 0 {
+        eprintln!("--jobs must be at least 1");
+        return ExitCode::FAILURE;
+    }
+
+    let harness = Harness::new(exp, jobs);
+    let t0 = Instant::now();
 
     let needs_suite = matches!(
         cmd.as_str(),
         "all" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig14" | "json"
     );
     let runs = if needs_suite {
-        eprintln!("# running suite at scale 1/{} (seed {:#x})...", exp.scale, exp.seed);
-        run_suite(&exp)
+        eprintln!(
+            "# running suite at scale 1/{} (seed {:#x}, {} jobs)...",
+            exp.scale, exp.seed, jobs
+        );
+        staged("suite", 35, || harness.run_suite())
     } else {
         Vec::new()
     };
@@ -85,17 +131,40 @@ fn main() -> ExitCode {
             print!("{}", report::fig10(&runs));
             print!("{}", report::fig11(&runs));
             print!("{}", report::fig12(&runs));
-            eprintln!("# running Fig. 13 SSB sweep...");
-            print!("{}", report::fig13(&exp));
+            print!(
+                "{}",
+                staged("fig13 SSB sweep", 49, || report::fig13(&harness))
+            );
             print!("{}", report::fig14(&runs));
-            eprintln!("# running ablation...");
-            print!("{}", report::ablation(&exp));
-            eprintln!("# running logging comparison...");
-            print!("{}", report::incremental(&exp));
-            eprintln!("# running flush-mode ablation...");
-            print!("{}", report::flushmode(&exp));
-            eprintln!("# running multicore study...");
-            print!("{}", report::multicore(&exp));
+            print!("{}", staged("ablation", 42, || report::ablation(&harness)));
+            print!(
+                "{}",
+                staged("logging comparison", 4, || report::incremental(&harness))
+            );
+            print!(
+                "{}",
+                staged("flush-mode ablation", 18, || report::flushmode(&harness))
+            );
+            print!(
+                "{}",
+                staged("multicore study", 6, || report::multicore(&harness))
+            );
+            let s = harness.cache_stats();
+            eprintln!(
+                "# trace cache: {} recordings, {} cached replays, {} keys",
+                s.recordings, s.hits, s.entries
+            );
+            // The harness contract: a trace is recorded at most once per
+            // key, no matter how many figures replay it.
+            assert_eq!(
+                s.recordings, s.entries,
+                "each (bench, variant, scale, seed, flushmode) trace must be recorded exactly once"
+            );
+            eprintln!(
+                "# total: {:.2}s ({} jobs)",
+                t0.elapsed().as_secs_f64(),
+                jobs
+            );
         }
         "table1" => print!("{}", report::table1(&exp)),
         "table2" => print!("{}", report::table2()),
@@ -105,13 +174,29 @@ fn main() -> ExitCode {
         "fig10" => print!("{}", report::fig10(&runs)),
         "fig11" => print!("{}", report::fig11(&runs)),
         "fig12" => print!("{}", report::fig12(&runs)),
-        "fig13" => print!("{}", report::fig13(&exp)),
+        "fig13" => print!(
+            "{}",
+            staged("fig13 SSB sweep", 49, || report::fig13(&harness))
+        ),
         "fig14" => print!("{}", report::fig14(&runs)),
-        "ablation" => print!("{}", report::ablation(&exp)),
-        "incremental" => print!("{}", report::incremental(&exp)),
-        "flushmode" => print!("{}", report::flushmode(&exp)),
+        "ablation" => print!("{}", staged("ablation", 42, || report::ablation(&harness))),
+        "incremental" => {
+            print!(
+                "{}",
+                staged("logging comparison", 4, || report::incremental(&harness))
+            );
+        }
+        "flushmode" => {
+            print!(
+                "{}",
+                staged("flush-mode ablation", 18, || report::flushmode(&harness))
+            );
+        }
         "json" => println!("{}", spp_bench::json::suite_json(&runs)),
-        "multicore" => print!("{}", report::multicore(&exp)),
+        "multicore" => print!(
+            "{}",
+            staged("multicore study", 6, || report::multicore(&harness))
+        ),
         "trace" => return trace_cmd(&positional, &exp),
         _ => return usage(),
     }
@@ -127,9 +212,11 @@ fn trace_cmd(positional: &[String], exp: &Experiment) -> ExitCode {
         eprintln!("usage: repro trace <GH|HM|LL|SS|AT|BT|RT> <base|log|logp|logpsf> [--scale N]");
         return ExitCode::FAILURE;
     };
-    let Some(id) = BenchId::ALL.iter().copied().find(|b| {
-        b.abbrev().eq_ignore_ascii_case(bench)
-    }) else {
+    let Some(id) = BenchId::ALL
+        .iter()
+        .copied()
+        .find(|b| b.abbrev().eq_ignore_ascii_case(bench))
+    else {
         eprintln!("unknown benchmark {bench:?}");
         return ExitCode::FAILURE;
     };
@@ -144,10 +231,21 @@ fn trace_cmd(positional: &[String], exp: &Experiment) -> ExitCode {
         }
     };
     let spec = BenchSpec::scaled(id, exp.scale);
-    let out = run_benchmark(&RunConfig { variant, spec, seed: exp.seed, capture_base: false });
+    let out = run_benchmark(&RunConfig {
+        variant,
+        spec,
+        seed: exp.seed,
+        capture_base: false,
+    });
     let c = out.trace.counts;
     let ops = spec.sim_ops;
-    println!("{} / {} at scale 1/{} ({} ops recorded)", id.name(), variant, exp.scale, ops);
+    println!(
+        "{} / {} at scale 1/{} ({} ops recorded)",
+        id.name(),
+        variant,
+        exp.scale,
+        ops
+    );
     println!("{:<22} {:>12} {:>10}", "class", "micro-ops", "per op");
     for (name, v) in [
         ("compute", c.compute),
@@ -159,7 +257,12 @@ fn trace_cmd(positional: &[String], exp: &Experiment) -> ExitCode {
     ] {
         println!("{:<22} {:>12} {:>10.1}", name, v, v as f64 / ops as f64);
     }
-    println!("{:<22} {:>12} {:>10.1}", "TOTAL", c.total(), c.total() as f64 / ops as f64);
+    println!(
+        "{:<22} {:>12} {:>10.1}",
+        "TOTAL",
+        c.total(),
+        c.total() as f64 / ops as f64
+    );
     println!("transactions: {}", c.transactions);
     ExitCode::SUCCESS
 }

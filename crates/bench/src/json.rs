@@ -42,7 +42,8 @@ impl JsonObject {
                 c => vec![c],
             })
             .collect();
-        self.fields.push((key.to_string(), format!("\"{escaped}\"")));
+        self.fields
+            .push((key.to_string(), format!("\"{escaped}\"")));
         self
     }
 
@@ -99,7 +100,10 @@ pub fn suite_json(runs: &[BenchRun]) -> String {
                 .num("fetch_stalls", v.sim.cpu.fetch_stall_cycles as f64)
                 .num("fence_stalls", v.sim.cpu.fence_stall_cycles as f64)
                 .num("pcommits", v.counts.pcommits as f64)
-                .num("max_inflight_pcommits", v.sim.cpu.max_inflight_pcommits as f64)
+                .num(
+                    "max_inflight_pcommits",
+                    v.sim.cpu.max_inflight_pcommits as f64,
+                )
                 .num("stores_per_pcommit", v.sim.stores_per_pcommit());
             o.raw(name, vo.render());
         }
@@ -109,7 +113,10 @@ pub fn suite_json(runs: &[BenchRun]) -> String {
             .num("epochs", r.sp256.cpu.epochs as f64)
             .num("ssb_high_water", r.sp256.ssb.high_water as f64)
             .num("bloom_fp_rate", r.sp256.bloom_false_positive_rate())
-            .num("checkpoint_high_water", r.sp256.checkpoints.high_water as f64);
+            .num(
+                "checkpoint_high_water",
+                r.sp256.checkpoints.high_water as f64,
+            );
         o.raw("sp256", sp.render());
         o.render()
     });
@@ -140,7 +147,10 @@ mod tests {
     fn suite_json_is_parseable_shape() {
         // A smoke check: run one tiny benchmark and assert basic
         // structure (balanced braces, expected keys).
-        let exp = crate::Experiment { scale: 5000, seed: 3 };
+        let exp = crate::Experiment {
+            scale: 5000,
+            seed: 3,
+        };
         let runs = vec![crate::run_bench(spp_workloads::BenchId::LinkedList, &exp)];
         let j = suite_json(&runs);
         assert!(j.starts_with('{') && j.ends_with('}'));

@@ -1,0 +1,103 @@
+//! A minimal deterministic work-sharing executor.
+//!
+//! The evaluation sweep is embarrassingly parallel once traces are
+//! shared immutably (see [`crate::cache`]): every job is a pure
+//! function of its inputs, so the only thing parallelism could disturb
+//! is result *order*. [`run_indexed`] prevents that by construction —
+//! workers pull job indices from an atomic counter but write each
+//! result into its input slot, so the output `Vec` is always in input
+//! order regardless of scheduling. `--jobs 1` and `--jobs N` therefore
+//! produce identical results, which the integration tests assert
+//! bit-for-bit.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(index, &item)` for every item on up to `jobs` worker
+/// threads, returning results in input order.
+///
+/// `jobs == 0` is treated as 1. With one job (or one item) everything
+/// runs inline on the caller's thread — no spawn overhead, and a
+/// convenient serial reference for determinism tests.
+pub fn run_indexed<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(i, item);
+                *slots[i].lock().expect("worker panicked mid-store") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("worker panicked mid-store")
+                .expect("every slot filled once the scope joins")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for jobs in [1, 2, 4, 7] {
+            let out = run_indexed(jobs, &items, |i, &x| {
+                // Stagger to shuffle completion order.
+                std::thread::sleep(std::time::Duration::from_micros((x % 3) * 50));
+                (i, x * 2)
+            });
+            assert_eq!(out.len(), 100, "jobs={jobs}");
+            for (i, (idx, doubled)) in out.iter().enumerate() {
+                assert_eq!((*idx, *doubled), (i, i as u64 * 2), "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let items: Vec<usize> = (0..257).collect();
+        let calls = AtomicU64::new(0);
+        let out = run_indexed(8, &items, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+        assert_eq!(out.iter().copied().collect::<HashSet<_>>().len(), 257);
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_indexed(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(run_indexed(0, &[5u32], |_, &x| x), vec![5]);
+        assert_eq!(run_indexed(16, &[1u32, 2], |_, &x| x + 1), vec![2, 3]);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let items: Vec<u64> = (0..64).collect();
+        let f = |i: usize, x: &u64| i as u64 ^ (x * 31);
+        assert_eq!(run_indexed(1, &items, f), run_indexed(6, &items, f));
+    }
+}

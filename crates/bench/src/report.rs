@@ -5,9 +5,7 @@ use std::fmt::Write as _;
 use spp_cpu::CpuConfig;
 use spp_workloads::{BenchId, BenchSpec};
 
-use crate::{
-    geomean_overhead, run_logging_comparison, run_sp_ablation, run_ssb_sweep, BenchRun, Experiment,
-};
+use crate::{geomean_overhead, BenchRun, Experiment, Harness};
 
 fn header(title: &str) -> String {
     format!("\n=== {title} ===\n")
@@ -17,7 +15,11 @@ fn header(title: &str) -> String {
 /// use).
 pub fn table1(exp: &Experiment) -> String {
     let mut s = header("Table 1: benchmarks (paper sizing -> scaled sizing)");
-    let _ = writeln!(s, "{:<12} {:>12} {:>10} {:>12} {:>10}", "Benchmark", "#InitOps", "#SimOps", "scaled-init", "scaled-sim");
+    let _ = writeln!(
+        s,
+        "{:<12} {:>12} {:>10} {:>12} {:>10}",
+        "Benchmark", "#InitOps", "#SimOps", "scaled-init", "scaled-sim"
+    );
     for id in BenchId::ALL {
         let p = BenchSpec::paper(id);
         let c = BenchSpec::scaled(id, exp.scale);
@@ -45,12 +47,38 @@ pub fn table2() -> String {
         c.rob_entries, c.fetch_queue, c.issue_queue, c.lsq_entries
     );
     let m = c.mem;
-    let _ = writeln!(s, "L1D         {} KB, {}-way, 64B block, {} cycles", m.l1d.size_bytes / 1024, m.l1d.ways, m.l1d.latency);
-    let _ = writeln!(s, "L2          {} KB, {}-way, 64B block, {} cycles", m.l2.size_bytes / 1024, m.l2.ways, m.l2.latency);
-    let _ = writeln!(s, "L3          {} MB, {}-way, 64B block, {} cycles", m.l3.size_bytes / (1024 * 1024), m.l3.ways, m.l3.latency);
+    let _ = writeln!(
+        s,
+        "L1D         {} KB, {}-way, 64B block, {} cycles",
+        m.l1d.size_bytes / 1024,
+        m.l1d.ways,
+        m.l1d.latency
+    );
+    let _ = writeln!(
+        s,
+        "L2          {} KB, {}-way, 64B block, {} cycles",
+        m.l2.size_bytes / 1024,
+        m.l2.ways,
+        m.l2.latency
+    );
+    let _ = writeln!(
+        s,
+        "L3          {} MB, {}-way, 64B block, {} cycles",
+        m.l3.size_bytes / (1024 * 1024),
+        m.l3.ways,
+        m.l3.latency
+    );
     let _ = writeln!(s, "Checkpoints 4 entries");
-    let _ = writeln!(s, "NVMM        {} cycles read (50ns), {} cycles write (150ns)", m.nvmm_read, m.nvmm_write);
-    let _ = writeln!(s, "MC          WPQ {} entries, {} banks", m.wpq_entries, m.nvmm_banks);
+    let _ = writeln!(
+        s,
+        "NVMM        {} cycles read (50ns), {} cycles write (150ns)",
+        m.nvmm_read, m.nvmm_write
+    );
+    let _ = writeln!(
+        s,
+        "MC          WPQ {} entries, {} banks",
+        m.wpq_entries, m.nvmm_banks
+    );
     s
 }
 
@@ -73,7 +101,11 @@ pub fn table3() -> String {
 /// over Base, plus the paper's headline aggregates.
 pub fn fig8(runs: &[BenchRun]) -> String {
     let mut s = header("Fig. 8: execution time overhead vs Base (%)");
-    let _ = writeln!(s, "{:<6} {:>8} {:>8} {:>10} {:>8}", "Bench", "Log", "Log+P", "Log+P+Sf", "SP256");
+    let _ = writeln!(
+        s,
+        "{:<6} {:>8} {:>8} {:>10} {:>8}",
+        "Bench", "Log", "Log+P", "Log+P+Sf", "SP256"
+    );
     let pct = |o: f64| format!("{:.1}", o * 100.0);
     let mut o_log = Vec::new();
     let mut o_logp = Vec::new();
@@ -112,23 +144,34 @@ pub fn fig8(runs: &[BenchRun]) -> String {
     // Headline numbers: fence cost over Log+P, and SP's residual cost
     // over Log+P (the paper reports 20.3% -> 3.6%).
     let fence_cost = geomean_overhead(
-        runs.iter().map(|r| {
-            r.logpsf.sim.cpu.cycles as f64 / r.logp.sim.cpu.cycles as f64 - 1.0
-        }),
+        runs.iter()
+            .map(|r| r.logpsf.sim.cpu.cycles as f64 / r.logp.sim.cpu.cycles as f64 - 1.0),
     );
     let sp_cost = geomean_overhead(
         runs.iter()
             .map(|r| r.sp256.cpu.cycles as f64 / r.logp.sim.cpu.cycles as f64 - 1.0),
     );
-    let _ = writeln!(s, "\nHeadline (vs Log+P, geomean): fences add {:.1}% (paper: 20.3%),", fence_cost * 100.0);
-    let _ = writeln!(s, "                              SP brings it to {:.1}% (paper: 3.6%)", sp_cost * 100.0);
+    let _ = writeln!(
+        s,
+        "\nHeadline (vs Log+P, geomean): fences add {:.1}% (paper: 20.3%),",
+        fence_cost * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "                              SP brings it to {:.1}% (paper: 3.6%)",
+        sp_cost * 100.0
+    );
     s
 }
 
 /// Fig. 9: committed-instruction-count ratio to Base.
 pub fn fig9(runs: &[BenchRun]) -> String {
     let mut s = header("Fig. 9: committed instruction count ratio vs Base");
-    let _ = writeln!(s, "{:<6} {:>8} {:>8} {:>10}", "Bench", "Log", "Log+P", "Log+P+Sf");
+    let _ = writeln!(
+        s,
+        "{:<6} {:>8} {:>8} {:>10}",
+        "Bench", "Log", "Log+P", "Log+P+Sf"
+    );
     for r in runs {
         let b = r.base.counts.total() as f64;
         let _ = writeln!(
@@ -146,7 +189,11 @@ pub fn fig9(runs: &[BenchRun]) -> String {
 /// Fig. 10: fetch-queue stall cycles as a fraction of Base cycles.
 pub fn fig10(runs: &[BenchRun]) -> String {
     let mut s = header("Fig. 10: fetch queue stall cycles / Base execution cycles");
-    let _ = writeln!(s, "{:<6} {:>8} {:>8} {:>10} {:>8}", "Bench", "Log", "Log+P", "Log+P+Sf", "SP256");
+    let _ = writeln!(
+        s,
+        "{:<6} {:>8} {:>8} {:>10} {:>8}",
+        "Bench", "Log", "Log+P", "Log+P+Sf", "SP256"
+    );
     for r in runs {
         let b = r.base.sim.cpu.cycles as f64;
         let _ = writeln!(
@@ -167,7 +214,12 @@ pub fn fig10(runs: &[BenchRun]) -> String {
 pub fn fig11(runs: &[BenchRun]) -> String {
     let mut s = header("Fig. 11: maximum number of in-flight pcommits (Log+P)");
     for r in runs {
-        let _ = writeln!(s, "{:<6} {:>4}", r.id.abbrev(), r.logp.sim.cpu.max_inflight_pcommits);
+        let _ = writeln!(
+            s,
+            "{:<6} {:>4}",
+            r.id.abbrev(),
+            r.logp.sim.cpu.max_inflight_pcommits
+        );
     }
     s
 }
@@ -177,13 +229,18 @@ pub fn fig11(runs: &[BenchRun]) -> String {
 pub fn fig12(runs: &[BenchRun]) -> String {
     let mut s = header("Fig. 12: avg speculative stores while a pcommit is outstanding (Log+P)");
     for r in runs {
-        let _ = writeln!(s, "{:<6} {:>8.1}", r.id.abbrev(), r.logp.sim.stores_per_pcommit());
+        let _ = writeln!(
+            s,
+            "{:<6} {:>8.1}",
+            r.id.abbrev(),
+            r.logp.sim.stores_per_pcommit()
+        );
     }
     s
 }
 
 /// Fig. 13: SP overhead vs SSB size.
-pub fn fig13(exp: &Experiment) -> String {
+pub fn fig13(h: &Harness) -> String {
     let mut s = header("Fig. 13: SP overhead vs Base (%) across SSB sizes");
     let _ = write!(s, "{:<6}", "Bench");
     for (e, _) in spp_core::SSB_DESIGN_POINTS {
@@ -191,8 +248,7 @@ pub fn fig13(exp: &Experiment) -> String {
     }
     s.push('\n');
     let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); spp_core::SSB_DESIGN_POINTS.len()];
-    for id in BenchId::ALL {
-        let pts = run_ssb_sweep(id, exp);
+    for (id, pts) in h.ssb_table(&BenchId::ALL) {
         let _ = write!(s, "{:<6}", id.abbrev());
         for (i, (_, o)) in pts.iter().enumerate() {
             let _ = write!(s, "{:>8.1}", o * 100.0);
@@ -202,7 +258,11 @@ pub fn fig13(exp: &Experiment) -> String {
     }
     let _ = write!(s, "{:<6}", "GEOM");
     for sizes in &per_size {
-        let _ = write!(s, "{:>8.1}", geomean_overhead(sizes.iter().copied()) * 100.0);
+        let _ = write!(
+            s,
+            "{:>8.1}",
+            geomean_overhead(sizes.iter().copied()) * 100.0
+        );
     }
     s.push('\n');
     s
@@ -226,15 +286,14 @@ pub fn fig14(runs: &[BenchRun]) -> String {
 
 /// Ablation (beyond the paper): the combined-opcode optimization and
 /// checkpoint-count sensitivity.
-pub fn ablation(exp: &Experiment) -> String {
+pub fn ablation(h: &Harness) -> String {
     let mut s = header("Ablation: SP overhead vs Base (%), design-choice sensitivity");
-    let _ = writeln!(s, "{:<6} {:>10} {:>12} {:>8} {:>8} {:>8}", "Bench", "SP256", "no-combine", "1 ckpt", "2 ckpt", "8 ckpt");
-    for id in BenchId::ALL {
-        let full = run_sp_ablation(id, exp, true, 4);
-        let nocomb = run_sp_ablation(id, exp, false, 4);
-        let c1 = run_sp_ablation(id, exp, true, 1);
-        let c2 = run_sp_ablation(id, exp, true, 2);
-        let c8 = run_sp_ablation(id, exp, true, 8);
+    let _ = writeln!(
+        s,
+        "{:<6} {:>10} {:>12} {:>8} {:>8} {:>8}",
+        "Bench", "SP256", "no-combine", "1 ckpt", "2 ckpt", "8 ckpt"
+    );
+    for (id, [full, nocomb, c1, c2, c8]) in h.ablation_table(&BenchId::ALL) {
         let _ = writeln!(
             s,
             "{:<6} {:>10.1} {:>12.1} {:>8.1} {:>8.1} {:>8.1}",
@@ -251,19 +310,19 @@ pub fn ablation(exp: &Experiment) -> String {
 
 /// Flush-instruction ablation: `clwb` vs `clflushopt` vs legacy
 /// `clflush` (the paper's §2.2 footnote).
-pub fn flushmode(exp: &Experiment) -> String {
-    use spp_pmem::FlushMode;
+pub fn flushmode(h: &Harness) -> String {
     let mut s = header("Flush-instruction ablation: cycles/op, Log+P+Sf build");
     let _ = writeln!(
         s,
         "{:<6} {:>10} {:>12} {:>10} | {:>10} {:>12} {:>10}",
         "Bench", "clwb", "clflushopt", "clflush", "clwb+SP", "opt+SP", "flush+SP"
     );
-    for id in [spp_workloads::BenchId::LinkedList, spp_workloads::BenchId::HashMap, spp_workloads::BenchId::BTree] {
-        let mut cols = Vec::new();
-        for mode in FlushMode::ALL {
-            cols.push(crate::run_flushmode(id, mode, exp));
-        }
+    let ids = [
+        spp_workloads::BenchId::LinkedList,
+        spp_workloads::BenchId::HashMap,
+        spp_workloads::BenchId::BTree,
+    ];
+    for (id, cols) in h.flushmode_table(&ids) {
         let _ = writeln!(
             s,
             "{:<6} {:>10} {:>12} {:>10} | {:>10} {:>12} {:>10}",
@@ -287,11 +346,15 @@ pub fn flushmode(exp: &Experiment) -> String {
 
 /// Multi-programmed persist interference (the paper's future-work
 /// direction).
-pub fn multicore(exp: &Experiment) -> String {
+pub fn multicore(h: &Harness) -> String {
     let banks = 4;
     let mut s = header("Multi-programmed interference: worst-core cycles/op (HM, 4-bank MC)");
-    let _ = writeln!(s, "{:<8} {:>12} {:>12} {:>12}", "cores", "baseline", "SP256", "SP saves");
-    for row in crate::run_multicore(spp_workloads::BenchId::HashMap, exp, banks) {
+    let _ = writeln!(
+        s,
+        "{:<8} {:>12} {:>12} {:>12}",
+        "cores", "baseline", "SP256", "SP saves"
+    );
+    for row in h.run_multicore(spp_workloads::BenchId::HashMap, banks) {
         let _ = writeln!(
             s,
             "{:<8} {:>12} {:>12} {:>11.0}%",
@@ -313,14 +376,34 @@ pub fn multicore(exp: &Experiment) -> String {
 }
 
 /// Full vs incremental logging on the B-tree (§3.2, Figs. 4-5).
-pub fn incremental(exp: &Experiment) -> String {
-    let c = run_logging_comparison(exp);
+pub fn incremental(h: &Harness) -> String {
+    let c = h.run_logging_comparison();
     let mut s = header("Full vs incremental logging (B-tree, §3.2)");
-    let _ = writeln!(s, "{:<26} {:>12} {:>14}", "per operation", "full", "incremental");
-    let _ = writeln!(s, "{:<26} {:>12} {:>14}", "cycles (baseline core)", c.full_cycles, c.inc_cycles);
-    let _ = writeln!(s, "{:<26} {:>12} {:>14}", "cycles (SP256 core)", c.full_sp_cycles, c.inc_sp_cycles);
-    let _ = writeln!(s, "{:<26} {:>12.1} {:>14.1}", "pcommits", c.full_pcommits, c.inc_pcommits);
-    let _ = writeln!(s, "{:<26} {:>12.0} {:>14.0}", "store micro-ops", c.full_stores, c.inc_stores);
+    let _ = writeln!(
+        s,
+        "{:<26} {:>12} {:>14}",
+        "per operation", "full", "incremental"
+    );
+    let _ = writeln!(
+        s,
+        "{:<26} {:>12} {:>14}",
+        "cycles (baseline core)", c.full_cycles, c.inc_cycles
+    );
+    let _ = writeln!(
+        s,
+        "{:<26} {:>12} {:>14}",
+        "cycles (SP256 core)", c.full_sp_cycles, c.inc_sp_cycles
+    );
+    let _ = writeln!(
+        s,
+        "{:<26} {:>12.1} {:>14.1}",
+        "pcommits", c.full_pcommits, c.inc_pcommits
+    );
+    let _ = writeln!(
+        s,
+        "{:<26} {:>12.0} {:>14.0}",
+        "store micro-ops", c.full_stores, c.inc_stores
+    );
     let _ = writeln!(
         s,
         "\nThe paper's trade-off: incremental logging writes less log data but\n\
@@ -337,7 +420,10 @@ mod tests {
 
     #[test]
     fn static_tables_render() {
-        let exp = Experiment { scale: 1000, seed: 1 };
+        let exp = Experiment {
+            scale: 1000,
+            seed: 1,
+        };
         let t1 = table1(&exp);
         assert!(t1.contains("Linked-List"));
         assert!(t1.contains("2600000"));
@@ -350,7 +436,10 @@ mod tests {
 
     #[test]
     fn figure_reports_render_from_a_tiny_suite() {
-        let exp = Experiment { scale: 5000, seed: 1 };
+        let exp = Experiment {
+            scale: 5000,
+            seed: 1,
+        };
         let runs = run_suite(&exp);
         assert_eq!(runs.len(), 7);
         for (name, text) in [

@@ -56,9 +56,16 @@ impl BloomFilter {
     ///
     /// Panics on a non-power-of-two or undersized `bytes`.
     pub fn with_bytes(bytes: usize) -> Self {
-        assert!(bytes >= 8 && bytes.is_power_of_two(), "filter size must be a power of two >= 8");
+        assert!(
+            bytes >= 8 && bytes.is_power_of_two(),
+            "filter size must be a power of two >= 8"
+        );
         let nbits = (bytes * 8) as u64;
-        BloomFilter { bits: vec![0; bytes / 8], mask: nbits - 1, stats: BloomStats::default() }
+        BloomFilter {
+            bits: vec![0; bytes / 8],
+            mask: nbits - 1,
+            stats: BloomStats::default(),
+        }
     }
 
     /// The paper's 512-byte filter.

@@ -74,7 +74,12 @@ impl CheckpointBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "checkpoint buffer needs at least one slot");
-        CheckpointBuffer { capacity, live: Vec::new(), next_id: 0, stats: CheckpointStats::default() }
+        CheckpointBuffer {
+            capacity,
+            live: Vec::new(),
+            next_id: 0,
+            stats: CheckpointStats::default(),
+        }
     }
 
     /// Slots configured.
@@ -99,7 +104,11 @@ impl CheckpointBuffer {
             self.stats.exhaustions += 1;
             return None;
         }
-        let cp = Checkpoint { id: CheckpointId(self.next_id), resume_idx, taken_at: now };
+        let cp = Checkpoint {
+            id: CheckpointId(self.next_id),
+            resume_idx,
+            taken_at: now,
+        };
         self.next_id += 1;
         self.live.push(cp);
         self.stats.taken += 1;

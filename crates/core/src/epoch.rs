@@ -111,14 +111,21 @@ impl EpochManager {
     /// [`NoCheckpointFree`] when the checkpoint buffer is exhausted; the
     /// pipeline must stall until an epoch commits.
     pub fn begin(&mut self, resume_idx: usize, now: u64) -> Result<u64, NoCheckpointFree> {
-        let checkpoint = self.checkpoints.take(resume_idx, now).ok_or(NoCheckpointFree)?;
+        let checkpoint = self
+            .checkpoints
+            .take(resume_idx, now)
+            .ok_or(NoCheckpointFree)?;
         if let Some(youngest) = self.epochs.back_mut() {
             youngest.state = EpochState::Ended;
         }
         let id = self.next_id;
         self.next_id += 1;
         self.epochs_started += 1;
-        self.epochs.push_back(Epoch { id, checkpoint, state: EpochState::Executing });
+        self.epochs.push_back(Epoch {
+            id,
+            checkpoint,
+            state: EpochState::Executing,
+        });
         Ok(id)
     }
 
@@ -140,7 +147,10 @@ impl EpochManager {
     pub fn commit_oldest(&mut self) -> Epoch {
         let e = self.epochs.pop_front().expect("no epoch to commit");
         let freed = self.checkpoints.release_oldest();
-        debug_assert_eq!(freed.id, e.checkpoint.id, "checkpoints must free in epoch order");
+        debug_assert_eq!(
+            freed.id, e.checkpoint.id,
+            "checkpoints must free in epoch order"
+        );
         e
     }
 

@@ -46,14 +46,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod blt;
 mod bloom;
+mod blt;
 mod checkpoint;
 mod epoch;
 mod ssb;
 
-pub use blt::{Blt, BltStats};
 pub use bloom::{BloomFilter, BloomStats, PAPER_FILTER_BYTES};
+pub use blt::{Blt, BltStats};
 pub use checkpoint::{Checkpoint, CheckpointBuffer, CheckpointId, CheckpointStats};
 pub use epoch::{Epoch, EpochManager, EpochState, NoCheckpointFree};
 pub use ssb::{Ssb, SsbConfig, SsbEntry, SsbFull, SsbOp, SsbStats, SSB_DESIGN_POINTS};

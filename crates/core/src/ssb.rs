@@ -136,7 +136,11 @@ impl std::error::Error for SsbFull {}
 impl Ssb {
     /// Creates an empty SSB.
     pub fn new(cfg: SsbConfig) -> Self {
-        Ssb { cfg, fifo: VecDeque::with_capacity(cfg.entries), stats: SsbStats::default() }
+        Ssb {
+            cfg,
+            fifo: VecDeque::with_capacity(cfg.entries),
+            stats: SsbStats::default(),
+        }
     }
 
     /// The configured geometry.
@@ -247,7 +251,12 @@ mod tests {
     use super::*;
 
     fn store(addr: u64, epoch: u64) -> SsbEntry {
-        SsbEntry { op: SsbOp::Store { addr: PAddr::new(addr) }, epoch }
+        SsbEntry {
+            op: SsbOp::Store {
+                addr: PAddr::new(addr),
+            },
+            epoch,
+        }
     }
 
     #[test]
@@ -266,7 +275,10 @@ mod tests {
 
     #[test]
     fn fifo_order_and_capacity() {
-        let mut s = Ssb::new(SsbConfig { entries: 2, latency: 1 });
+        let mut s = Ssb::new(SsbConfig {
+            entries: 2,
+            latency: 1,
+        });
         s.push(store(8, 0)).unwrap();
         s.push(store(16, 0)).unwrap();
         assert_eq!(s.push(store(24, 0)), Err(SsbFull));
@@ -289,8 +301,18 @@ mod tests {
     fn drain_removes_only_the_oldest_epoch() {
         let mut s = Ssb::new(SsbConfig::table3(32));
         s.push(store(8, 0)).unwrap();
-        s.push(SsbEntry { op: SsbOp::Clwb { block: BlockId::new(1) }, epoch: 0 }).unwrap();
-        s.push(SsbEntry { op: SsbOp::SfencePcommitSfence, epoch: 0 }).unwrap();
+        s.push(SsbEntry {
+            op: SsbOp::Clwb {
+                block: BlockId::new(1),
+            },
+            epoch: 0,
+        })
+        .unwrap();
+        s.push(SsbEntry {
+            op: SsbOp::SfencePcommitSfence,
+            epoch: 0,
+        })
+        .unwrap();
         s.push(store(64, 1)).unwrap();
         let e0 = s.drain_epoch(0);
         assert_eq!(e0.len(), 3);

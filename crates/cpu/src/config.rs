@@ -31,7 +31,10 @@ impl SpConfig {
 
     /// SP with a Table 3 SSB size (Fig. 13 sweep).
     pub fn with_ssb_entries(entries: usize) -> Self {
-        SpConfig { ssb: SsbConfig::table3(entries), ..Self::paper_default() }
+        SpConfig {
+            ssb: SsbConfig::table3(entries),
+            ..Self::paper_default()
+        }
     }
 }
 
@@ -76,7 +79,10 @@ impl CpuConfig {
 
     /// The baseline plus SP256 (the paper's headline configuration).
     pub fn with_sp() -> Self {
-        CpuConfig { sp: Some(SpConfig::paper_default()), ..Self::baseline() }
+        CpuConfig {
+            sp: Some(SpConfig::paper_default()),
+            ..Self::baseline()
+        }
     }
 }
 
@@ -93,7 +99,10 @@ mod tests {
     #[test]
     fn paper_defaults() {
         let c = CpuConfig::baseline();
-        assert_eq!((c.width, c.rob_entries, c.fetch_queue, c.lsq_entries), (4, 128, 48, 48));
+        assert_eq!(
+            (c.width, c.rob_entries, c.fetch_queue, c.lsq_entries),
+            (4, 128, 48, 48)
+        );
         assert!(c.sp.is_none());
         let sp = CpuConfig::with_sp().sp.unwrap();
         assert_eq!(sp.ssb.entries, 256);

@@ -69,7 +69,11 @@ mod tests {
         let r = simulate(&events, &CpuConfig::baseline());
         assert_eq!(r.cpu.committed_uops, 4000);
         // 4-wide: ~1000 cycles plus pipeline fill.
-        assert!(r.cpu.cycles >= 1000 && r.cpu.cycles < 1100, "cycles = {}", r.cpu.cycles);
+        assert!(
+            r.cpu.cycles >= 1000 && r.cpu.cycles < 1100,
+            "cycles = {}",
+            r.cpu.cycles
+        );
     }
 
     #[test]
@@ -77,17 +81,29 @@ mod tests {
         // 64 dependent loads to distinct cold blocks: each waits for the
         // previous, each misses to NVMM (~146 cycles).
         let events: Vec<Event> = (0..64)
-            .map(|i| Event::Load { addr: PAddr::new(i * 64 + 4096), size: 8, dep: true })
+            .map(|i| Event::Load {
+                addr: PAddr::new(i * 64 + 4096),
+                size: 8,
+                dep: true,
+            })
             .collect();
         let r = simulate(&events, &CpuConfig::baseline());
-        assert!(r.cpu.cycles > 64 * 140, "chain must serialize, got {}", r.cpu.cycles);
+        assert!(
+            r.cpu.cycles > 64 * 140,
+            "chain must serialize, got {}",
+            r.cpu.cycles
+        );
         assert_eq!(r.mem.mem_accesses, 64);
     }
 
     #[test]
     fn independent_loads_overlap() {
         let events: Vec<Event> = (0..64)
-            .map(|i| Event::Load { addr: PAddr::new(i * 64 + 4096), size: 8, dep: false })
+            .map(|i| Event::Load {
+                addr: PAddr::new(i * 64 + 4096),
+                size: 8,
+                dep: false,
+            })
             .collect();
         let r = simulate(&events, &CpuConfig::baseline());
         assert!(
@@ -103,7 +119,11 @@ mod tests {
         let mut ev = Vec::new();
         for i in 0..n {
             let a = PAddr::new(4096 + i * 64);
-            ev.push(Event::Store { addr: a, size: 8, value: i });
+            ev.push(Event::Store {
+                addr: a,
+                size: 8,
+                value: i,
+            });
             ev.push(Event::Clwb { addr: a });
             ev.push(Event::Sfence);
             ev.push(Event::Pcommit);
@@ -155,7 +175,11 @@ mod tests {
         let mut events = Vec::new();
         for i in 0..8 {
             let a = PAddr::new(4096 + i * 64);
-            events.push(Event::Store { addr: a, size: 8, value: i });
+            events.push(Event::Store {
+                addr: a,
+                size: 8,
+                value: i,
+            });
             events.push(Event::Clwb { addr: a });
             events.push(Event::Pcommit);
             events.push(compute(4));
@@ -176,7 +200,11 @@ mod tests {
         let mut events = Vec::new();
         for i in 0..4u64 {
             let a = PAddr::new(4096 + i * 64);
-            events.push(Event::Store { addr: a, size: 8, value: i });
+            events.push(Event::Store {
+                addr: a,
+                size: 8,
+                value: i,
+            });
             events.push(Event::Clwb { addr: a });
             events.push(Event::Sfence);
             events.push(Event::Pcommit);
@@ -184,7 +212,11 @@ mod tests {
         }
         events.push(compute(500));
         let r = simulate(&events, &CpuConfig::with_sp());
-        assert!(r.cpu.epochs >= 3, "expected chained epochs, got {}", r.cpu.epochs);
+        assert!(
+            r.cpu.epochs >= 3,
+            "expected chained epochs, got {}",
+            r.cpu.epochs
+        );
         assert!(r.checkpoints.high_water >= 2);
     }
 
@@ -194,15 +226,27 @@ mod tests {
         // shadow: the load must forward from the SSB.
         let a = PAddr::new(8192);
         let mut events = vec![
-            Event::Store { addr: a, size: 8, value: 1 },
+            Event::Store {
+                addr: a,
+                size: 8,
+                value: 1,
+            },
             Event::Clwb { addr: a },
             Event::Sfence,
             Event::Pcommit,
             Event::Sfence,
             // In-shadow:
-            Event::Store { addr: a, size: 8, value: 2 },
+            Event::Store {
+                addr: a,
+                size: 8,
+                value: 2,
+            },
             compute(400), // let the store retire into the SSB first
-            Event::Load { addr: a, size: 8, dep: false },
+            Event::Load {
+                addr: a,
+                size: 8,
+                dep: false,
+            },
         ];
         events.push(compute(100));
         let r = simulate(&events, &CpuConfig::with_sp());
@@ -217,11 +261,17 @@ mod tests {
         let events = barrier_trace(20, 400);
         let big = simulate(
             &events,
-            &CpuConfig { sp: Some(SpConfig::with_ssb_entries(256)), ..CpuConfig::baseline() },
+            &CpuConfig {
+                sp: Some(SpConfig::with_ssb_entries(256)),
+                ..CpuConfig::baseline()
+            },
         );
         let tiny = simulate(
             &events,
-            &CpuConfig { sp: Some(SpConfig::with_ssb_entries(32)), ..CpuConfig::baseline() },
+            &CpuConfig {
+                sp: Some(SpConfig::with_ssb_entries(32)),
+                ..CpuConfig::baseline()
+            },
         );
         assert_eq!(big.cpu.committed_uops, tiny.cpu.committed_uops);
     }
@@ -260,7 +310,11 @@ mod tests {
         // writeback is visible; clflushopt (posted) does not.
         let a = PAddr::new(4096);
         let mk = |legacy: bool| {
-            let mut ev = vec![Event::Store { addr: a, size: 8, value: 1 }];
+            let mut ev = vec![Event::Store {
+                addr: a,
+                size: 8,
+                value: 1,
+            }];
             ev.push(if legacy {
                 Event::Clflush { addr: a }
             } else {

@@ -39,7 +39,9 @@ impl<'t> MultiCore<'t> {
         let mc = shared_mem_ctrl(cfg.mem);
         let cores = traces
             .iter()
-            .map(|t| Pipeline::with_memory(t, cfg, MemorySystem::with_shared_mc(cfg.mem, mc.clone())))
+            .map(|t| {
+                Pipeline::with_memory(t, cfg, MemorySystem::with_shared_mc(cfg.mem, mc.clone()))
+            })
             .collect();
         MultiCore { cores }
     }
@@ -79,7 +81,11 @@ mod tests {
         let mut ev = Vec::new();
         for i in 0..n {
             let a = PAddr::new(4096 + (i + salt * 1000) * 64);
-            ev.push(Event::Store { addr: a, size: 8, value: i });
+            ev.push(Event::Store {
+                addr: a,
+                size: 8,
+                value: i,
+            });
             ev.push(Event::Clwb { addr: a });
             ev.push(Event::Sfence);
             ev.push(Event::Pcommit);
@@ -101,8 +107,7 @@ mod tests {
 
     #[test]
     fn every_core_commits_its_own_trace() {
-        let traces: Vec<Vec<Event>> =
-            (0..4).map(|i| barrier_trace(20 + i * 5, i)).collect();
+        let traces: Vec<Vec<Event>> = (0..4).map(|i| barrier_trace(20 + i * 5, i)).collect();
         let refs: Vec<&[Event]> = traces.iter().map(|t| t.as_slice()).collect();
         let results = MultiCore::new(&refs, CpuConfig::with_sp()).run();
         assert_eq!(results.len(), 4);
@@ -117,7 +122,10 @@ mod tests {
         // A bank-limited controller makes the interference visible at
         // this scale (the default 32 banks absorb four cores easily).
         let cfg = CpuConfig {
-            mem: spp_mem::MemConfig { nvmm_banks: 2, ..spp_mem::MemConfig::paper() },
+            mem: spp_mem::MemConfig {
+                nvmm_banks: 2,
+                ..spp_mem::MemConfig::paper()
+            },
             ..CpuConfig::baseline()
         };
         let t = barrier_trace(40, 0);
@@ -148,7 +156,10 @@ mod tests {
             .map(|r| r.cpu.cycles)
             .max()
             .unwrap();
-        assert!(sp <= base, "SP must not lose under contention ({sp} vs {base})");
+        assert!(
+            sp <= base,
+            "SP must not lose under contention ({sp} vs {base})"
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use std::collections::VecDeque;
 
-use spp_core::{Blt, BloomFilter, EpochManager, Ssb, SsbEntry, SsbOp};
+use spp_core::{BloomFilter, Blt, EpochManager, Ssb, SsbEntry, SsbOp};
 use spp_mem::{AccessKind, Cycle, MemorySystem};
 use spp_pmem::{BlockId, Event, PAddr};
 
@@ -183,9 +183,10 @@ impl<'t> Pipeline<'t> {
             && self.fetchq.is_empty()
             && self.rob.is_empty()
             && self.store_buffer.is_empty()
-            && self.sp.as_ref().is_none_or(|sp| {
-                sp.ssb.is_empty() && sp.epochs.is_empty() && !sp.speculating
-            })
+            && self
+                .sp
+                .as_ref()
+                .is_none_or(|sp| sp.ssb.is_empty() && sp.epochs.is_empty() && !sp.speculating)
     }
 
     /// Runs to completion and returns the results.
@@ -217,7 +218,10 @@ impl<'t> Pipeline<'t> {
             self.now += 1;
         } else {
             let target = self.next_event_time();
-            debug_assert!(target > self.now, "no-progress cycle must have a future event");
+            debug_assert!(
+                target > self.now,
+                "no-progress cycle must have a future event"
+            );
             let skipped = target - self.now - 1;
             if fetch_stalled {
                 self.stats.fetch_stall_cycles += skipped;
@@ -313,7 +317,9 @@ impl<'t> Pipeline<'t> {
     fn dispatch(&mut self) -> usize {
         let mut n = 0;
         while n < self.cfg.width {
-            let Some(&uop) = self.fetchq.front() else { break };
+            let Some(&uop) = self.fetchq.front() else {
+                break;
+            };
             if self.rob.len() >= self.cfg.rob_entries {
                 break;
             }
@@ -338,7 +344,12 @@ impl<'t> Pipeline<'t> {
                 UopKind::Compute | UopKind::Load { .. } | UopKind::Store { .. } => EState::Waiting,
                 _ => EState::Ready,
             };
-            self.rob.push_back(RobEntry { uop, seq, state, prev_load });
+            self.rob.push_back(RobEntry {
+                uop,
+                seq,
+                state,
+                prev_load,
+            });
             n += 1;
         }
         n
@@ -374,9 +385,11 @@ impl<'t> Pipeline<'t> {
                     }
                     // Store-to-load forwarding from older, unretired
                     // stores in the window.
-                    let forwarded = self.rob.iter().take(i).any(
-                        |e| matches!(e.uop.kind, UopKind::Store { addr: a } if a == addr),
-                    );
+                    let forwarded = self
+                        .rob
+                        .iter()
+                        .take(i)
+                        .any(|e| matches!(e.uop.kind, UopKind::Store { addr: a } if a == addr));
                     let done = if forwarded {
                         self.stats.lsq_forwards += 1;
                         self.now + 1
@@ -400,17 +413,16 @@ impl<'t> Pipeline<'t> {
             if sp.speculating {
                 sp.blt.record(addr.block());
             }
-            if !sp.ssb.is_empty()
-                && sp.bloom.query(addr) {
-                    let after_cam = now + sp.cfg.ssb.latency;
-                    if sp.ssb.forwards(addr) {
-                        self.stats.ssb_forwards += 1;
-                        return after_cam;
-                    }
-                    sp.bloom.record_false_positive();
-                    let (done, _) = self.mem.access(after_cam, addr.block(), AccessKind::Load);
-                    return done;
+            if !sp.ssb.is_empty() && sp.bloom.query(addr) {
+                let after_cam = now + sp.cfg.ssb.latency;
+                if sp.ssb.forwards(addr) {
+                    self.stats.ssb_forwards += 1;
+                    return after_cam;
                 }
+                sp.bloom.record_false_positive();
+                let (done, _) = self.mem.access(after_cam, addr.block(), AccessKind::Load);
+                return done;
+            }
         }
         let (done, _) = self.mem.access(now, addr.block(), AccessKind::Load);
         done
@@ -447,7 +459,9 @@ impl<'t> Pipeline<'t> {
         let mut block = RetireBlock::default();
         let mut retired = 0;
         while retired < self.cfg.width {
-            let Some(head) = self.rob.front().copied() else { break };
+            let Some(head) = self.rob.front().copied() else {
+                break;
+            };
             if !head.complete(self.now) {
                 break;
             }
@@ -510,9 +524,11 @@ impl<'t> Pipeline<'t> {
                         self.pop_retired(|s| s.pcommits += 1);
                     } else {
                         let done = self.mem.pcommit(self.now);
-                        let inflight =
-                            1 + self.pending_pcommits.iter().filter(|&&t| t > self.now).count()
-                                as u64;
+                        let inflight = 1 + self
+                            .pending_pcommits
+                            .iter()
+                            .filter(|&&t| t > self.now)
+                            .count() as u64;
                         self.stats.max_inflight_pcommits =
                             self.stats.max_inflight_pcommits.max(inflight);
                         self.pending_pcommits.push(done);
@@ -613,8 +629,7 @@ impl<'t> Pipeline<'t> {
     /// opcode and open a child epoch at the trailing fence.
     fn retire_spec_pcommit_pattern(&mut self, block: &mut RetireBlock) -> bool {
         let combine = self.sp.as_ref().expect("sp").cfg.combine_barrier;
-        let next_is_sfence =
-            self.rob.len() >= 2 && matches!(self.rob[1].uop.kind, UopKind::Sfence);
+        let next_is_sfence = self.rob.len() >= 2 && matches!(self.rob[1].uop.kind, UopKind::Sfence);
         if combine && next_is_sfence {
             return self.consume_combined_barrier(0, block);
         }
@@ -654,10 +669,20 @@ impl<'t> Pipeline<'t> {
             }
             let parent = sp.epochs.youngest().expect("speculating").id;
             sp.ssb
-                .push(SsbEntry { op: SsbOp::SfencePcommitSfence, epoch: parent })
+                .push(SsbEntry {
+                    op: SsbOp::SfencePcommitSfence,
+                    epoch: parent,
+                })
                 .expect("space checked");
-            let child = sp.epochs.begin(resume_idx, self.now).expect("checkpoint checked");
-            sp.gates.push_back(Gate { epoch: child, ready_at: None, needs_prior_drain: false });
+            let child = sp
+                .epochs
+                .begin(resume_idx, self.now)
+                .expect("checkpoint checked");
+            sp.gates.push_back(Gate {
+                epoch: child,
+                ready_at: None,
+                needs_prior_drain: false,
+            });
             sp.retired_per_epoch.push_back((child, 0));
         }
         self.stats.epochs += 1;
@@ -707,10 +732,7 @@ impl<'t> Pipeline<'t> {
                 // three in one go: temporarily handle leading fence.
                 return self.consume_leading_then_combined(block);
             }
-            if combine
-                && self.rob.len() < 3
-                && !(self.cursor.is_done() && self.fetchq.is_empty())
-            {
+            if combine && self.rob.len() < 3 && !(self.cursor.is_done() && self.fetchq.is_empty()) {
                 return false; // wait for the rest of the pattern
             }
             // Bare fence: new child epoch (no pending pcommit of its own).
@@ -748,7 +770,10 @@ impl<'t> Pipeline<'t> {
         let flushes_pending = !self.pending_flushes.is_empty();
         let pcommits_pending = !self.pending_pcommits.is_empty();
         let drain_pending = self.ssb_nonempty()
-            || self.sp.as_ref().is_some_and(|s| s.drain_visible_frontier > now);
+            || self
+                .sp
+                .as_ref()
+                .is_some_and(|s| s.drain_visible_frontier > now);
         if !flushes_pending && !pcommits_pending && !drain_pending {
             self.pop_retired(|s| s.fences += 1);
             return true;
@@ -841,8 +866,7 @@ impl<'t> Pipeline<'t> {
                 break;
             }
             if gate.needs_prior_drain {
-                let older_drained =
-                    sp.ssb.peek_front().is_none_or(|f| f.epoch >= oldest.id);
+                let older_drained = sp.ssb.peek_front().is_none_or(|f| f.epoch >= oldest.id);
                 if !older_drained || sp.drain_busy > now || sp.drain_visible_frontier > now {
                     break;
                 }
@@ -861,7 +885,9 @@ impl<'t> Pipeline<'t> {
 
         // Drain committed entries from the SSB front.
         while sp.drain_busy <= now {
-            let Some(front) = sp.ssb.peek_front() else { break };
+            let Some(front) = sp.ssb.peek_front() else {
+                break;
+            };
             if !sp.frontier_committed(front.epoch) {
                 break;
             }
@@ -892,11 +918,8 @@ impl<'t> Pipeline<'t> {
                     // epoch.
                     let issue = t.max(sp.drain_visible_frontier);
                     let done = self.mem.pcommit(issue);
-                    let inflight = 1 + self
-                        .pending_pcommits
-                        .iter()
-                        .filter(|&&pt| pt > now)
-                        .count() as u64;
+                    let inflight =
+                        1 + self.pending_pcommits.iter().filter(|&&pt| pt > now).count() as u64;
                     self.stats.max_inflight_pcommits =
                         self.stats.max_inflight_pcommits.max(inflight);
                     if let Some(g) = sp.gates.front_mut() {
@@ -934,7 +957,11 @@ impl<'t> Pipeline<'t> {
                 }
             }
         }
-        for &p in self.pending_flushes.iter().chain(self.pending_pcommits.iter()) {
+        for &p in self
+            .pending_flushes
+            .iter()
+            .chain(self.pending_pcommits.iter())
+        {
             if p > self.now {
                 t = t.min(p);
             }

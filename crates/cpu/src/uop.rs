@@ -78,7 +78,11 @@ pub struct TraceCursor<'t> {
 impl<'t> TraceCursor<'t> {
     /// Starts decoding at the beginning of `events`.
     pub fn new(events: &'t [Event]) -> Self {
-        TraceCursor { events, idx: 0, compute_left: 0 }
+        TraceCursor {
+            events,
+            idx: 0,
+            compute_left: 0,
+        }
     }
 
     /// The next micro-op, or `None` at end of trace.
@@ -86,7 +90,10 @@ impl<'t> TraceCursor<'t> {
         loop {
             if self.compute_left > 0 {
                 self.compute_left -= 1;
-                return Some(Uop { kind: UopKind::Compute, trace_idx: self.idx - 1 });
+                return Some(Uop {
+                    kind: UopKind::Compute,
+                    trace_idx: self.idx - 1,
+                });
             }
             let ev = self.events.get(self.idx)?;
             self.idx += 1;
@@ -101,9 +108,15 @@ impl<'t> TraceCursor<'t> {
                 }
                 Event::Load { addr, dep, .. } => UopKind::Load { addr, dep },
                 Event::Store { addr, .. } => UopKind::Store { addr },
-                Event::Clwb { addr } => UopKind::Clwb { block: addr.block() },
-                Event::ClflushOpt { addr } => UopKind::ClflushOpt { block: addr.block() },
-                Event::Clflush { addr } => UopKind::Clflush { block: addr.block() },
+                Event::Clwb { addr } => UopKind::Clwb {
+                    block: addr.block(),
+                },
+                Event::ClflushOpt { addr } => UopKind::ClflushOpt {
+                    block: addr.block(),
+                },
+                Event::Clflush { addr } => UopKind::Clflush {
+                    block: addr.block(),
+                },
                 Event::Pcommit => UopKind::Pcommit,
                 Event::Sfence => UopKind::Sfence,
                 Event::Mfence => UopKind::Mfence,
@@ -144,7 +157,12 @@ mod tests {
         }
         assert_eq!(
             kinds,
-            vec![UopKind::Compute, UopKind::Compute, UopKind::Compute, UopKind::Pcommit]
+            vec![
+                UopKind::Compute,
+                UopKind::Compute,
+                UopKind::Compute,
+                UopKind::Pcommit
+            ]
         );
         assert!(c.is_done());
     }
@@ -154,11 +172,20 @@ mod tests {
         let events = [
             Event::TxBegin(1),
             Event::Compute(0),
-            Event::Store { addr: PAddr::new(8), size: 8, value: 1 },
+            Event::Store {
+                addr: PAddr::new(8),
+                size: 8,
+                value: 1,
+            },
             Event::TxEnd(1),
         ];
         let mut c = TraceCursor::new(&events);
-        assert_eq!(c.next_uop().unwrap().kind, UopKind::Store { addr: PAddr::new(8) });
+        assert_eq!(
+            c.next_uop().unwrap().kind,
+            UopKind::Store {
+                addr: PAddr::new(8)
+            }
+        );
         assert!(c.next_uop().is_none());
     }
 
@@ -183,18 +210,29 @@ mod tests {
 
     #[test]
     fn flush_targets_block_ids() {
-        let events = [Event::Clwb { addr: PAddr::new(130) }];
+        let events = [Event::Clwb {
+            addr: PAddr::new(130),
+        }];
         let mut c = TraceCursor::new(&events);
         assert_eq!(
             c.next_uop().unwrap().kind,
-            UopKind::Clwb { block: BlockId::new(2) }
+            UopKind::Clwb {
+                block: BlockId::new(2)
+            }
         );
     }
 
     #[test]
     fn mem_classification() {
-        assert!(UopKind::Load { addr: PAddr::new(0), dep: false }.is_mem());
-        assert!(UopKind::Store { addr: PAddr::new(0) }.is_mem());
+        assert!(UopKind::Load {
+            addr: PAddr::new(0),
+            dep: false
+        }
+        .is_mem());
+        assert!(UopKind::Store {
+            addr: PAddr::new(0)
+        }
+        .is_mem());
         assert!(!UopKind::Pcommit.is_mem());
         assert!(UopKind::Sfence.is_fence());
     }

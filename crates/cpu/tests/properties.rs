@@ -12,13 +12,25 @@ fn arb_event() -> impl Strategy<Value = Event> {
     let addr = (0u64..64).prop_map(|b| PAddr::new(4096 + b * 64 + 8 * (b % 8)));
     prop_oneof![
         (1u32..20).prop_map(Event::Compute),
-        (addr.clone(), any::<bool>())
-            .prop_map(|(a, dep)| Event::Load { addr: a, size: 8, dep }),
-        (addr.clone(), any::<u64>())
-            .prop_map(|(a, v)| Event::Store { addr: a, size: 8, value: v }),
-        addr.clone().prop_map(|a| Event::Clwb { addr: a.block_base() }),
-        addr.clone().prop_map(|a| Event::ClflushOpt { addr: a.block_base() }),
-        addr.prop_map(|a| Event::Clflush { addr: a.block_base() }),
+        (addr.clone(), any::<bool>()).prop_map(|(a, dep)| Event::Load {
+            addr: a,
+            size: 8,
+            dep
+        }),
+        (addr.clone(), any::<u64>()).prop_map(|(a, v)| Event::Store {
+            addr: a,
+            size: 8,
+            value: v
+        }),
+        addr.clone().prop_map(|a| Event::Clwb {
+            addr: a.block_base()
+        }),
+        addr.clone().prop_map(|a| Event::ClflushOpt {
+            addr: a.block_base()
+        }),
+        addr.prop_map(|a| Event::Clflush {
+            addr: a.block_base()
+        }),
         Just(Event::Pcommit),
         Just(Event::Sfence),
         Just(Event::Mfence),

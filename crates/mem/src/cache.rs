@@ -96,8 +96,9 @@ impl Cache {
         let sets = self.sets;
         let range = self.set_range(block);
         // Already resident?
-        if let Some(line) =
-            self.lines[range.clone()].iter_mut().find(|l| l.valid && l.tag == tag)
+        if let Some(line) = self.lines[range.clone()]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
         {
             line.dirty |= dirty;
             line.lru = tick;
@@ -106,7 +107,12 @@ impl Cache {
         // Free way?
         let set_base = range.start;
         if let Some(line) = self.lines[range.clone()].iter_mut().find(|l| !l.valid) {
-            *line = Line { valid: true, dirty, tag, lru: tick };
+            *line = Line {
+                valid: true,
+                dirty,
+                tag,
+                lru: tick,
+            };
             return None;
         }
         // Evict LRU.
@@ -122,8 +128,16 @@ impl Cache {
         let victim = self.lines[victim_idx];
         let set = block.raw() % sets;
         let evicted = BlockId::new(victim.tag * sets + set);
-        self.lines[victim_idx] = Line { valid: true, dirty, tag, lru: tick };
-        Some(Eviction { block: evicted, dirty: victim.dirty })
+        self.lines[victim_idx] = Line {
+            valid: true,
+            dirty,
+            tag,
+            lru: tick,
+        };
+        Some(Eviction {
+            block: evicted,
+            dirty: victim.dirty,
+        })
     }
 
     /// Clears the dirty bit of `block` if resident; returns whether it
@@ -156,7 +170,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets x 2 ways.
-        Cache::new(&CacheConfig { size_bytes: 4 * 64, ways: 2, latency: 1 })
+        Cache::new(&CacheConfig {
+            size_bytes: 4 * 64,
+            ways: 2,
+            latency: 1,
+        })
     }
 
     fn b(n: u64) -> BlockId {

@@ -25,7 +25,11 @@ impl CacheConfig {
         assert!(self.ways > 0, "cache must have at least one way");
         let sets = self.size_bytes / (self.ways * 64);
         assert!(sets > 0, "cache smaller than one set");
-        assert_eq!(self.size_bytes % (self.ways * 64), 0, "capacity not way-aligned");
+        assert_eq!(
+            self.size_bytes % (self.ways * 64),
+            0,
+            "capacity not way-aligned"
+        );
         sets
     }
 }
@@ -62,9 +66,21 @@ impl MemConfig {
     /// The paper's Table 2 configuration.
     pub fn paper() -> Self {
         MemConfig {
-            l1d: CacheConfig { size_bytes: 32 * 1024, ways: 8, latency: 2 },
-            l2: CacheConfig { size_bytes: 256 * 1024, ways: 8, latency: 11 },
-            l3: CacheConfig { size_bytes: 2 * 1024 * 1024, ways: 16, latency: 20 },
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                latency: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                ways: 8,
+                latency: 11,
+            },
+            l3: CacheConfig {
+                size_bytes: 2 * 1024 * 1024,
+                ways: 16,
+                latency: 20,
+            },
             nvmm_read: 105,
             nvmm_write: 315,
             // Table 2 does not specify the memory controller's internals.
@@ -115,7 +131,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "way-aligned")]
     fn degenerate_geometry_rejected() {
-        let c = CacheConfig { size_bytes: 1000, ways: 3, latency: 1 };
+        let c = CacheConfig {
+            size_bytes: 1000,
+            ways: 3,
+            latency: 1,
+        };
         let _ = c.sets();
     }
 }

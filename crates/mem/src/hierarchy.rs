@@ -135,7 +135,10 @@ impl MemorySystem {
         }
         // Miss to memory.
         self.stats.mem_accesses += 1;
-        let done = self.mc.borrow_mut().read(now + l3_lat + self.cfg.transfer_latency);
+        let done = self
+            .mc
+            .borrow_mut()
+            .read(now + l3_lat + self.cfg.transfer_latency);
         self.fill_l3(done, block);
         self.fill_l2(done, block);
         self.fill_l1(done, block, dirty);
@@ -184,7 +187,10 @@ impl MemorySystem {
             if ev.dirty {
                 // Capacity writeback to NVMM.
                 self.stats.capacity_writebacks += 1;
-                let _ = self.mc.borrow_mut().write_back(now + self.cfg.transfer_latency);
+                let _ = self
+                    .mc
+                    .borrow_mut()
+                    .write_back(now + self.cfg.transfer_latency);
             }
         }
     }
@@ -199,11 +205,19 @@ impl MemorySystem {
         let d3 = self.l3.clean(block, invalidate);
         if d1 || d2 || d3 {
             self.stats.flush_writebacks += 1;
-            let (admitted, _durable) =
-                self.mc.borrow_mut().write_back(now + probe + self.cfg.transfer_latency);
-            FlushOutcome { visible_at: admitted, wrote_back: true }
+            let (admitted, _durable) = self
+                .mc
+                .borrow_mut()
+                .write_back(now + probe + self.cfg.transfer_latency);
+            FlushOutcome {
+                visible_at: admitted,
+                wrote_back: true,
+            }
         } else {
-            FlushOutcome { visible_at: now + probe, wrote_back: false }
+            FlushOutcome {
+                visible_at: now + probe,
+                wrote_back: false,
+            }
         }
     }
 
@@ -294,7 +308,10 @@ mod tests {
         m.access(0, b(9), AccessKind::Store);
         let f = m.flush(10, b(9), false);
         let ack = m.pcommit(f.visible_at);
-        assert!(ack >= f.visible_at + 315 - 1, "pcommit waits for the NVMM write");
+        assert!(
+            ack >= f.visible_at + 315 - 1,
+            "pcommit waits for the NVMM write"
+        );
     }
 
     #[test]
@@ -306,9 +323,21 @@ mod tests {
     #[test]
     fn stores_mark_dirty_and_evictions_write_back() {
         let cfg = MemConfig {
-            l1d: crate::config::CacheConfig { size_bytes: 2 * 64, ways: 1, latency: 2 },
-            l2: crate::config::CacheConfig { size_bytes: 2 * 64, ways: 1, latency: 11 },
-            l3: crate::config::CacheConfig { size_bytes: 2 * 64, ways: 1, latency: 20 },
+            l1d: crate::config::CacheConfig {
+                size_bytes: 2 * 64,
+                ways: 1,
+                latency: 2,
+            },
+            l2: crate::config::CacheConfig {
+                size_bytes: 2 * 64,
+                ways: 1,
+                latency: 11,
+            },
+            l3: crate::config::CacheConfig {
+                size_bytes: 2 * 64,
+                ways: 1,
+                latency: 20,
+            },
             ..MemConfig::paper()
         };
         let mut m = MemorySystem::new(cfg);

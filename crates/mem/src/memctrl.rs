@@ -115,7 +115,12 @@ impl MemCtrl {
     pub fn pcommit(&mut self, arrival: Cycle) -> Cycle {
         let arrival = self.clamp_time(arrival);
         self.drop_completed(arrival);
-        let done = self.inflight.back().copied().unwrap_or(arrival).max(arrival);
+        let done = self
+            .inflight
+            .back()
+            .copied()
+            .unwrap_or(arrival)
+            .max(arrival);
         self.stats.pcommits += 1;
         let lat = done - arrival;
         self.stats.pcommit_latency_total += lat;
@@ -125,8 +130,11 @@ impl MemCtrl {
 
     /// A read fill for an LLC miss arriving at `arrival`; returns its
     /// completion time. Reads bypass the WPQ (the controller prioritizes
-    /// them on a dedicated path).
+    /// them on a dedicated path), but still advance the controller's
+    /// clock: a multi-core caller whose local time lags `last_seen` must
+    /// not observe a completion earlier than requests already granted.
     pub fn read(&mut self, arrival: Cycle) -> Cycle {
+        let arrival = self.clamp_time(arrival);
         self.stats.nvmm_reads += 1;
         arrival + self.cfg.nvmm_read
     }
@@ -142,7 +150,11 @@ mod tests {
     use super::*;
 
     fn mc(banks: usize, wpq: usize) -> MemCtrl {
-        let cfg = MemConfig { nvmm_banks: banks, wpq_entries: wpq, ..MemConfig::paper() };
+        let cfg = MemConfig {
+            nvmm_banks: banks,
+            wpq_entries: wpq,
+            ..MemConfig::paper()
+        };
         MemCtrl::new(cfg)
     }
 
@@ -223,5 +235,20 @@ mod tests {
         let mut m = mc(1, 2);
         assert_eq!(m.read(7), 7 + 105);
         assert_eq!(m.stats().nvmm_reads, 1);
+    }
+
+    #[test]
+    fn lagging_read_is_clamped_to_controller_time() {
+        let mut m = mc(1, 8);
+        m.write_back(1000);
+        // A read from a core whose clock lags the controller's
+        // high-water mark completes as if it arrived at that mark —
+        // time never runs backwards at the shared controller.
+        assert_eq!(m.read(3), 1000 + 105);
+        // And reads advance the mark for later requests.
+        let mut m2 = mc(1, 8);
+        m2.read(500);
+        let (adm, _) = m2.write_back(0);
+        assert_eq!(adm, 500);
     }
 }

@@ -18,7 +18,11 @@ struct RefCache {
 
 impl RefCache {
     fn new(sets: u64, ways: usize) -> Self {
-        RefCache { sets, ways, sets_v: HashMap::new() }
+        RefCache {
+            sets,
+            ways,
+            sets_v: HashMap::new(),
+        }
     }
 
     fn set_of(&self, b: u64) -> u64 {
@@ -44,7 +48,11 @@ impl RefCache {
             set.push((b, d || dirty));
             return None;
         }
-        let victim = if set.len() >= ways { Some(set.remove(0)) } else { None };
+        let victim = if set.len() >= ways {
+            Some(set.remove(0))
+        } else {
+            None
+        };
         set.push((b, dirty));
         victim
     }
@@ -58,7 +66,9 @@ impl RefCache {
 
     fn clean(&mut self, b: u64, invalidate: bool) -> bool {
         let set_idx = self.set_of(b);
-        let Some(set) = self.sets_v.get_mut(&set_idx) else { return false };
+        let Some(set) = self.sets_v.get_mut(&set_idx) else {
+            return false;
+        };
         if let Some(pos) = set.iter().position(|&(x, _)| x == b) {
             let dirty = set[pos].1;
             if invalidate {
@@ -171,6 +181,38 @@ proptest! {
                 );
                 prop_assert!(ack >= max_done || max_done <= now + 1,
                     "ack {ack} leaves write at {max_done} unflushed");
+            }
+        }
+    }
+
+    /// Controller time is monotone for *every* request class, including
+    /// reads: interleaved reads/writes/pcommits with arbitrarily lagging
+    /// arrival times (as drifting multi-core clocks produce) never
+    /// complete before an earlier-granted request's arrival point.
+    #[test]
+    fn memctrl_reads_respect_time_monotonicity(
+        reqs in prop::collection::vec((0u64..3, 0u64..2000), 1..100),
+    ) {
+        let cfg = MemConfig { nvmm_banks: 2, wpq_entries: 8, ..MemConfig::paper() };
+        let mut mc = MemCtrl::new(cfg);
+        let mut high_water = 0u64;
+        for (kind, t) in reqs {
+            let completed = match kind {
+                0 => mc.read(t),
+                1 => mc.write_back(t).0,
+                _ => mc.pcommit(t),
+            };
+            high_water = high_water.max(t);
+            prop_assert!(
+                completed >= high_water,
+                "request ({kind}, {t}) completed at {completed}, before the \
+                 controller's high-water arrival {high_water}"
+            );
+            if kind == 0 {
+                prop_assert!(
+                    completed >= high_water + cfg.nvmm_read,
+                    "read must take the full NVMM read latency from clamped time"
+                );
             }
         }
     }

@@ -58,7 +58,11 @@ impl PAddr {
     ///
     /// Panics on address-space overflow.
     pub fn offset(self, bytes: u64) -> PAddr {
-        PAddr(self.0.checked_add(bytes).expect("persistent address overflow"))
+        PAddr(
+            self.0
+                .checked_add(bytes)
+                .expect("persistent address overflow"),
+        )
     }
 
     /// Returns this address rounded down to its cache-block base.

@@ -93,10 +93,12 @@ impl<'a> CrashSim<'a> {
                         0,
                         "crash analysis assumes 8-byte-aligned stores"
                     );
-                    stores
-                        .entry(addr.block())
-                        .or_default()
-                        .push(BlockStore { idx, addr, size, value });
+                    stores.entry(addr.block()).or_default().push(BlockStore {
+                        idx,
+                        addr,
+                        size,
+                        value,
+                    });
                 }
                 Event::Clwb { addr } | Event::ClflushOpt { addr } | Event::Clflush { addr } => {
                     issued.insert(addr.block(), idx);
@@ -120,7 +122,12 @@ impl<'a> CrashSim<'a> {
                 _ => {}
             }
         }
-        CrashSim { base, crash_idx, stores, guaranteed }
+        CrashSim {
+            base,
+            crash_idx,
+            stores,
+            guaranteed,
+        }
     }
 
     /// The crash point (exclusive event index) this analysis covers.

@@ -248,14 +248,22 @@ impl PmemEnv {
 
     /// Loads a `u64`, with no address dependence on earlier loads.
     pub fn load_u64(&mut self, addr: PAddr) -> u64 {
-        self.emit(Event::Load { addr, size: 8, dep: false });
+        self.emit(Event::Load {
+            addr,
+            size: 8,
+            dep: false,
+        });
         self.space.read_u64(addr)
     }
 
     /// Loads a pointer. Marked address-dependent: in the timing model it
     /// cannot issue before the previous load completes (pointer chasing).
     pub fn load_ptr(&mut self, addr: PAddr) -> PAddr {
-        self.emit(Event::Load { addr, size: 8, dep: true });
+        self.emit(Event::Load {
+            addr,
+            size: 8,
+            dep: true,
+        });
         PAddr::new(self.space.read_u64(addr))
     }
 
@@ -284,7 +292,11 @@ impl PmemEnv {
         while off < buf.len() {
             let n = usize::min(8, buf.len() - off);
             let a = addr.offset(off as u64);
-            self.emit(Event::Load { addr: a, size: n as u8, dep: false });
+            self.emit(Event::Load {
+                addr: a,
+                size: n as u8,
+                dep: false,
+            });
             self.space.read_bytes(a, &mut buf[off..off + n]);
             off += n;
         }
@@ -302,7 +314,11 @@ impl PmemEnv {
             let mut chunk = [0u8; 8];
             chunk[..n].copy_from_slice(&buf[off..off + n]);
             let value = u64::from_le_bytes(chunk);
-            self.emit(Event::Store { addr: a, size: n as u8, value });
+            self.emit(Event::Store {
+                addr: a,
+                size: n as u8,
+                value,
+            });
             self.space.write_bytes(a, &buf[off..off + n]);
             off += n;
         }
@@ -360,7 +376,9 @@ impl PmemEnv {
     /// [`clwb`](Self::clwb)).
     pub fn clflushopt(&mut self, addr: PAddr) {
         if self.variant.has_persist_ops() {
-            self.emit(Event::ClflushOpt { addr: addr.block_base() });
+            self.emit(Event::ClflushOpt {
+                addr: addr.block_base(),
+            });
         }
     }
 
@@ -407,7 +425,11 @@ impl PmemEnv {
     ///
     /// Panics if a transaction is already open.
     pub fn tx_begin(&mut self, id: u64) {
-        assert_eq!(self.tx_state, TxState::Idle, "nested transactions are not supported");
+        assert_eq!(
+            self.tx_state,
+            TxState::Idle,
+            "nested transactions are not supported"
+        );
         self.emit(Event::TxBegin(id));
         self.tx_id = id;
         if self.variant.has_logging() {
@@ -441,7 +463,10 @@ impl PmemEnv {
             if !self.logged.insert(b) {
                 continue;
             }
-            assert!(self.log_count < self.log_capacity, "undo log capacity exceeded");
+            assert!(
+                self.log_count < self.log_capacity,
+                "undo log capacity exceeded"
+            );
             let i = self.log_count;
             self.log_count += 1;
             // Index entry: target address and length.
@@ -452,7 +477,11 @@ impl PmemEnv {
             let de = layout.data_entry(i);
             for j in 0..(BLOCK_SIZE / 8) {
                 let src = b.base().offset(j * 8);
-                self.emit(Event::Load { addr: src, size: 8, dep: false });
+                self.emit(Event::Load {
+                    addr: src,
+                    size: 8,
+                    dep: false,
+                });
                 let v = self.space.read_u64(src);
                 self.raw_store(de.offset(j * 8), 8, v);
                 self.emit(Event::Compute(1));
@@ -486,7 +515,11 @@ impl PmemEnv {
         if !self.variant.has_logging() {
             return;
         }
-        assert_eq!(self.tx_state, TxState::Logging, "tx_set_logged without tx_begin");
+        assert_eq!(
+            self.tx_state,
+            TxState::Logging,
+            "tx_set_logged without tx_begin"
+        );
         // Flush the index blocks covering the entries written this
         // transaction (four packed entries per block).
         if self.variant.has_persist_ops() && self.log_count > 0 {
@@ -522,7 +555,11 @@ impl PmemEnv {
     /// builds).
     pub fn tx_commit(&mut self) {
         if self.variant.has_logging() {
-            assert_eq!(self.tx_state, TxState::Mutating, "tx_commit without tx_set_logged");
+            assert_eq!(
+                self.tx_state,
+                TxState::Mutating,
+                "tx_commit without tx_set_logged"
+            );
             // Step 3 barrier: data updates durable before the bit clears.
             self.persist_barrier();
             // Step 4: clear the bit.
@@ -771,7 +808,10 @@ mod tests {
         let a = env.alloc_block();
         env.clwb(a.offset(17));
         assert_eq!(
-            count_of(env.trace(), |e| matches!(e, Event::Clwb { addr } if *addr == a)),
+            count_of(
+                env.trace(),
+                |e| matches!(e, Event::Clwb { addr } if *addr == a)
+            ),
             1
         );
     }
@@ -793,7 +833,12 @@ mod tests {
             env.set_flush_mode(mode);
             let a = env.alloc_block();
             env.clwb(a);
-            let got = env.trace().events.iter().find(|e| e.is_persist_op()).copied();
+            let got = env
+                .trace()
+                .events
+                .iter()
+                .find(|e| e.is_persist_op())
+                .copied();
             let ok = matches!(
                 (mode, got),
                 (FlushMode::Clwb, Some(Event::Clwb { .. }))
@@ -817,9 +862,16 @@ mod tests {
         env.clwb(a);
         env.tx_commit();
         assert!(
-            !env.trace().events.iter().any(|e| matches!(e, Event::Clwb { .. })),
+            !env.trace()
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::Clwb { .. })),
             "no clwb may leak through in clflush mode"
         );
-        assert!(env.trace().events.iter().any(|e| matches!(e, Event::Clflush { .. })));
+        assert!(env
+            .trace()
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Clflush { .. })));
     }
 }

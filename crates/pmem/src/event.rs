@@ -5,6 +5,8 @@
 //! through its pipeline model. This is the trace-driven substitution for
 //! the paper's full-system MarssX86 simulator (see DESIGN.md §2).
 
+use std::sync::Arc;
+
 use crate::addr::PAddr;
 
 /// One trace event. Every variant except the `Tx*` markers corresponds to
@@ -100,6 +102,26 @@ impl Trace {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
+
+    /// Freezes the trace into an immutable, cheaply clonable form that
+    /// can be replayed concurrently from many simulator threads.
+    pub fn into_shared(self) -> SharedTrace {
+        SharedTrace {
+            events: Arc::from(self.events),
+            counts: self.counts,
+        }
+    }
+}
+
+/// An immutable recorded trace behind an [`Arc`]: recording happens
+/// once, then every simulator configuration replays the same events
+/// without copying. Cloning is a reference-count bump.
+#[derive(Debug, Clone)]
+pub struct SharedTrace {
+    /// The event stream in program order.
+    pub events: Arc<[Event]>,
+    /// Summary counters of the stream.
+    pub counts: TraceCounts,
 }
 
 /// Micro-op counters by class, used for the Fig. 9 instruction-count
@@ -154,14 +176,22 @@ mod tests {
         assert_eq!(Event::TxBegin(1).micro_ops(), 0);
         assert_eq!(Event::Pcommit.micro_ops(), 1);
         assert_eq!(
-            Event::Load { addr: PAddr::new(0), size: 8, dep: false }.micro_ops(),
+            Event::Load {
+                addr: PAddr::new(0),
+                size: 8,
+                dep: false
+            }
+            .micro_ops(),
             1
         );
     }
 
     #[test]
     fn classification() {
-        assert!(Event::Clwb { addr: PAddr::new(0) }.is_persist_op());
+        assert!(Event::Clwb {
+            addr: PAddr::new(0)
+        }
+        .is_persist_op());
         assert!(Event::Pcommit.is_persist_op());
         assert!(!Event::Sfence.is_persist_op());
         assert!(Event::Sfence.is_fence());
@@ -174,8 +204,14 @@ mod tests {
         let mut t = Trace::new();
         t.push(Event::TxBegin(0));
         t.push(Event::Compute(3));
-        t.push(Event::Store { addr: PAddr::new(64), size: 8, value: 1 });
-        t.push(Event::Clwb { addr: PAddr::new(64) });
+        t.push(Event::Store {
+            addr: PAddr::new(64),
+            size: 8,
+            value: 1,
+        });
+        t.push(Event::Clwb {
+            addr: PAddr::new(64),
+        });
         t.push(Event::Sfence);
         t.push(Event::Pcommit);
         t.push(Event::Sfence);
@@ -188,5 +224,25 @@ mod tests {
         assert_eq!(t.counts.transactions, 1);
         assert_eq!(t.counts.total(), 3 + 1 + 1 + 1 + 2);
         assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn shared_trace_preserves_events_and_counts() {
+        let mut t = Trace::new();
+        t.push(Event::Compute(7));
+        t.push(Event::Store {
+            addr: PAddr::new(64),
+            size: 8,
+            value: 2,
+        });
+        t.push(Event::Pcommit);
+        let events = t.events.clone();
+        let counts = t.counts;
+        let shared = t.into_shared();
+        assert_eq!(&shared.events[..], &events[..]);
+        assert_eq!(shared.counts, counts);
+        // Clones alias the same allocation.
+        let c = shared.clone();
+        assert!(Arc::ptr_eq(&shared.events, &c.events));
     }
 }

@@ -56,7 +56,7 @@ mod variant;
 pub use addr::{blocks_covering, BlockId, PAddr, BLOCK_SIZE};
 pub use crash::CrashSim;
 pub use env::{PmemEnv, ROOT_SLOTS};
-pub use event::{Event, Trace, TraceCounts};
+pub use event::{Event, SharedTrace, Trace, TraceCounts};
 pub use space::Space;
 pub use undo::{recover, LogLayout, RecoveryReport, ENTRY_MAX_LEN, INDEX_STRIDE};
 pub use variant::{FlushMode, Variant};

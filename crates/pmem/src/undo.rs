@@ -45,11 +45,20 @@ impl LogLayout {
     /// Panics if `header` is not block-aligned or `capacity` is zero.
     pub fn contiguous(header: PAddr, capacity: u64) -> Self {
         assert!(capacity > 0, "log capacity must be positive");
-        assert_eq!(header.raw() % BLOCK_SIZE, 0, "log header must be block-aligned");
+        assert_eq!(
+            header.raw() % BLOCK_SIZE,
+            0,
+            "log header must be block-aligned"
+        );
         let index = header.offset(BLOCK_SIZE);
         let index_bytes = (capacity * INDEX_STRIDE).div_ceil(BLOCK_SIZE) * BLOCK_SIZE;
         let data = index.offset(index_bytes);
-        LogLayout { header, index, data, capacity }
+        LogLayout {
+            header,
+            index,
+            data,
+            capacity,
+        }
     }
 
     /// Address of the `logged_bit` field.
@@ -121,7 +130,11 @@ pub struct RecoveryReport {
 /// ```
 pub fn recover(space: &mut Space, layout: &LogLayout) -> RecoveryReport {
     if space.read_u64(layout.logged_bit()) != 1 {
-        return RecoveryReport { tx_in_flight: false, entries_applied: 0, bytes_restored: 0 };
+        return RecoveryReport {
+            tx_in_flight: false,
+            entries_applied: 0,
+            bytes_restored: 0,
+        };
     }
     let count = space.read_u64(layout.entry_count()).min(layout.capacity);
     let mut bytes = 0u64;
@@ -135,7 +148,11 @@ pub fn recover(space: &mut Space, layout: &LogLayout) -> RecoveryReport {
         bytes += len;
     }
     space.write_u64(layout.logged_bit(), 0);
-    RecoveryReport { tx_in_flight: true, entries_applied: count, bytes_restored: bytes }
+    RecoveryReport {
+        tx_in_flight: true,
+        entries_applied: count,
+        bytes_restored: bytes,
+    }
 }
 
 #[cfg(test)]

@@ -13,8 +13,7 @@ struct TxOp {
 
 fn tx_ops(n_cells: usize) -> impl Strategy<Value = Vec<TxOp>> {
     prop::collection::vec(
-        prop::collection::vec((0..n_cells, any::<u64>()), 1..4)
-            .prop_map(|cells| TxOp { cells }),
+        prop::collection::vec((0..n_cells, any::<u64>()), 1..4).prop_map(|cells| TxOp { cells }),
         1..6,
     )
 }
@@ -25,7 +24,12 @@ fn run_program(
     variant: Variant,
     n_cells: usize,
     ops: &[TxOp],
-) -> (PmemEnv, spp_pmem::Space, Vec<spp_pmem::PAddr>, spp_pmem::Trace) {
+) -> (
+    PmemEnv,
+    spp_pmem::Space,
+    Vec<spp_pmem::PAddr>,
+    spp_pmem::Trace,
+) {
     let mut env = PmemEnv::new(variant);
     let cells: Vec<_> = (0..n_cells).map(|_| env.alloc_block()).collect();
     // Initial values: cell i holds i, fully persisted before recording.

@@ -265,15 +265,28 @@ impl AvlTree {
         }
         let k = space.read_u64(n.offset(KEY));
         if lo.is_some_and(|b| k <= b) || hi.is_some_and(|b| k >= b) {
-            return Err(VerifyError::new(format!("AT: BST order violated at key {k}")));
+            return Err(VerifyError::new(format!(
+                "AT: BST order violated at key {k}"
+            )));
         }
         if space.read_u64(n.offset(VALUE)) != value_for(k) {
             return Err(VerifyError::new(format!("AT: torn value for key {k}")));
         }
-        let hl = Self::verify_rec(space, PAddr::new(space.read_u64(n.offset(LEFT))), lo, Some(k), keys)?;
+        let hl = Self::verify_rec(
+            space,
+            PAddr::new(space.read_u64(n.offset(LEFT))),
+            lo,
+            Some(k),
+            keys,
+        )?;
         keys.push(k);
-        let hr =
-            Self::verify_rec(space, PAddr::new(space.read_u64(n.offset(RIGHT))), Some(k), hi, keys)?;
+        let hr = Self::verify_rec(
+            space,
+            PAddr::new(space.read_u64(n.offset(RIGHT))),
+            Some(k),
+            hi,
+            keys,
+        )?;
         if hl.abs_diff(hr) > 1 {
             return Err(VerifyError::new(format!("AT: balance violated at key {k}")));
         }

@@ -76,7 +76,12 @@ impl Node {
         for i in 0..nslots {
             slots.push(tx.read(addr.offset(base + 8 * i as u64)));
         }
-        Node { addr, leaf, keys, slots }
+        Node {
+            addr,
+            leaf,
+            keys,
+            slots,
+        }
     }
 
     pub(crate) fn store(&self, tx: &mut Staged<'_>) {
@@ -104,7 +109,12 @@ impl BTree {
     }
 
     fn new_node(tx: &mut Staged<'_>, leaf: bool) -> Node {
-        Node { addr: tx.alloc_block(), leaf, keys: Vec::new(), slots: Vec::new() }
+        Node {
+            addr: tx.alloc_block(),
+            leaf,
+            keys: Vec::new(),
+            slots: Vec::new(),
+        }
     }
 
     /// Does the tree contain `key`? (The op's initial search walk; logs
@@ -120,7 +130,11 @@ impl BTree {
             if node.leaf {
                 return node.keys.contains(&key);
             }
-            let idx = node.keys.iter().position(|&k| key < k).unwrap_or(node.keys.len());
+            let idx = node
+                .keys
+                .iter()
+                .position(|&k| key < k)
+                .unwrap_or(node.keys.len());
             if idx > 0 {
                 tx.log_extra(PAddr::new(node.slots[idx - 1]));
             }
@@ -173,18 +187,30 @@ impl BTree {
         loop {
             tx.compute(node.nkeys() as u32);
             if node.leaf {
-                let pos = node.keys.iter().position(|&k| key < k).unwrap_or(node.keys.len());
+                let pos = node
+                    .keys
+                    .iter()
+                    .position(|&k| key < k)
+                    .unwrap_or(node.keys.len());
                 node.keys.insert(pos, key);
                 node.slots.insert(pos, value_for(key));
                 node.store(tx);
                 return;
             }
-            let idx = node.keys.iter().position(|&k| key < k).unwrap_or(node.keys.len());
+            let idx = node
+                .keys
+                .iter()
+                .position(|&k| key < k)
+                .unwrap_or(node.keys.len());
             let mut child = Node::load(tx, PAddr::new(node.slots[idx]));
             if child.nkeys() == MAX_KEYS {
                 Self::split_child(tx, &mut node, idx, &mut child);
                 // Re-pick which side of the new separator to descend.
-                let idx = node.keys.iter().position(|&k| key < k).unwrap_or(node.keys.len());
+                let idx = node
+                    .keys
+                    .iter()
+                    .position(|&k| key < k)
+                    .unwrap_or(node.keys.len());
                 node = Node::load(tx, PAddr::new(node.slots[idx]));
             } else {
                 node = child;
@@ -283,13 +309,21 @@ impl BTree {
         loop {
             tx.compute(node.nkeys() as u32);
             if node.leaf {
-                let pos = node.keys.iter().position(|&k| k == key).expect("key present");
+                let pos = node
+                    .keys
+                    .iter()
+                    .position(|&k| k == key)
+                    .expect("key present");
                 node.keys.remove(pos);
                 node.slots.remove(pos);
                 node.store(tx);
                 return;
             }
-            let idx = node.keys.iter().position(|&k| key < k).unwrap_or(node.keys.len());
+            let idx = node
+                .keys
+                .iter()
+                .position(|&k| key < k)
+                .unwrap_or(node.keys.len());
             let child = Self::fix_child(tx, &mut node, idx);
             // Root shrink: an empty internal root hands off to its child.
             if node.addr == tx.read_ptr(self.header.offset(ROOT)) && node.keys.is_empty() {
@@ -352,7 +386,9 @@ impl BTree {
         }
         for &k in &ks {
             if lo.is_some_and(|b| k < b) || hi.is_some_and(|b| k >= b) {
-                return Err(VerifyError::new(format!("BT: key {k} outside separator range")));
+                return Err(VerifyError::new(format!(
+                    "BT: key {k} outside separator range"
+                )));
             }
         }
         if leaf {

@@ -50,7 +50,12 @@ fn read_node(env: &mut PmemEnv, addr: PAddr) -> Node {
         slots.push(env.load_u64(addr.offset(base + 8 * i as u64)));
     }
     env.compute(n as u32 + 2);
-    Node { addr, leaf, keys, slots }
+    Node {
+        addr,
+        leaf,
+        keys,
+        slots,
+    }
 }
 
 /// The BT benchmark with incremental logging.
@@ -127,8 +132,12 @@ impl IncBTree {
             tx.note_path(header);
             let mut root = Node::load(tx, old_root);
             tx.note_path(root.addr);
-            let mut new_root =
-                Node { addr: tx.alloc_block(), leaf: false, keys: Vec::new(), slots: Vec::new() };
+            let mut new_root = Node {
+                addr: tx.alloc_block(),
+                leaf: false,
+                keys: Vec::new(),
+                slots: Vec::new(),
+            };
             new_root.slots.push(root.addr.raw());
             // Inline split of child 0 of the fresh root.
             let mut right = Node {
@@ -173,7 +182,11 @@ impl IncBTree {
                     let mut leaf = Node::load(tx, n);
                     tx.note_path(leaf.addr);
                     tx.note_path(header);
-                    let pos = leaf.keys.iter().position(|&k| key < k).unwrap_or(leaf.keys.len());
+                    let pos = leaf
+                        .keys
+                        .iter()
+                        .position(|&k| key < k)
+                        .unwrap_or(leaf.keys.len());
                     leaf.keys.insert(pos, key);
                     leaf.slots.insert(pos, btree::value_for(key));
                     leaf.store(tx);
@@ -182,7 +195,11 @@ impl IncBTree {
                 });
                 return;
             }
-            let idx = node.keys.iter().position(|&k| key < k).unwrap_or(node.keys.len());
+            let idx = node
+                .keys
+                .iter()
+                .position(|&k| key < k)
+                .unwrap_or(node.keys.len());
             let child = read_node(env, PAddr::new(node.slots[idx]));
             if child.nkeys() == MAX_KEYS {
                 self.split_step(env, op_id, n, idx);
@@ -303,7 +320,11 @@ impl IncBTree {
                     let mut leaf = Node::load(tx, n);
                     tx.note_path(leaf.addr);
                     tx.note_path(header);
-                    let pos = leaf.keys.iter().position(|&k| k == key).expect("key present");
+                    let pos = leaf
+                        .keys
+                        .iter()
+                        .position(|&k| k == key)
+                        .expect("key present");
                     leaf.keys.remove(pos);
                     leaf.slots.remove(pos);
                     leaf.store(tx);
@@ -312,7 +333,11 @@ impl IncBTree {
                 });
                 return;
             }
-            let idx = node.keys.iter().position(|&k| key < k).unwrap_or(node.keys.len());
+            let idx = node
+                .keys
+                .iter()
+                .position(|&k| key < k)
+                .unwrap_or(node.keys.len());
             let child = read_node(env, PAddr::new(node.slots[idx]));
             if child.nkeys() <= MIN_KEYS {
                 n = self.fix_step(env, op_id, n, idx);
@@ -331,7 +356,11 @@ impl IncBTree {
             if node.leaf {
                 break node.keys.contains(&key);
             }
-            let idx = node.keys.iter().position(|&k| key < k).unwrap_or(node.keys.len());
+            let idx = node
+                .keys
+                .iter()
+                .position(|&k| key < k)
+                .unwrap_or(node.keys.len());
             n = PAddr::new(node.slots[idx]);
         };
         if found {
@@ -448,7 +477,11 @@ mod tests {
         for k in 64..96 {
             bt.op(&mut env, k, k);
         }
-        assert!(bt.steps > 32, "expected split steps beyond the leaf steps, got {}", bt.steps);
+        assert!(
+            bt.steps > 32,
+            "expected split steps beyond the leaf steps, got {}",
+            bt.steps
+        );
         // And each step carries its own 4 pcommits.
         assert_eq!(env.trace().counts.pcommits, bt.steps * 4);
     }
@@ -528,12 +561,17 @@ mod tests {
             recover(&mut img, &layout);
             // The tree must be structurally valid at EVERY point
             // (incremental steps preserve invariants)...
-            let s = bt.verify(&img).unwrap_or_else(|e| panic!("crash at {crash}: {e}"));
+            let s = bt
+                .verify(&img)
+                .unwrap_or_else(|e| panic!("crash at {crash}: {e}"));
             // ...and its key set must match some operation prefix
             // (splits don't change the key set; only the final leaf
             // step does).
             let got: BTreeSet<u64> = s.keys.into_iter().collect();
-            assert!(states.contains(&got), "crash at {crash}: state matches no prefix");
+            assert!(
+                states.contains(&got),
+                "crash at {crash}: state matches no prefix"
+            );
         }
     }
 

@@ -54,12 +54,21 @@ impl Driver {
             perm.swap(i, rng.gen_range(0..=i));
         }
         for w in perm.windows(2) {
-            env.store_u64(ring.offset(w[0] * BLOCK_SIZE), ring.offset(w[1] * BLOCK_SIZE).raw());
+            env.store_u64(
+                ring.offset(w[0] * BLOCK_SIZE),
+                ring.offset(w[1] * BLOCK_SIZE).raw(),
+            );
         }
         let last = perm[perm.len() - 1];
-        env.store_u64(ring.offset(last * BLOCK_SIZE), ring.offset(perm[0] * BLOCK_SIZE).raw());
+        env.store_u64(
+            ring.offset(last * BLOCK_SIZE),
+            ring.offset(perm[0] * BLOCK_SIZE).raw(),
+        );
         env.set_recording(was_recording);
-        Driver { ring, cursor: ring.offset(perm[0] * BLOCK_SIZE) }
+        Driver {
+            ring,
+            cursor: ring.offset(perm[0] * BLOCK_SIZE),
+        }
     }
 
     /// Emits one operation's worth of application work.
@@ -110,7 +119,10 @@ mod tests {
         d.before_op(&mut env);
         let c = env.trace().counts;
         assert_eq!(c.loads, u64::from(STEPS_PER_OP));
-        assert_eq!(c.compute, u64::from(PRE_COMPUTE + STEPS_PER_OP * STEP_COMPUTE));
+        assert_eq!(
+            c.compute,
+            u64::from(PRE_COMPUTE + STEPS_PER_OP * STEP_COMPUTE)
+        );
         assert_eq!(c.stores, 0, "the driver must not dirty persistent state");
     }
 

@@ -209,7 +209,9 @@ impl Workload for HashMap {
         let table = PAddr::new(space.read_u64(h.offset(TABLE)));
         let cap = space.read_u64(h.offset(CAPACITY));
         if cap == 0 || (cap & (cap - 1)) != 0 {
-            return Err(VerifyError::new(format!("HM: capacity {cap} not a power of two")));
+            return Err(VerifyError::new(format!(
+                "HM: capacity {cap} not a power of two"
+            )));
         }
         let mut keys = Vec::new();
         let mut tombs = 0u64;
@@ -286,12 +288,18 @@ mod tests {
         // Insert enough distinct keys to force at least one doubling.
         let n = INITIAL_CAPACITY; // > 0.7 * capacity
         for k in 0..n {
-            assert_eq!(hm.op(&mut env, k * 3 + 1, k), OpOutcome::Inserted(k * 3 + 1));
+            assert_eq!(
+                hm.op(&mut env, k * 3 + 1, k),
+                OpOutcome::Inserted(k * 3 + 1)
+            );
         }
         let s = hm.verify(env.space()).unwrap();
         assert_eq!(s.size, n);
         let cap = env.space().read_u64(hm.header.offset(CAPACITY));
-        assert!(cap > INITIAL_CAPACITY, "expected a resize, capacity still {cap}");
+        assert!(
+            cap > INITIAL_CAPACITY,
+            "expected a resize, capacity still {cap}"
+        );
     }
 
     #[test]
@@ -336,7 +344,10 @@ mod tests {
         hm.verify(env.space()).unwrap();
         // And the last one must still be found (delete works through the
         // tombstone).
-        assert_eq!(hm.op(&mut env, colliders[2], 11), OpOutcome::Deleted(colliders[2]));
+        assert_eq!(
+            hm.op(&mut env, colliders[2], 11),
+            OpOutcome::Deleted(colliders[2])
+        );
         hm.verify(env.space()).unwrap();
     }
 }

@@ -53,7 +53,7 @@ use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spp_pmem::{PmemEnv, Space, Trace, Variant};
+use spp_pmem::{FlushMode, PmemEnv, SharedTrace, Space, Trace, Variant};
 
 pub use spec::{BenchId, BenchSpec};
 pub use staged::Staged;
@@ -193,7 +193,11 @@ pub fn run_benchmark(cfg: &RunConfig) -> RunOutput {
     // before measurement (it is pre-existing application state).
     let mut drv = driver::Driver::new(&mut env, &mut rng);
 
-    let base_image = if cfg.capture_base { Some(env.snapshot()) } else { None };
+    let base_image = if cfg.capture_base {
+        Some(env.snapshot())
+    } else {
+        None
+    };
 
     let mut outcomes = Vec::with_capacity(cfg.spec.sim_ops as usize);
     for op in 0..cfg.spec.sim_ops {
@@ -206,7 +210,74 @@ pub fn run_benchmark(cfg: &RunConfig) -> RunOutput {
         panic!("{} final image invalid: {e}", cfg.spec.id);
     }
 
-    RunOutput { trace, base_image, outcomes, env, workload: w }
+    RunOutput {
+        trace,
+        base_image,
+        outcomes,
+        env,
+        workload: w,
+    }
+}
+
+/// Identifies one recordable trace: everything that determines the
+/// event stream bit-for-bit. Two equal `TraceSpec`s always produce
+/// identical traces, which is what makes trace caching sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceSpec {
+    /// The build variant.
+    pub variant: Variant,
+    /// Benchmark and sizing.
+    pub spec: BenchSpec,
+    /// RNG seed for the operation stream.
+    pub seed: u64,
+    /// Which flush instruction the build emits.
+    pub flush_mode: FlushMode,
+}
+
+impl TraceSpec {
+    /// A spec with the default (`clwb`) flush instruction.
+    pub fn new(variant: Variant, spec: BenchSpec, seed: u64) -> Self {
+        TraceSpec {
+            variant,
+            spec,
+            seed,
+            flush_mode: FlushMode::default(),
+        }
+    }
+}
+
+/// Records one benchmark trace and freezes it for concurrent replay.
+///
+/// This is the recording entry point for the evaluation harness: it
+/// runs the same populate/measure protocol as [`run_benchmark`] but
+/// returns only the immutable [`SharedTrace`], which many simulator
+/// configurations can then replay in parallel without re-recording.
+///
+/// # Panics
+///
+/// Panics if the final structure fails verification — that would be a
+/// bug in this crate, never an expected outcome.
+pub fn record_trace(ts: &TraceSpec) -> SharedTrace {
+    let mut env = PmemEnv::new(ts.variant);
+    env.set_flush_mode(ts.flush_mode);
+    let mut rng = StdRng::seed_from_u64(ts.seed);
+    let mut w = make_workload(ts.spec.id);
+
+    env.set_recording(false);
+    w.setup(&mut env, &mut rng, ts.spec.init_ops);
+    env.set_recording(true);
+
+    let mut drv = driver::Driver::new(&mut env, &mut rng);
+    for op in 0..ts.spec.sim_ops {
+        drv.before_op(&mut env);
+        w.run_op(&mut env, &mut rng, op);
+    }
+    let trace = env.take_trace();
+
+    if let Err(e) = w.verify(env.space()) {
+        panic!("{} final image invalid: {e}", ts.spec.id);
+    }
+    trace.into_shared()
 }
 
 #[cfg(test)]

@@ -132,7 +132,9 @@ impl Workload for LinkedList {
             let k = space.read_u64(cur.offset(KEY));
             if let Some(prev) = last {
                 if prev >= k {
-                    return Err(VerifyError::new(format!("LL: order violated ({prev} >= {k})")));
+                    return Err(VerifyError::new(format!(
+                        "LL: order violated ({prev} >= {k})"
+                    )));
                 }
             }
             if space.read_u64(cur.offset(VALUE)) != value_for(k) {

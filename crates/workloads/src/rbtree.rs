@@ -127,7 +127,11 @@ impl RbTree {
             let k = tx.read(x.offset(KEY));
             tx.compute(1);
             went_left = key < k;
-            x = if went_left { self.left(tx, x) } else { self.right(tx, x) };
+            x = if went_left {
+                self.left(tx, x)
+            } else {
+                self.right(tx, x)
+            };
         }
         let z = tx.alloc_block();
         tx.write(z.offset(KEY), key);
@@ -385,11 +389,15 @@ impl RbTree {
             return Ok(1);
         }
         if n.is_null() {
-            return Err(VerifyError::new("RT: raw null pointer (should be NIL sentinel)"));
+            return Err(VerifyError::new(
+                "RT: raw null pointer (should be NIL sentinel)",
+            ));
         }
         let k = space.read_u64(n.offset(KEY));
         if lo.is_some_and(|b| k <= b) || hi.is_some_and(|b| k >= b) {
-            return Err(VerifyError::new(format!("RT: BST order violated at key {k}")));
+            return Err(VerifyError::new(format!(
+                "RT: BST order violated at key {k}"
+            )));
         }
         if space.read_u64(n.offset(VALUE)) != value_for(k) {
             return Err(VerifyError::new(format!("RT: torn value for key {k}")));
@@ -401,24 +409,40 @@ impl RbTree {
         let l = PAddr::new(space.read_u64(n.offset(LEFT)));
         let r = PAddr::new(space.read_u64(n.offset(RIGHT)));
         if color == RED {
-            let lc = if l == nil { BLACK } else { space.read_u64(l.offset(COLOR)) };
-            let rc = if r == nil { BLACK } else { space.read_u64(r.offset(COLOR)) };
+            let lc = if l == nil {
+                BLACK
+            } else {
+                space.read_u64(l.offset(COLOR))
+            };
+            let rc = if r == nil {
+                BLACK
+            } else {
+                space.read_u64(r.offset(COLOR))
+            };
             if lc == RED || rc == RED {
-                return Err(VerifyError::new(format!("RT: red-red violation at key {k}")));
+                return Err(VerifyError::new(format!(
+                    "RT: red-red violation at key {k}"
+                )));
             }
         }
         // Parent pointers must be consistent.
         if l != nil && PAddr::new(space.read_u64(l.offset(PARENT))) != n {
-            return Err(VerifyError::new(format!("RT: bad parent pointer under key {k}")));
+            return Err(VerifyError::new(format!(
+                "RT: bad parent pointer under key {k}"
+            )));
         }
         if r != nil && PAddr::new(space.read_u64(r.offset(PARENT))) != n {
-            return Err(VerifyError::new(format!("RT: bad parent pointer under key {k}")));
+            return Err(VerifyError::new(format!(
+                "RT: bad parent pointer under key {k}"
+            )));
         }
         let bl = Self::verify_rec(space, nil, l, lo, Some(k), keys)?;
         keys.push(k);
         let br = Self::verify_rec(space, nil, r, Some(k), hi, keys)?;
         if bl != br {
-            return Err(VerifyError::new(format!("RT: black-height mismatch at key {k}")));
+            return Err(VerifyError::new(format!(
+                "RT: black-height mismatch at key {k}"
+            )));
         }
         Ok(bl + if color == BLACK { 1 } else { 0 })
     }

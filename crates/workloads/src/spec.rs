@@ -75,7 +75,7 @@ impl fmt::Display for BenchId {
 /// Sizing of one benchmark run: how many operations populate the
 /// structure (executed in fast-forward, unrecorded) and how many are
 /// measured.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BenchSpec {
     /// Which benchmark.
     pub id: BenchId,
@@ -97,7 +97,11 @@ impl BenchSpec {
             BenchId::BTree => (1_000_000, 50_000),
             BenchId::RbTree => (1_500_000, 50_000),
         };
-        BenchSpec { id, init_ops, sim_ops }
+        BenchSpec {
+            id,
+            init_ops,
+            sim_ops,
+        }
     }
 
     /// Scales the op counts down by `divisor` (minimum 1 op each).

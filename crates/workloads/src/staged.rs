@@ -131,7 +131,11 @@ impl<'e> Staged<'e> {
     /// writes at granule granularity.
     pub fn read_bytes(&mut self, addr: PAddr, buf: &mut [u8]) {
         assert_eq!(addr.raw() % 8, 0, "staged access must be 8-byte aligned");
-        assert_eq!(buf.len() % 8, 0, "staged byte access must be whole granules");
+        assert_eq!(
+            buf.len() % 8,
+            0,
+            "staged byte access must be whole granules"
+        );
         for (i, chunk) in buf.chunks_mut(8).enumerate() {
             let v = self.read(addr.offset(8 * i as u64));
             chunk.copy_from_slice(&v.to_le_bytes());
@@ -141,7 +145,11 @@ impl<'e> Staged<'e> {
     /// Stages a byte-range write (8-byte-aligned base and length).
     pub fn write_bytes(&mut self, addr: PAddr, buf: &[u8]) {
         assert_eq!(addr.raw() % 8, 0, "staged access must be 8-byte aligned");
-        assert_eq!(buf.len() % 8, 0, "staged byte access must be whole granules");
+        assert_eq!(
+            buf.len() % 8,
+            0,
+            "staged byte access must be whole granules"
+        );
         for (i, chunk) in buf.chunks(8).enumerate() {
             let mut g = [0u8; 8];
             g.copy_from_slice(chunk);
@@ -189,7 +197,14 @@ impl<'e> Staged<'e> {
     /// Completes the transaction: logs, publishes, applies, persists.
     /// Consumes the staged view; returns the number of blocks logged.
     pub fn finish(self) -> u64 {
-        let Staged { env, overlay, write_order, path, extra, watermark } = self;
+        let Staged {
+            env,
+            overlay,
+            write_order,
+            path,
+            extra,
+            watermark,
+        } = self;
 
         // Step 1: undo-log path + extras + write set (fresh blocks skipped).
         let mut log_set: Vec<BlockId> = Vec::new();
@@ -269,11 +284,14 @@ mod tests {
         assert_eq!(tx.staged_granules(), 1);
         tx.finish();
         assert_eq!(env.space().read_u64(a), 3);
-        assert_eq!(env.trace().counts.stores.saturating_sub(
-            // subtract the WAL machinery stores: entry header (2) + data (8)
-            // + count + bit set + bit clear
-            2 + 8 + 3
-        ), 1);
+        assert_eq!(
+            env.trace().counts.stores.saturating_sub(
+                // subtract the WAL machinery stores: entry header (2) + data (8)
+                // + count + bit set + bit clear
+                2 + 8 + 3
+            ),
+            1
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ fn string_for(index: u64) -> [u8; STRING_LEN as usize] {
     s[..8].copy_from_slice(&index.to_le_bytes());
     let mut x = index.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
     for b in s[8..].iter_mut() {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         *b = (x >> 56) as u8;
     }
     s

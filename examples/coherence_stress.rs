@@ -22,7 +22,11 @@ fn main() {
 
     let out = run_benchmark(&RunConfig {
         variant: Variant::LogPSf,
-        spec: BenchSpec { id: BenchId::LinkedList, init_ops: 500, sim_ops: 300 },
+        spec: BenchSpec {
+            id: BenchId::LinkedList,
+            init_ops: 500,
+            sim_ops: 300,
+        },
         seed: 99,
         capture_base: false,
     });
@@ -63,7 +67,11 @@ fn main() {
         );
         println!(
             "{:>14} {:>10} {:>10} {:>12} {:>10} {:>12}",
-            if period == 0 { "none".to_string() } else { format!("1/{period}") },
+            if period == 0 {
+                "none".to_string()
+            } else {
+                format!("1/{period}")
+            },
             snoops,
             r.blt.conflicts,
             r.cpu.rollbacks,

@@ -36,7 +36,13 @@ fn main() {
         // Track the acceptable post-recovery states: the key set after
         // each operation prefix.
         let mut states: Vec<BTreeSet<u64>> = Vec::new();
-        states.push(w.verify(env.space()).expect("post-init").keys.into_iter().collect());
+        states.push(
+            w.verify(env.space())
+                .expect("post-init")
+                .keys
+                .into_iter()
+                .collect(),
+        );
         for op in 0..OPS {
             let mut cur = states.last().expect("non-empty").clone();
             match w.run_op(&mut env, &mut rng, op) {
@@ -72,7 +78,12 @@ fn main() {
             survived += 1;
         }
         total += survived;
-        println!("  {:<3} {:>3}/{} crash points recovered consistently", id.abbrev(), survived, CRASH_POINTS);
+        println!(
+            "  {:<3} {:>3}/{} crash points recovered consistently",
+            id.abbrev(),
+            survived,
+            CRASH_POINTS
+        );
     }
     println!("\nAll {total} adversarial crashes recovered to prefix-consistent states.");
 }

@@ -24,10 +24,19 @@ fn main() {
     // --- Part 1: the persistence cost ladder ---------------------------
     // run_benchmark embeds each operation in its application context
     // (driver work), exactly as the harness does for the paper figures.
-    let spec = BenchSpec { id: BenchId::HashMap, init_ops: 30_000, sim_ops: 150 };
+    let spec = BenchSpec {
+        id: BenchId::HashMap,
+        init_ops: 30_000,
+        sim_ops: 150,
+    };
     let mut base_cycles = 0u64;
     for variant in Variant::ALL {
-        let out = run_benchmark(&RunConfig { variant, spec, seed: 7, capture_base: false });
+        let out = run_benchmark(&RunConfig {
+            variant,
+            spec,
+            seed: 7,
+            capture_base: false,
+        });
         let plain = simulate(&out.trace.events, &CpuConfig::baseline());
         let sp = simulate(&out.trace.events, &CpuConfig::with_sp());
         if variant == Variant::Base {
@@ -100,8 +109,14 @@ fn main() {
         }
     }
 
-    let inserted = outcomes.iter().filter(|o| matches!(o, OpOutcome::Inserted(_))).count();
-    let deleted = outcomes.iter().filter(|o| matches!(o, OpOutcome::Deleted(_))).count();
+    let inserted = outcomes
+        .iter()
+        .filter(|o| matches!(o, OpOutcome::Inserted(_)))
+        .count();
+    let deleted = outcomes
+        .iter()
+        .filter(|o| matches!(o, OpOutcome::Deleted(_)))
+        .count();
     println!("\n(the 20 live operations inserted {inserted} keys and deleted {deleted})");
     println!("Every recovered image passed full structural verification.");
 }

@@ -101,9 +101,11 @@ fn main() {
         "{:<16} {:>9} {:>9} {:>10} {:>12} {:>12}",
         "model", "pcommits", "sfences", "cycles", "cycles (SP)", "SP saves"
     );
-    for (name, trace) in
-        [("strict", strict()), ("epoch", epoch()), ("transactional", transactional())]
-    {
+    for (name, trace) in [
+        ("strict", strict()),
+        ("epoch", epoch()),
+        ("transactional", transactional()),
+    ] {
         let base = simulate(&trace.events, &CpuConfig::baseline());
         let sp = simulate(&trace.events, &CpuConfig::with_sp());
         println!(

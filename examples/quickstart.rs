@@ -14,10 +14,19 @@ fn main() {
 
     // 1. Record the benchmark in each build variant (Fig. 8's bars).
     //    Identical seeds give identical operation streams.
-    let spec = BenchSpec { id: BenchId::LinkedList, init_ops: 500, sim_ops: 200 };
+    let spec = BenchSpec {
+        id: BenchId::LinkedList,
+        init_ops: 500,
+        sim_ops: 200,
+    };
     let mut cycles = Vec::new();
     for variant in Variant::ALL {
-        let out = run_benchmark(&RunConfig { variant, spec, seed: 42, capture_base: false });
+        let out = run_benchmark(&RunConfig {
+            variant,
+            spec,
+            seed: 42,
+            capture_base: false,
+        });
         let sim = simulate(&out.trace.events, &CpuConfig::baseline());
         println!(
             "{:<10} {:>9} uops  {:>9} cycles  ({} pcommits, {} sfences)",
@@ -45,8 +54,14 @@ fn main() {
 
     let base = cycles[0].2.cpu.cycles as f64;
     println!("\nOverheads vs Base:");
-    println!("  Log+P+Sf : {:+.1}%", (logpsf_sim.cpu.cycles as f64 / base - 1.0) * 100.0);
-    println!("  SP256    : {:+.1}%", (sp.cpu.cycles as f64 / base - 1.0) * 100.0);
+    println!(
+        "  Log+P+Sf : {:+.1}%",
+        (logpsf_sim.cpu.cycles as f64 / base - 1.0) * 100.0
+    );
+    println!(
+        "  SP256    : {:+.1}%",
+        (sp.cpu.cycles as f64 / base - 1.0) * 100.0
+    );
     println!(
         "\nSpeculative persistence recovered {:.0}% of the fence overhead.",
         (logpsf_sim.cpu.cycles - sp.cpu.cycles) as f64

@@ -17,11 +17,24 @@ fn main() {
 
     let spec = BenchSpec::scaled(id, 200);
     let seed = 0x55B;
-    let logpsf =
-        run_benchmark(&RunConfig { variant: Variant::LogPSf, spec, seed, capture_base: false });
-    let base = run_benchmark(&RunConfig { variant: Variant::Base, spec, seed, capture_base: false });
-    let base_cycles = simulate(&base.trace.events, &CpuConfig::baseline()).cpu.cycles;
-    let nosp = simulate(&logpsf.trace.events, &CpuConfig::baseline()).cpu.cycles;
+    let logpsf = run_benchmark(&RunConfig {
+        variant: Variant::LogPSf,
+        spec,
+        seed,
+        capture_base: false,
+    });
+    let base = run_benchmark(&RunConfig {
+        variant: Variant::Base,
+        spec,
+        seed,
+        capture_base: false,
+    });
+    let base_cycles = simulate(&base.trace.events, &CpuConfig::baseline())
+        .cpu
+        .cycles;
+    let nosp = simulate(&logpsf.trace.events, &CpuConfig::baseline())
+        .cpu
+        .cycles;
 
     println!(
         "{:>8} {:>8} {:>12} {:>14} {:>12} {:>10}",

@@ -26,7 +26,13 @@ fn prepare(id: BenchId, init: u64, ops: u64, seed: u64) -> Harness {
     env.set_recording(true);
     let base = env.snapshot();
     let mut states: Vec<BTreeSet<u64>> = Vec::new();
-    states.push(w.verify(env.space()).expect("post-init").keys.into_iter().collect());
+    states.push(
+        w.verify(env.space())
+            .expect("post-init")
+            .keys
+            .into_iter()
+            .collect(),
+    );
     for op in 0..ops {
         let mut cur = states.last().expect("non-empty").clone();
         match w.run_op(&mut env, &mut rng, op) {
@@ -41,19 +47,27 @@ fn prepare(id: BenchId, init: u64, ops: u64, seed: u64) -> Harness {
         states.push(cur);
     }
     let layout = env.log_layout();
-    Harness { w, base, events: env.take_trace().events, layout, states }
+    Harness {
+        w,
+        base,
+        events: env.take_trace().events,
+        layout,
+        states,
+    }
 }
 
 fn check_image(h: &Harness, image: &mut specpersist::pmem::Space, what: &str) {
     recover(image, &h.layout);
-    let got: BTreeSet<u64> = h
-        .w
-        .verify(image)
-        .unwrap_or_else(|e| panic!("{what}: post-recovery structure invalid: {e}"))
-        .keys
-        .into_iter()
-        .collect();
-    assert!(h.states.contains(&got), "{what}: recovered state matches no operation prefix");
+    let got: BTreeSet<u64> =
+        h.w.verify(image)
+            .unwrap_or_else(|e| panic!("{what}: post-recovery structure invalid: {e}"))
+            .keys
+            .into_iter()
+            .collect();
+    assert!(
+        h.states.contains(&got),
+        "{what}: recovered state matches no operation prefix"
+    );
 }
 
 /// Crash at every persist-instruction boundary (the points where
@@ -110,8 +124,16 @@ fn eager_image_at_end_is_the_final_state() {
         let mut img = sim.image_everything();
         recover(&mut img, &h.layout);
         let got: BTreeSet<u64> =
-            h.w.verify(&img).expect("final image valid").keys.into_iter().collect();
-        assert_eq!(&got, h.states.last().expect("states"), "{id}: final state mismatch");
+            h.w.verify(&img)
+                .expect("final image valid")
+                .keys
+                .into_iter()
+                .collect();
+        assert_eq!(
+            &got,
+            h.states.last().expect("states"),
+            "{id}: final state mismatch"
+        );
     }
 }
 
@@ -133,7 +155,13 @@ fn missing_fences_are_observably_unsafe() {
         env.set_recording(true);
         let base = env.snapshot();
         let mut states: Vec<BTreeSet<u64>> = Vec::new();
-        states.push(w.verify(env.space()).expect("init").keys.into_iter().collect());
+        states.push(
+            w.verify(env.space())
+                .expect("init")
+                .keys
+                .into_iter()
+                .collect(),
+        );
         for op in 0..8 {
             let mut cur = states.last().expect("non-empty").clone();
             match w.run_op(&mut env, &mut rng, op) {
