@@ -13,6 +13,10 @@
 //!   trace <BENCH> <VARIANT>  inspect one recorded trace (uop mix)
 //!   json       run the suite and print machine-readable JSON
 //!   multicore  multi-programmed persist interference (future work)
+//!   crashfuzz [all|log|logp|logpsf]  crash-consistency fuzzing:
+//!              Log+P+Sf must recover at every crash point/reordering,
+//!              Log and Log+P must each yield a minimized inconsistency
+//!              witness; exits non-zero if either direction fails
 //!
 //! Options:
 //!   --scale N  divide Table 1's op counts by N (default 50; 1 = paper)
@@ -34,7 +38,7 @@ use spp_bench::{Experiment, Harness};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore> [--scale N] [--seed S] [--jobs J]"
+        "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore|crashfuzz> [--scale N] [--seed S] [--jobs J]"
     );
     ExitCode::FAILURE
 }
@@ -198,9 +202,36 @@ fn main() -> ExitCode {
             staged("multicore study", 6, || report::multicore(&harness))
         ),
         "trace" => return trace_cmd(&positional, &exp),
+        "crashfuzz" => return crashfuzz_cmd(&harness, &positional),
         _ => return usage(),
     }
     ExitCode::SUCCESS
+}
+
+/// `repro crashfuzz [all|log|logp|logpsf]`: run the crash-consistency
+/// fuzz matrix and print the text report plus one JSON line. Exits
+/// non-zero when a must-pass cell violated its oracle, a must-fail
+/// cell found no inconsistency, or the SP differential diverged.
+fn crashfuzz_cmd(harness: &Harness, positional: &[String]) -> ExitCode {
+    use spp_bench::crashfuzz::{run_crashfuzz, Leg};
+    let leg = match positional.first() {
+        None => Leg::All,
+        Some(s) => match Leg::parse(s) {
+            Some(l) => l,
+            None => {
+                eprintln!("unknown crashfuzz leg {s:?} (want all|log|logp|logpsf)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let rep = staged("crashfuzz", 0, || run_crashfuzz(harness, leg));
+    print!("{}", rep.render_text());
+    println!("{}", rep.render_json());
+    if rep.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// `repro trace <BENCH> <VARIANT>`: record one trace and print its

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod crashfuzz;
 pub mod json;
 pub mod parallel;
 pub mod report;

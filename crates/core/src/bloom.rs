@@ -107,6 +107,14 @@ impl BloomFilter {
         hit
     }
 
+    /// Non-mutating membership test for invariant checks: like
+    /// [`BloomFilter::query`] but without counting toward the Fig. 14
+    /// statistics (which model real pipeline lookups only).
+    pub fn contains(&self, addr: PAddr) -> bool {
+        let (a, b) = self.hashes(addr);
+        self.get(a) && self.get(b)
+    }
+
     /// Records that the last positive was false (the SSB search missed)
     /// — maintained by the pipeline for Fig. 14.
     pub fn record_false_positive(&mut self) {

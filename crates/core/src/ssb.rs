@@ -217,6 +217,14 @@ impl Ssb {
         out
     }
 
+    /// Iterates over the buffered entries in program order (oldest
+    /// first), without touching lookup statistics — for invariant
+    /// checks and debugging, not for forwarding (use
+    /// [`Ssb::forwards`]).
+    pub fn iter(&self) -> impl Iterator<Item = &SsbEntry> {
+        self.fifo.iter()
+    }
+
     /// The oldest entry, if any (incremental drain).
     pub fn peek_front(&self) -> Option<SsbEntry> {
         self.fifo.front().copied()

@@ -38,7 +38,7 @@ mod uop;
 use spp_pmem::Event;
 
 pub use config::{CpuConfig, SpConfig};
-pub use multi::MultiCore;
+pub use multi::{MultiCore, MultiCoreError};
 pub use pipeline::Pipeline;
 pub use stats::{CpuStats, SimResult};
 pub use uop::{TraceCursor, Uop, UopKind};

@@ -14,12 +14,41 @@
 //! controller in near-global time order (the controller clamps the
 //! residual skew).
 
-use spp_mem::{shared_mem_ctrl, MemorySystem};
+use std::fmt;
+
+use spp_mem::{shared_mem_ctrl, MemConfigError, MemorySystem};
 use spp_pmem::Event;
 
 use crate::config::CpuConfig;
 use crate::pipeline::Pipeline;
 use crate::stats::SimResult;
+
+/// Why a [`MultiCore`] could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiCoreError {
+    /// No traces were supplied: there is nothing to simulate.
+    NoCores,
+    /// The shared memory configuration is structurally invalid.
+    Mem(MemConfigError),
+}
+
+impl fmt::Display for MultiCoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiCoreError::NoCores => f.write_str("at least one core required"),
+            MultiCoreError::Mem(e) => write!(f, "invalid memory configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MultiCoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MultiCoreError::NoCores => None,
+            MultiCoreError::Mem(e) => Some(e),
+        }
+    }
+}
 
 /// N cores with private caches sharing one memory controller.
 #[derive(Debug)]
@@ -33,9 +62,32 @@ impl<'t> MultiCore<'t> {
     ///
     /// # Panics
     ///
-    /// Panics if `traces` is empty.
+    /// Panics if `traces` is empty or `cfg.mem` is invalid; use
+    /// [`MultiCore::try_new`] to handle the error instead.
     pub fn new(traces: &[&'t [Event]], cfg: CpuConfig) -> Self {
-        assert!(!traces.is_empty(), "at least one core required");
+        match Self::try_new(traces, cfg) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds one pipeline per trace, rejecting degenerate
+    /// configurations (no cores, zero memory banks, zero WPQ entries)
+    /// at construction time.
+    ///
+    /// Because construction validates the core set, [`MultiCore::run`]
+    /// on a successfully built instance always returns at least one
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiCoreError::NoCores`] for an empty trace set and
+    /// [`MultiCoreError::Mem`] for an invalid memory configuration.
+    pub fn try_new(traces: &[&'t [Event]], cfg: CpuConfig) -> Result<Self, MultiCoreError> {
+        if traces.is_empty() {
+            return Err(MultiCoreError::NoCores);
+        }
+        cfg.mem.validate().map_err(MultiCoreError::Mem)?;
         let mc = shared_mem_ctrl(cfg.mem);
         let cores = traces
             .iter()
@@ -43,7 +95,7 @@ impl<'t> MultiCore<'t> {
                 Pipeline::with_memory(t, cfg, MemorySystem::with_shared_mc(cfg.mem, mc.clone()))
             })
             .collect();
-        MultiCore { cores }
+        Ok(MultiCore { cores })
     }
 
     /// Number of cores.
@@ -166,5 +218,28 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn empty_core_set_rejected() {
         let _ = MultiCore::new(&[], CpuConfig::baseline());
+    }
+
+    #[test]
+    fn try_new_reports_empty_core_set() {
+        let err = MultiCore::try_new(&[], CpuConfig::baseline()).unwrap_err();
+        assert_eq!(err, MultiCoreError::NoCores);
+        assert_eq!(err.to_string(), "at least one core required");
+    }
+
+    #[test]
+    fn try_new_reports_invalid_memory_config() {
+        let cfg = CpuConfig {
+            mem: spp_mem::MemConfig {
+                nvmm_banks: 0,
+                ..spp_mem::MemConfig::paper()
+            },
+            ..CpuConfig::baseline()
+        };
+        let t = barrier_trace(1, 0);
+        let err = MultiCore::try_new(&[&t], cfg).unwrap_err();
+        assert_eq!(err, MultiCoreError::Mem(spp_mem::MemConfigError::ZeroBanks));
+        assert!(err.to_string().contains("nvmm_banks"));
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

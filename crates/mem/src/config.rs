@@ -1,7 +1,30 @@
 //! Memory-system configuration (Table 2 of the paper).
 
+use std::fmt;
+
 /// A cycle count or timestamp at the simulated 2.1 GHz core clock.
 pub type Cycle = u64;
+
+/// A structurally invalid [`MemConfig`], rejected at construction time
+/// (rather than silently clamped or left to panic mid-simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemConfigError {
+    /// `nvmm_banks` was zero: no bank could ever drain a write.
+    ZeroBanks,
+    /// `wpq_entries` was zero: no writeback could ever be admitted.
+    ZeroWpqEntries,
+}
+
+impl fmt::Display for MemConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemConfigError::ZeroBanks => "nvmm_banks must be at least 1",
+            MemConfigError::ZeroWpqEntries => "wpq_entries must be at least 1",
+        })
+    }
+}
+
+impl std::error::Error for MemConfigError {}
 
 /// Geometry and latency of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +122,22 @@ impl MemConfig {
     /// e.g. for a `clwb` of a block whose location is unknown).
     pub fn full_probe_latency(&self) -> Cycle {
         self.l1d.latency + self.l2.latency + self.l3.latency
+    }
+
+    /// Checks the configuration for structurally impossible values.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MemConfigError`] found (zero banks, zero WPQ
+    /// entries).
+    pub fn validate(&self) -> Result<(), MemConfigError> {
+        if self.nvmm_banks == 0 {
+            return Err(MemConfigError::ZeroBanks);
+        }
+        if self.wpq_entries == 0 {
+            return Err(MemConfigError::ZeroWpqEntries);
+        }
+        Ok(())
     }
 }
 

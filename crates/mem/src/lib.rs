@@ -40,7 +40,7 @@ mod hierarchy;
 mod memctrl;
 
 pub use cache::{Cache, Eviction};
-pub use config::{CacheConfig, Cycle, MemConfig};
+pub use config::{CacheConfig, Cycle, MemConfig, MemConfigError};
 pub use hierarchy::{
     shared_mem_ctrl, AccessKind, FlushOutcome, HitLevel, MemStats, MemorySystem, SharedMemCtrl,
 };

@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use crate::config::{Cycle, MemConfig};
+use crate::config::{Cycle, MemConfig, MemConfigError};
 
 /// Statistics collected by the memory controller.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -53,14 +53,35 @@ pub struct MemCtrl {
 
 impl MemCtrl {
     /// Creates a controller for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is structurally invalid; use
+    /// [`MemCtrl::try_new`] to handle the error instead.
     pub fn new(cfg: MemConfig) -> Self {
-        MemCtrl {
+        match Self::try_new(cfg) {
+            Ok(mc) => mc,
+            Err(e) => panic!("invalid memory configuration: {e}"),
+        }
+    }
+
+    /// Creates a controller, rejecting structurally invalid
+    /// configurations (zero banks, zero WPQ entries) up front instead
+    /// of clamping them silently or failing mid-simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MemConfigError`] found by
+    /// [`MemConfig::validate`].
+    pub fn try_new(cfg: MemConfig) -> Result<Self, MemConfigError> {
+        cfg.validate()?;
+        Ok(MemCtrl {
             inflight: VecDeque::new(),
-            bank_free: vec![0; cfg.nvmm_banks.max(1)],
+            bank_free: vec![0; cfg.nvmm_banks],
             last_seen: 0,
             cfg,
             stats: McStats::default(),
-        }
+        })
     }
 
     fn clamp_time(&mut self, t: Cycle) -> Cycle {
@@ -96,10 +117,14 @@ impl MemCtrl {
             self.stats.wpq_stall_cycles += free_at.saturating_sub(arrival);
         }
         self.stats.wpq_high_water = self.stats.wpq_high_water.max(self.inflight.len() + 1);
-        // Grant the earliest-free bank.
-        let bank = (0..self.bank_free.len())
-            .min_by_key(|&i| self.bank_free[i])
-            .expect("at least one bank");
+        // Grant the earliest-free bank. `bank_free` is non-empty by
+        // construction: `try_new` rejects zero-bank configurations.
+        let mut bank = 0;
+        for i in 1..self.bank_free.len() {
+            if self.bank_free[i] < self.bank_free[bank] {
+                bank = i;
+            }
+        }
         let start = self.bank_free[bank].max(admitted);
         let done = start + self.cfg.nvmm_write;
         self.bank_free[bank] = done;
@@ -235,6 +260,41 @@ mod tests {
         let mut m = mc(1, 2);
         assert_eq!(m.read(7), 7 + 105);
         assert_eq!(m.stats().nvmm_reads, 1);
+    }
+
+    #[test]
+    fn zero_bank_config_rejected() {
+        let cfg = MemConfig {
+            nvmm_banks: 0,
+            ..MemConfig::paper()
+        };
+        assert_eq!(MemCtrl::try_new(cfg).err(), Some(MemConfigError::ZeroBanks));
+    }
+
+    #[test]
+    fn zero_wpq_config_rejected() {
+        let cfg = MemConfig {
+            wpq_entries: 0,
+            ..MemConfig::paper()
+        };
+        assert_eq!(
+            MemCtrl::try_new(cfg).err(),
+            Some(MemConfigError::ZeroWpqEntries)
+        );
+        assert_eq!(
+            MemConfigError::ZeroWpqEntries.to_string(),
+            "wpq_entries must be at least 1"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nvmm_banks must be at least 1")]
+    fn zero_bank_new_panics_with_reason() {
+        let cfg = MemConfig {
+            nvmm_banks: 0,
+            ..MemConfig::paper()
+        };
+        let _ = MemCtrl::new(cfg);
     }
 
     #[test]

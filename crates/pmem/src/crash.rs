@@ -17,6 +17,14 @@
 //! Writebacks are modelled as 64-byte-atomic (a whole cache line reaches
 //! the write-pending queue at once), the standard assumption in the
 //! persistency-model literature; sub-line tearing is out of scope.
+//!
+//! The three flush instructions carry different ordering baggage
+//! (§2.2): `clwb` and `clflushopt` are weakly ordered and need the
+//! first `sfence` to order the writeback before a `pcommit`, while
+//! legacy `clflush` is serializing with respect to a later `pcommit`
+//! on its own — its writeback enters the ordered stage directly, and
+//! only the trailing `sfence` (awaiting the `pcommit` acknowledgement)
+//! is still required for a durability guarantee.
 
 use std::collections::HashMap;
 
@@ -100,8 +108,15 @@ impl<'a> CrashSim<'a> {
                         value,
                     });
                 }
-                Event::Clwb { addr } | Event::ClflushOpt { addr } | Event::Clflush { addr } => {
+                Event::Clwb { addr } | Event::ClflushOpt { addr } => {
                     issued.insert(addr.block(), idx);
+                }
+                Event::Clflush { addr } => {
+                    // Legacy clflush is ordered with respect to a later
+                    // pcommit without an intervening sfence (Intel SDM):
+                    // it skips the issued stage. Trace indices are
+                    // monotone, so plain insert keeps the max.
+                    ordered.insert(addr.block(), idx);
                 }
                 Event::Pcommit => {
                     for (b, i) in ordered.drain() {
@@ -166,6 +181,22 @@ impl<'a> CrashSim<'a> {
         self.image_with(|_, g, _| g)
     }
 
+    /// A seeded adversarial reordering: every dirty block's cut point is
+    /// drawn independently and uniformly from `[frontier, crash_idx]`
+    /// by hashing `(seed, block)`, so blocks race ahead of or lag behind
+    /// each other in every combination the persistency model allows
+    /// (x86-TSO-persistency-style per-line writeback freedom).
+    ///
+    /// The schedule is a pure function of `(seed, block)` — identical
+    /// seeds reproduce identical images, which is what makes fuzzing
+    /// witnesses replayable.
+    pub fn image_seeded(&self, seed: u64) -> Space {
+        self.image_with(|b, g, c| {
+            let x = splitmix64(seed ^ b.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            g + (x as usize) % (c - g + 1).max(1)
+        })
+    }
+
     /// The "eager writeback" image: every store up to the crash reached
     /// NVMM (as if the cache wrote everything back instantly).
     pub fn image_everything(&self) -> Space {
@@ -177,6 +208,41 @@ impl<'a> CrashSim<'a> {
     pub fn dirty_blocks(&self) -> impl Iterator<Item = (BlockId, usize)> + '_ {
         self.stores.keys().map(move |&b| (b, self.guarantee(b)))
     }
+}
+
+/// SplitMix64: a statistically strong 64-bit mixer (the seeding
+/// function of the xoshiro family), used for deterministic per-block
+/// writeback schedules.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The sorted, deduplicated crash indices at which durability state can
+/// change: just before and just after every persistence-relevant event
+/// (flushes, `pcommit`, fences, transaction markers), clamped to
+/// `0..=events.len()`. Crashing *between* two consecutive boundary
+/// points is indistinguishable from crashing at the earlier one as far
+/// as guarantees go (only plain stores happen in between, which are
+/// never guaranteed), so sweeping these points exhausts every
+/// guarantee-frontier configuration a trace can produce.
+pub fn persist_boundaries(events: &[Event]) -> Vec<usize> {
+    let mut points = vec![0, events.len()];
+    for (i, ev) in events.iter().enumerate() {
+        let interesting = ev.is_persist_op()
+            || ev.is_fence()
+            || matches!(ev, Event::TxBegin(_) | Event::TxEnd(_));
+        if interesting {
+            points.push(i);
+            points.push(i + 1);
+        }
+    }
+    points.sort_unstable();
+    points.dedup();
+    points.retain(|&p| p <= events.len());
+    points
 }
 
 #[cfg(test)]
@@ -325,6 +391,163 @@ mod tests {
     fn crash_idx_validated() {
         let base = Space::new();
         let _ = CrashSim::new(&base, &[], 1);
+    }
+
+    /// Legacy `clflush` is ordered before a later `pcommit` on its own:
+    /// `clflush; pcommit; sfence` guarantees the store with no first
+    /// fence, unlike `clwb`/`clflushopt`.
+    #[test]
+    fn flushmode_guarantees_diverge_without_first_fence() {
+        use crate::FlushMode;
+        for (mode, expect_guaranteed) in [
+            (FlushMode::Clwb, false),
+            (FlushMode::ClflushOpt, false),
+            (FlushMode::Clflush, true),
+        ] {
+            let mut env = PmemEnv::new(Variant::LogPSf);
+            env.set_flush_mode(mode);
+            let a = env.alloc_block();
+            let base = env.snapshot();
+            env.store_u64(a, 5);
+            env.clwb(a); // emits the configured flush instruction
+            env.pcommit(); // no sfence between flush and pcommit
+            env.sfence();
+            let trace = env.take_trace();
+            let sim = CrashSim::new(&base, &trace.events, trace.events.len());
+            assert_eq!(
+                sim.guarantee(a.block()) > 0,
+                expect_guaranteed,
+                "{mode}: flush; pcommit; sfence guarantee"
+            );
+        }
+    }
+
+    /// With the full `flush; sfence; pcommit; sfence` dance, all three
+    /// flush modes guarantee the store identically.
+    #[test]
+    fn all_flushmodes_guarantee_with_full_barrier() {
+        use crate::FlushMode;
+        for mode in FlushMode::ALL {
+            let mut env = PmemEnv::new(Variant::LogPSf);
+            env.set_flush_mode(mode);
+            let a = env.alloc_block();
+            let base = env.snapshot();
+            env.store_u64(a, 5);
+            env.clwb(a);
+            env.sfence();
+            env.pcommit();
+            env.sfence();
+            let trace = env.take_trace();
+            let sim = CrashSim::new(&base, &trace.events, trace.events.len());
+            assert!(sim.guarantee(a.block()) > 0, "{mode}: full barrier");
+            assert_eq!(sim.image_guaranteed_only().read_u64(a), 5, "{mode}");
+        }
+    }
+
+    /// Even for clflush, the trailing sfence (pcommit acknowledgement)
+    /// is still load-bearing: `clflush; pcommit` alone guarantees
+    /// nothing.
+    #[test]
+    fn clflush_without_trailing_fence_not_guaranteed() {
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        env.set_flush_mode(crate::FlushMode::Clflush);
+        let a = env.alloc_block();
+        let base = env.snapshot();
+        env.store_u64(a, 5);
+        env.clwb(a);
+        env.pcommit();
+        let trace = env.take_trace();
+        let sim = CrashSim::new(&base, &trace.events, trace.events.len());
+        assert_eq!(sim.guarantee(a.block()), 0);
+    }
+
+    /// A clflush with no pcommit at all is never guaranteed, fences or
+    /// not: ordering is not durability.
+    #[test]
+    fn clflush_alone_is_not_durable() {
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        env.set_flush_mode(crate::FlushMode::Clflush);
+        let a = env.alloc_block();
+        let base = env.snapshot();
+        env.store_u64(a, 5);
+        env.clwb(a);
+        env.sfence();
+        env.sfence();
+        let trace = env.take_trace();
+        let sim = CrashSim::new(&base, &trace.events, trace.events.len());
+        assert_eq!(sim.guarantee(a.block()), 0);
+    }
+
+    #[test]
+    fn seeded_images_are_deterministic_and_bounded() {
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let a = env.alloc_block();
+        let b = env.alloc_block();
+        let base = env.snapshot();
+        env.store_u64(a, 1);
+        env.store_u64(b, 2);
+        env.store_u64(a, 3);
+        let trace = env.take_trace();
+        let sim = CrashSim::new(&base, &trace.events, trace.events.len());
+        for seed in 0..64u64 {
+            let img1 = sim.image_seeded(seed);
+            let img2 = sim.image_seeded(seed);
+            for addr in [a, b] {
+                assert_eq!(img1.read_u64(addr), img2.read_u64(addr), "seed {seed}");
+            }
+            // Every per-block value must be one of that block's
+            // prefix-consistent contents.
+            assert!(matches!(img1.read_u64(a), 0 | 1 | 3));
+            assert!(matches!(img1.read_u64(b), 0 | 2));
+        }
+        // With enough seeds, the cuts actually vary (not all-stale).
+        let varied = (0..64u64).any(|s| sim.image_seeded(s).read_u64(a) != 0);
+        assert!(varied, "seeded schedules never moved past the frontier");
+    }
+
+    #[test]
+    fn seeded_image_respects_guarantee_frontier() {
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let a = env.alloc_block();
+        let base = env.snapshot();
+        env.store_u64(a, 5);
+        env.clwb(a);
+        env.sfence();
+        env.pcommit();
+        env.sfence();
+        let trace = env.take_trace();
+        let sim = CrashSim::new(&base, &trace.events, trace.events.len());
+        for seed in 0..32u64 {
+            assert_eq!(sim.image_seeded(seed).read_u64(a), 5, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn persist_boundaries_bracket_every_durability_event() {
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let a = env.alloc_block();
+        env.tx_begin(0);
+        env.tx_log(a, 8);
+        env.tx_set_logged();
+        env.store_u64(a, 1);
+        env.clwb(a);
+        env.tx_commit();
+        let trace = env.take_trace();
+        let pts = persist_boundaries(&trace.events);
+        // Sorted, deduplicated, bounded.
+        assert!(pts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*pts.first().unwrap(), 0);
+        assert_eq!(*pts.last().unwrap(), trace.events.len());
+        // Every persist op / fence / tx marker is bracketed.
+        for (i, ev) in trace.events.iter().enumerate() {
+            if ev.is_persist_op()
+                || ev.is_fence()
+                || matches!(ev, Event::TxBegin(_) | Event::TxEnd(_))
+            {
+                assert!(pts.contains(&i), "missing point before event {i}");
+                assert!(pts.contains(&(i + 1)), "missing point after event {i}");
+            }
+        }
     }
 
     #[test]

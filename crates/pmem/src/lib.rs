@@ -54,7 +54,7 @@ mod undo;
 mod variant;
 
 pub use addr::{blocks_covering, BlockId, PAddr, BLOCK_SIZE};
-pub use crash::CrashSim;
+pub use crash::{persist_boundaries, CrashSim};
 pub use env::{PmemEnv, ROOT_SLOTS};
 pub use event::{Event, SharedTrace, Trace, TraceCounts};
 pub use space::Space;

@@ -1,0 +1,336 @@
+//! Crash-recovery oracles: deciding whether a post-crash, post-recovery
+//! memory image is *consistent* for each benchmark.
+//!
+//! The structural side of every oracle is the benchmark's own
+//! [`Workload::verify`]: AVL balance factors and BST ordering, red-black
+//! and B-tree invariants, hash-map membership and chain integrity,
+//! linked-list ordering, and string-swap atomicity (torn 256-byte
+//! entries are detected by their index-tagged content). This module adds
+//! the *transactional* side: after [`recover`] the logical contents must
+//! sit exactly at an operation boundary — the state after the last
+//! transaction whose `TxEnd` marker precedes the crash, or (when the
+//! crash lands between the durable `logged_bit` clear and the `TxEnd`
+//! marker itself) the state one operation later. Any other recovered
+//! state means a committed operation was lost or a torn one exposed —
+//! the §2/Fig. 3 failure the paper's `Log+P+Sf` protocol exists to
+//! prevent.
+//!
+//! A [`CrashBundle`] packages everything an oracle check needs: the
+//! durable pre-trace image, the recorded event stream, the undo-log
+//! layout, and the expected logical state at every operation boundary.
+//! [`CrashBundle::check_crash`] then replays one `(crash_idx, seed)`
+//! adversarial writeback schedule end to end: crash simulation →
+//! recovery → structural verification → boundary matching.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spp_pmem::{recover, CrashSim, Event, FlushMode, LogLayout, PmemEnv, Space, Variant};
+
+use crate::{make_workload, BenchId, OpOutcome, Workload};
+
+/// Sizing and identity of one crash-fuzzing bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BundleSpec {
+    /// Which benchmark.
+    pub id: BenchId,
+    /// The build variant whose persistence machinery is traced.
+    pub variant: Variant,
+    /// Which flush instruction the build emits.
+    pub flush_mode: FlushMode,
+    /// Operations populating the structure (unrecorded).
+    pub init_ops: u64,
+    /// Recorded operations available as crash targets.
+    pub sim_ops: u64,
+    /// RNG seed for the operation stream.
+    pub seed: u64,
+}
+
+/// A recorded run prepared for crash injection: base image, events,
+/// per-operation expected states, and the live workload object whose
+/// `verify` runs against candidate images.
+#[derive(Debug)]
+pub struct CrashBundle {
+    spec: BundleSpec,
+    base: Space,
+    events: Vec<Event>,
+    layout: LogLayout,
+    /// Logical contents after 0, 1, ..., `sim_ops` completed operations.
+    states: Vec<BTreeSet<u64>>,
+    workload: Box<dyn Workload>,
+}
+
+/// How a crash image failed its oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The recovered structure violated a structural invariant (broken
+    /// ordering, torn string, dangling pointer, ...).
+    StructureInvalid,
+    /// The structure verified, but its contents match no adjacent
+    /// operation boundary — a committed operation was lost or a torn
+    /// one became visible.
+    StateMismatch,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ViolationKind::StructureInvalid => "structure-invalid",
+            ViolationKind::StateMismatch => "state-mismatch",
+        })
+    }
+}
+
+/// An oracle failure for one `(crash_idx, seed)` schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleViolation {
+    /// What failed.
+    pub kind: ViolationKind,
+    /// Deterministic human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+/// Records a bundle: populate in fast-forward, snapshot the quiesced
+/// image, then record `sim_ops` operations while tracking the expected
+/// logical state at every boundary.
+///
+/// Unlike [`crate::run_benchmark`] this deliberately skips the
+/// application-context driver: its megabyte-scale pointer ring would
+/// dominate every per-image [`Space`] clone during fuzzing without
+/// adding crash-relevant behaviour (driver traffic is never logged, so
+/// it cannot change recovery).
+///
+/// # Panics
+///
+/// Panics if the freshly populated structure fails verification (a
+/// workload bug, never an expected outcome).
+pub fn record_bundle(spec: &BundleSpec) -> CrashBundle {
+    let mut env = PmemEnv::new(spec.variant);
+    env.set_flush_mode(spec.flush_mode);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut w = make_workload(spec.id);
+    env.set_recording(false);
+    w.setup(&mut env, &mut rng, spec.init_ops);
+    env.set_recording(true);
+    let base = env.snapshot();
+    let mut states: Vec<BTreeSet<u64>> = Vec::with_capacity(spec.sim_ops as usize + 1);
+    states.push(
+        w.verify(env.space())
+            .expect("post-init structure must verify")
+            .keys
+            .into_iter()
+            .collect(),
+    );
+    for op in 0..spec.sim_ops {
+        let mut cur = states.last().expect("non-empty").clone();
+        match w.run_op(&mut env, &mut rng, op) {
+            OpOutcome::Inserted(k) => {
+                cur.insert(k);
+            }
+            OpOutcome::Deleted(k) => {
+                cur.remove(&k);
+            }
+            OpOutcome::Swapped(..) | OpOutcome::Noop => {}
+        }
+        states.push(cur);
+    }
+    let layout = env.log_layout();
+    CrashBundle {
+        spec: *spec,
+        base,
+        events: env.take_trace().events,
+        layout,
+        states,
+        workload: w,
+    }
+}
+
+impl CrashBundle {
+    /// The spec this bundle was recorded from.
+    pub fn spec(&self) -> &BundleSpec {
+        &self.spec
+    }
+
+    /// The recorded event stream (crash indices range over
+    /// `0..=events().len()`).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Expected logical contents after each completed operation
+    /// (`states()[0]` is the post-init state).
+    pub fn states(&self) -> &[BTreeSet<u64>] {
+        &self.states
+    }
+
+    /// Number of `TxEnd` markers before `crash_idx`: the count of
+    /// operations certainly completed at the crash.
+    pub fn completed_ops(&self, crash_idx: usize) -> usize {
+        self.events[..crash_idx]
+            .iter()
+            .filter(|e| matches!(e, Event::TxEnd(_)))
+            .count()
+    }
+
+    /// Runs recovery and the full oracle against `image`, which must be
+    /// a candidate NVMM image of a crash at `crash_idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation if the recovered structure is invalid or
+    /// its contents match neither adjacent operation boundary.
+    pub fn check_image(&self, image: &mut Space, crash_idx: usize) -> Result<(), OracleViolation> {
+        recover(image, &self.layout);
+        let got: BTreeSet<u64> = match self.workload.verify(image) {
+            Ok(s) => s.keys.into_iter().collect(),
+            Err(e) => {
+                return Err(OracleViolation {
+                    kind: ViolationKind::StructureInvalid,
+                    detail: e.to_string(),
+                })
+            }
+        };
+        let completed = self.completed_ops(crash_idx);
+        // The crash may land between the durable logged_bit clear and
+        // the (zero-cost) TxEnd marker: the next state is then already
+        // durable despite not being counted.
+        let next = (completed + 1).min(self.states.len() - 1);
+        if got == self.states[completed] || got == self.states[next] {
+            Ok(())
+        } else {
+            Err(OracleViolation {
+                kind: ViolationKind::StateMismatch,
+                detail: format!(
+                    "recovered contents ({} keys) match neither the state after {completed} \
+                     completed operations ({} keys) nor the next boundary ({} keys)",
+                    got.len(),
+                    self.states[completed].len(),
+                    self.states[next].len()
+                ),
+            })
+        }
+    }
+
+    /// Replays one adversarial schedule: crash at `crash_idx`, per-block
+    /// writeback cuts drawn from `seed` (see
+    /// [`CrashSim::image_seeded`]), then recovery and the oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation for a failing schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crash_idx > events().len()`.
+    pub fn check_crash(&self, crash_idx: usize, seed: u64) -> Result<(), OracleViolation> {
+        let sim = CrashSim::new(&self.base, &self.events, crash_idx);
+        let mut img = sim.image_seeded(seed);
+        self.check_image(&mut img, crash_idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_pmem::persist_boundaries;
+
+    fn spec(id: BenchId, variant: Variant) -> BundleSpec {
+        BundleSpec {
+            id,
+            variant,
+            flush_mode: FlushMode::default(),
+            init_ops: 40,
+            sim_ops: 4,
+            seed: 0xFACE,
+        }
+    }
+
+    #[test]
+    fn bundle_records_states_per_op() {
+        let b = record_bundle(&spec(BenchId::LinkedList, Variant::LogPSf));
+        assert_eq!(b.states().len(), 5);
+        assert!(!b.events().is_empty());
+        assert_eq!(b.completed_ops(b.events().len()), 4);
+        assert_eq!(b.completed_ops(0), 0);
+    }
+
+    #[test]
+    fn logpsf_passes_oracle_at_every_boundary() {
+        for id in [BenchId::LinkedList, BenchId::AvlTree, BenchId::HashMap] {
+            let b = record_bundle(&spec(id, Variant::LogPSf));
+            for &p in &persist_boundaries(b.events()) {
+                for seed in 0..2u64 {
+                    if let Err(v) = b.check_crash(p, seed) {
+                        panic!("{id} @ {p} seed {seed}: {v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_variant_fails_oracle_somewhere() {
+        let mut found = false;
+        'outer: for id in [BenchId::LinkedList, BenchId::AvlTree] {
+            let b = record_bundle(&spec(id, Variant::Log));
+            for &p in &persist_boundaries(b.events()) {
+                for seed in 0..4u64 {
+                    if b.check_crash(p, seed).is_err() {
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(found, "Log (no persist ops) never violated the oracle");
+    }
+
+    #[test]
+    fn eager_final_image_is_the_last_state() {
+        let b = record_bundle(&spec(BenchId::RbTree, Variant::LogPSf));
+        let sim = CrashSim::new(&b.base, b.events(), b.events().len());
+        let mut img = sim.image_everything();
+        b.check_image(&mut img, b.events().len())
+            .expect("eager final image must be the final state");
+    }
+
+    #[test]
+    fn string_swap_oracle_detects_torn_swaps() {
+        // In the Log build nothing is ever guaranteed: adversarial
+        // schedules can tear a 4-block string copy mid-swap, which the
+        // index-tagged content check must catch as a violation.
+        let b = record_bundle(&spec(BenchId::StringSwap, Variant::Log));
+        let mut found = false;
+        for &p in &persist_boundaries(b.events()) {
+            for seed in 0..8u64 {
+                if b.check_crash(p, seed).is_err() {
+                    found = true;
+                    break;
+                }
+            }
+        }
+        assert!(found, "torn string swaps went undetected");
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = OracleViolation {
+            kind: ViolationKind::StateMismatch,
+            detail: "x".into(),
+        };
+        assert_eq!(v.to_string(), "state-mismatch: x");
+        let v2 = OracleViolation {
+            kind: ViolationKind::StructureInvalid,
+            detail: "y".into(),
+        };
+        assert!(v2.to_string().starts_with("structure-invalid"));
+    }
+}
