@@ -17,11 +17,21 @@
 //!              Log+P+Sf must recover at every crash point/reordering,
 //!              Log and Log+P must each yield a minimized inconsistency
 //!              witness; exits non-zero if either direction fails
+//!   faultsim   deterministic hardware fault injection: every
+//!              benchmark x variant x fault plan must commit exactly
+//!              the fault-free architectural state (only cycle counts
+//!              may move), crash verdicts must hold, and the
+//!              forward-progress watchdog must convert a wedged run
+//!              into a typed error; exits non-zero on any divergence
 //!
 //! Options:
 //!   --scale N  divide Table 1's op counts by N (default 50; 1 = paper)
 //!   --seed S   RNG seed (default 0x5EED)
 //!   --jobs J   worker threads (default: all cores; 1 = serial)
+//!
+//! Invalid input (a malformed or zero --scale/--jobs, an unknown
+//! command, benchmark, variant, or leg) exits non-zero with a one-line
+//! `repro: ...` diagnostic on stderr.
 //!
 //! Every trace is recorded exactly once per invocation and shared
 //! across all simulator configurations (the `repro all` sweep replays
@@ -30,17 +40,122 @@
 //! timings go to stderr.
 //! ```
 
+use std::fmt;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use spp_bench::report;
 use spp_bench::{Experiment, Harness};
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore|crashfuzz> [--scale N] [--seed S] [--jobs J]"
-    );
-    ExitCode::FAILURE
+const USAGE: &str = "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore|crashfuzz|faultsim> [--scale N] [--seed S] [--jobs J]";
+
+/// A rejected invocation: every variant renders as one line, and every
+/// variant exits non-zero. Parsing never panics on user input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CliError {
+    /// No command was given.
+    NoCommand,
+    /// The command word is not one `repro` knows.
+    UnknownCommand(String),
+    /// A flag's value is missing or unusable (non-numeric, negative,
+    /// or below the flag's minimum).
+    BadValue {
+        flag: &'static str,
+        given: String,
+        want: &'static str,
+    },
+    /// `repro trace` needs a benchmark and a variant.
+    MissingTraceArgs,
+    /// The benchmark abbreviation is not in Table 1.
+    UnknownBench(String),
+    /// The build-variant name is not one of the four builds.
+    UnknownVariant(String),
+    /// The crashfuzz leg name is not a known slice of the matrix.
+    UnknownLeg(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::NoCommand => f.write_str("no command given"),
+            CliError::UnknownCommand(c) => write!(f, "unknown command {c:?}"),
+            CliError::BadValue { flag, given, want } => {
+                write!(f, "{flag} {given:?} is invalid (want {want})")
+            }
+            CliError::MissingTraceArgs => {
+                f.write_str("trace needs <GH|HM|LL|SS|AT|BT|RT> <base|log|logp|logpsf>")
+            }
+            CliError::UnknownBench(b) => {
+                write!(f, "unknown benchmark {b:?} (want GH|HM|LL|SS|AT|BT|RT)")
+            }
+            CliError::UnknownVariant(v) => {
+                write!(f, "unknown variant {v:?} (want base|log|logp|logpsf)")
+            }
+            CliError::UnknownLeg(l) => {
+                write!(f, "unknown crashfuzz leg {l:?} (want all|log|logp|logpsf)")
+            }
+        }
+    }
+}
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cli {
+    cmd: String,
+    exp: Experiment,
+    jobs: usize,
+    positional: Vec<String>,
+}
+
+/// Parses everything after the binary name. Flags may appear anywhere;
+/// all remaining words are positional arguments for the command.
+fn parse_args(args: &[String]) -> Result<Cli, CliError> {
+    let Some(cmd) = args.first().cloned() else {
+        return Err(CliError::NoCommand);
+    };
+    let mut exp = Experiment::default();
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 1;
+    fn flag_value(
+        flag: &'static str,
+        args: &[String],
+        i: usize,
+        min: u64,
+        want: &'static str,
+    ) -> Result<u64, CliError> {
+        let given = args.get(i + 1).cloned().unwrap_or_default();
+        match given.parse::<u64>() {
+            Ok(v) if v >= min => Ok(v),
+            _ => Err(CliError::BadValue { flag, given, want }),
+        }
+    }
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                exp.scale = flag_value("--scale", args, i, 1, "an integer of at least 1")?;
+                i += 2;
+            }
+            "--seed" => {
+                exp.seed = flag_value("--seed", args, i, 0, "a non-negative integer")?;
+                i += 2;
+            }
+            "--jobs" => {
+                jobs = flag_value("--jobs", args, i, 1, "an integer of at least 1")? as usize;
+                i += 2;
+            }
+            other => {
+                positional.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    Ok(Cli {
+        cmd,
+        exp,
+        jobs,
+        positional,
+    })
 }
 
 /// Runs one evaluation stage, reporting wall time and throughput on
@@ -63,51 +178,23 @@ fn staged<T>(label: &str, sims: usize, f: impl FnOnce() -> T) -> T {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first().cloned() else {
-        return usage();
-    };
-    let mut exp = Experiment::default();
-    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut positional: Vec<String> = Vec::new();
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => {
-                let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
-                    return usage();
-                };
-                exp.scale = v;
-                i += 2;
-            }
-            "--seed" => {
-                let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
-                    return usage();
-                };
-                exp.seed = v;
-                i += 2;
-            }
-            "--jobs" => {
-                let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
-                    return usage();
-                };
-                jobs = v;
-                i += 2;
-            }
-            other => {
-                positional.push(other.to_string());
-                i += 1;
-            }
+    match parse_args(&args).and_then(run) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
         }
     }
-    if exp.scale == 0 {
-        eprintln!("--scale must be at least 1");
-        return ExitCode::FAILURE;
-    }
-    if jobs == 0 {
-        eprintln!("--jobs must be at least 1");
-        return ExitCode::FAILURE;
-    }
+}
 
+fn run(cli: Cli) -> Result<ExitCode, CliError> {
+    let Cli {
+        cmd,
+        exp,
+        jobs,
+        positional,
+    } = cli;
     let harness = Harness::new(exp, jobs);
     let t0 = Instant::now();
 
@@ -201,30 +288,43 @@ fn main() -> ExitCode {
             "{}",
             staged("multicore study", 6, || report::multicore(&harness))
         ),
-        "trace" => return trace_cmd(&positional, &exp),
+        "trace" => return trace_cmd(&positional, &exp).map(|()| ExitCode::SUCCESS),
         "crashfuzz" => return crashfuzz_cmd(&harness, &positional),
-        _ => return usage(),
+        "faultsim" => return Ok(faultsim_cmd(&harness)),
+        _ => return Err(CliError::UnknownCommand(cmd)),
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `repro crashfuzz [all|log|logp|logpsf]`: run the crash-consistency
 /// fuzz matrix and print the text report plus one JSON line. Exits
 /// non-zero when a must-pass cell violated its oracle, a must-fail
 /// cell found no inconsistency, or the SP differential diverged.
-fn crashfuzz_cmd(harness: &Harness, positional: &[String]) -> ExitCode {
+fn crashfuzz_cmd(harness: &Harness, positional: &[String]) -> Result<ExitCode, CliError> {
     use spp_bench::crashfuzz::{run_crashfuzz, Leg};
     let leg = match positional.first() {
         None => Leg::All,
-        Some(s) => match Leg::parse(s) {
-            Some(l) => l,
-            None => {
-                eprintln!("unknown crashfuzz leg {s:?} (want all|log|logp|logpsf)");
-                return ExitCode::FAILURE;
-            }
-        },
+        Some(s) => Leg::parse(s).ok_or_else(|| CliError::UnknownLeg(s.clone()))?,
     };
     let rep = staged("crashfuzz", 0, || run_crashfuzz(harness, leg));
+    print!("{}", rep.render_text());
+    println!("{}", rep.render_json());
+    Ok(if rep.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `repro faultsim`: run the fault-injection matrix (benchmark x
+/// variant x plan, both cores) plus the watchdog-detection leg and
+/// print the text report and one JSON line. Exits non-zero if a
+/// faulted run changed committed state or a crash verdict, a plan
+/// never fired, or the watchdog failed to convert a wedged run into a
+/// typed error.
+fn faultsim_cmd(harness: &Harness) -> ExitCode {
+    use spp_bench::faultsim::run_faultsim;
+    let rep = staged("faultsim", 7 * 4 * 2 * 3 + 1, || run_faultsim(harness));
     print!("{}", rep.render_text());
     println!("{}", rep.render_json());
     if rep.ok() {
@@ -236,30 +336,23 @@ fn crashfuzz_cmd(harness: &Harness, positional: &[String]) -> ExitCode {
 
 /// `repro trace <BENCH> <VARIANT>`: record one trace and print its
 /// micro-op mix and per-operation averages.
-fn trace_cmd(positional: &[String], exp: &Experiment) -> ExitCode {
+fn trace_cmd(positional: &[String], exp: &Experiment) -> Result<(), CliError> {
     use spp_pmem::Variant;
     use spp_workloads::{run_benchmark, BenchId, BenchSpec, RunConfig};
     let (Some(bench), Some(variant)) = (positional.first(), positional.get(1)) else {
-        eprintln!("usage: repro trace <GH|HM|LL|SS|AT|BT|RT> <base|log|logp|logpsf> [--scale N]");
-        return ExitCode::FAILURE;
+        return Err(CliError::MissingTraceArgs);
     };
-    let Some(id) = BenchId::ALL
+    let id = BenchId::ALL
         .iter()
         .copied()
         .find(|b| b.abbrev().eq_ignore_ascii_case(bench))
-    else {
-        eprintln!("unknown benchmark {bench:?}");
-        return ExitCode::FAILURE;
-    };
+        .ok_or_else(|| CliError::UnknownBench(bench.clone()))?;
     let variant = match variant.to_ascii_lowercase().as_str() {
         "base" => Variant::Base,
         "log" => Variant::Log,
         "logp" | "log+p" => Variant::LogP,
         "logpsf" | "log+p+sf" => Variant::LogPSf,
-        other => {
-            eprintln!("unknown variant {other:?}");
-            return ExitCode::FAILURE;
-        }
+        _ => return Err(CliError::UnknownVariant(variant.clone())),
     };
     let spec = BenchSpec::scaled(id, exp.scale);
     let out = run_benchmark(&RunConfig {
@@ -295,5 +388,133 @@ fn trace_cmd(positional: &[String], exp: &Experiment) -> ExitCode {
         c.total() as f64 / ops as f64
     );
     println!("transactions: {}", c.transactions);
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn args(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_apply_without_flags() {
+        let cli = parse_args(&args(&["all"])).unwrap();
+        assert_eq!(cli.cmd, "all");
+        assert_eq!(cli.exp.scale, Experiment::default().scale);
+        assert_eq!(cli.exp.seed, Experiment::default().seed);
+        assert!(cli.jobs >= 1);
+        assert!(cli.positional.is_empty());
+    }
+
+    #[test]
+    fn flags_and_positionals_parse_anywhere() {
+        let cli = parse_args(&args(&[
+            "trace", "--scale", "200", "LL", "--seed", "9", "logpsf", "--jobs", "3",
+        ]))
+        .unwrap();
+        assert_eq!(cli.cmd, "trace");
+        assert_eq!(cli.exp.scale, 200);
+        assert_eq!(cli.exp.seed, 9);
+        assert_eq!(cli.jobs, 3);
+        assert_eq!(cli.positional, args(&["LL", "logpsf"]));
+    }
+
+    #[test]
+    fn zero_jobs_is_a_typed_error() {
+        let e = parse_args(&args(&["all", "--jobs", "0"])).unwrap_err();
+        assert_eq!(
+            e,
+            CliError::BadValue {
+                flag: "--jobs",
+                given: "0".to_string(),
+                want: "an integer of at least 1",
+            }
+        );
+    }
+
+    #[test]
+    fn zero_and_negative_scale_are_typed_errors() {
+        for bad in ["0", "-3", "1.5", "lots", ""] {
+            let e = parse_args(&args(&["all", "--scale", bad])).unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    CliError::BadValue {
+                        flag: "--scale",
+                        ..
+                    }
+                ),
+                "--scale {bad:?} gave {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_flag_value_is_a_typed_error() {
+        let e = parse_args(&args(&["all", "--seed"])).unwrap_err();
+        assert_eq!(
+            e,
+            CliError::BadValue {
+                flag: "--seed",
+                given: String::new(),
+                want: "a non-negative integer",
+            }
+        );
+    }
+
+    #[test]
+    fn no_command_is_a_typed_error() {
+        assert_eq!(parse_args(&[]).unwrap_err(), CliError::NoCommand);
+    }
+
+    #[test]
+    fn every_error_renders_as_one_line() {
+        let errors = [
+            CliError::NoCommand,
+            CliError::UnknownCommand("fig99".into()),
+            CliError::BadValue {
+                flag: "--jobs",
+                given: "-2".into(),
+                want: "an integer of at least 1",
+            },
+            CliError::MissingTraceArgs,
+            CliError::UnknownBench("ZZ".into()),
+            CliError::UnknownVariant("fast".into()),
+            CliError::UnknownLeg("base".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty() && !s.contains('\n'), "{e:?} renders {s:?}");
+        }
+    }
+
+    #[test]
+    fn trace_cmd_rejects_unknown_names() {
+        let exp = Experiment::default();
+        assert_eq!(
+            trace_cmd(&args(&["ZZ", "base"]), &exp).unwrap_err(),
+            CliError::UnknownBench("ZZ".into())
+        );
+        assert_eq!(
+            trace_cmd(&args(&["LL", "fast"]), &exp).unwrap_err(),
+            CliError::UnknownVariant("fast".into())
+        );
+        assert_eq!(
+            trace_cmd(&args(&["LL"]), &exp).unwrap_err(),
+            CliError::MissingTraceArgs
+        );
+    }
+
+    #[test]
+    fn unknown_crashfuzz_leg_is_a_typed_error() {
+        let h = Harness::new(Experiment::default(), 1);
+        assert_eq!(
+            crashfuzz_cmd(&h, &args(&["base"])).unwrap_err(),
+            CliError::UnknownLeg("base".into())
+        );
+    }
 }

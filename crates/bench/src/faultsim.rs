@@ -1,0 +1,586 @@
+//! `repro faultsim` — deterministic hardware fault injection and the
+//! timing-only invariance check.
+//!
+//! A [`FaultSpec`] plan perturbs the simulated hardware at eight
+//! injection sites (NVMM latency spikes, WPQ backpressure, bank
+//! stalls, delayed/duplicated `pcommit` acks, SSB/checkpoint
+//! exhaustion pressure). The faults are *timing-only* by construction:
+//! they stretch latencies and deny resources, never drop or corrupt a
+//! request. This module mechanizes the resulting invariant across the
+//! whole suite:
+//!
+//! * **State invariance**: for every benchmark × build variant × fault
+//!   plan, the faulted run on both the baseline and SP256 cores must
+//!   commit exactly the same architectural work — all six committed
+//!   micro-op classes — as the fault-free run and as the recorded
+//!   trace itself. Only cycle counts may move.
+//! * **Verdict invariance**: crash-recovery verdicts are a pure
+//!   function of the recorded trace, and the state check proves the
+//!   faulted runs commit exactly that trace; each cell therefore
+//!   carries the trace's oracle verdict (`Log+P+Sf` recovers, `Log`
+//!   and `Log+P` yield a violation, `Base` has no persist discipline
+//!   to judge), recomputed from a bounded [`crate::crashfuzz`] sweep
+//!   and checked against its expectation.
+//! * **Watchdog detection**: one leg runs with a deliberately tiny
+//!   no-retire bound, far below the 315-cycle NVMM write stall every
+//!   persist barrier incurs, and requires the forward-progress
+//!   watchdog to convert the run into a typed
+//!   [`spp_cpu::SimError`] with a populated diagnostic snapshot
+//!   instead of trusting (or hanging in) a wedged simulation. The
+//!   true-livelock fixture — a speculating core whose checkpoint can
+//!   never be granted — lives in `spp-cpu`'s unit tests, where the
+//!   pipeline internals needed to construct it are in scope.
+//!
+//! Every fault stream is a splitmix64 counter stream seeded from
+//! `(plan seed, component salt, site)`, so cells are pure functions of
+//! their inputs: the report is byte-identical at any `--jobs` value.
+
+use spp_cpu::{try_simulate, CpuConfig, SimErrorKind, SimResult};
+use spp_mem::{FaultSpec, FaultStats};
+use spp_pmem::{TraceCounts, Variant};
+use spp_workloads::oracle::record_bundle;
+use spp_workloads::BenchId;
+
+use crate::crashfuzz::{crash_points, fuzz_bundle_spec, minimal_witness, SEEDS_PER_POINT};
+use crate::json::{array, JsonObject};
+use crate::{run_indexed, Harness, TraceKey};
+
+/// The build variants swept by `repro faultsim` (all four: even the
+/// un-instrumented `Base` build must be timing-invariant under NVMM
+/// and WPQ adversity).
+pub const VARIANTS: [Variant; 4] = [Variant::Base, Variant::Log, Variant::LogP, Variant::LogPSf];
+
+/// The named fault plans swept per cell, derived from the experiment
+/// seed: background-radiation `quiet` and adversarial `storm`.
+pub fn plans(seed: u64) -> [(&'static str, FaultSpec); 2] {
+    [
+        ("quiet", FaultSpec::quiet(seed)),
+        ("storm", FaultSpec::storm(seed)),
+    ]
+}
+
+/// Crash points sampled for a cell's bounded must-pass verdict sweep.
+const VERDICT_POINTS: usize = 16;
+
+/// No-retire bound of the watchdog-detection leg: far below the
+/// 315-cycle NVMM write stall of every persist barrier, so the first
+/// long stall must trip the watchdog.
+pub const WATCHDOG_DEMO_BOUND: u64 = 64;
+
+/// One core's run under one plan (or fault-free).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Outcome {
+    cycles: u64,
+    classes: [u64; 6],
+    faults: FaultStats,
+    /// Display form of a [`spp_cpu::SimError`], if the run failed.
+    error: Option<String>,
+}
+
+/// One faultsim cell: a `(benchmark, variant, plan)` triple with the
+/// fault-free reference and the faulted runs on both cores.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Which benchmark.
+    pub id: BenchId,
+    /// The build variant replayed.
+    pub variant: Variant,
+    /// The fault plan name (`quiet` or `storm`).
+    pub plan: &'static str,
+    /// Fault-free baseline-core cycles.
+    pub base_cycles: u64,
+    /// Faulted baseline-core cycles.
+    pub base_cycles_faulted: u64,
+    /// Fault-free SP256-core cycles.
+    pub sp_cycles: u64,
+    /// Faulted SP256-core cycles.
+    pub sp_cycles_faulted: u64,
+    /// Faults injected across both faulted runs.
+    pub faults_injected: u64,
+    /// Latency directly added by the injected faults, cycles.
+    pub extra_cycles: u64,
+    /// Did all four runs commit exactly the trace's micro-op classes?
+    pub state_ok: bool,
+    /// The trace's crash-recovery verdict (`recovers`, `violation`,
+    /// or `n/a` for `Base`).
+    pub verdict: &'static str,
+    /// Does the verdict match the variant's expectation?
+    pub verdict_ok: bool,
+    /// Simulation errors, if any faulted run failed (always a bug:
+    /// plans must perturb timing, not wedge the machine).
+    pub errors: Vec<String>,
+}
+
+/// The watchdog-detection leg's outcome.
+#[derive(Debug, Clone)]
+pub struct WatchdogReport {
+    /// The benchmark whose trace was replayed.
+    pub id: BenchId,
+    /// The deliberately tiny no-retire bound used.
+    pub bound: u64,
+    /// Did the watchdog fire with [`SimErrorKind::NoRetireProgress`]?
+    pub fired: bool,
+    /// Simulated cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// ROB occupancy captured in the diagnostic snapshot.
+    pub rob_len: usize,
+    /// The full one-line error (kind plus snapshot).
+    pub detail: String,
+    /// Fired as expected with a populated snapshot?
+    pub ok: bool,
+}
+
+/// The full faultsim outcome.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Scale/seed the traces were recorded at.
+    pub exp: crate::Experiment,
+    /// Per-cell results, in deterministic matrix order.
+    pub cells: Vec<Cell>,
+    /// The watchdog-detection leg.
+    pub watchdog: WatchdogReport,
+}
+
+fn variant_key(v: Variant) -> &'static str {
+    match v {
+        Variant::Base => "base",
+        Variant::Log => "log",
+        Variant::LogP => "logp",
+        Variant::LogPSf => "logpsf",
+    }
+}
+
+fn committed_classes(r: &SimResult) -> [u64; 6] {
+    [
+        r.cpu.committed_uops,
+        r.cpu.loads,
+        r.cpu.stores,
+        r.cpu.flushes,
+        r.cpu.pcommits,
+        r.cpu.fences,
+    ]
+}
+
+fn trace_classes(c: &TraceCounts) -> [u64; 6] {
+    [
+        c.total(),
+        c.loads,
+        c.stores,
+        c.flushes,
+        c.pcommits,
+        c.fences,
+    ]
+}
+
+/// The bounded crash-recovery verdict of a `(benchmark, variant)`
+/// bundle: must-fail variants scan for the minimal witness (early
+/// exit on the first inconsistency), the must-pass variant sweeps an
+/// evenly spaced sample of [`VERDICT_POINTS`] crash points.
+fn crash_verdict(id: BenchId, variant: Variant, exp: &crate::Experiment) -> &'static str {
+    let spec = fuzz_bundle_spec(id, variant, spp_pmem::FlushMode::Clwb, exp);
+    let b = record_bundle(&spec);
+    if variant == Variant::LogPSf {
+        let pts = crash_points(b.events());
+        let step = (pts.len() / VERDICT_POINTS).max(1);
+        for &p in pts.iter().step_by(step) {
+            for seed in 0..SEEDS_PER_POINT {
+                if b.check_crash(p, seed).is_err() {
+                    return "violation";
+                }
+            }
+        }
+        "recovers"
+    } else if minimal_witness(&b, b.events().len(), SEEDS_PER_POINT).is_some() {
+        "violation"
+    } else {
+        "recovers"
+    }
+}
+
+fn run_one(
+    h: &Harness,
+    id: BenchId,
+    variant: Variant,
+    fault: Option<FaultSpec>,
+    sp: bool,
+) -> Outcome {
+    let t = h.trace(TraceKey::new(id, variant, &h.exp));
+    let mut cpu = if sp {
+        CpuConfig::with_sp()
+    } else {
+        CpuConfig::baseline()
+    };
+    cpu.mem.fault = fault;
+    match try_simulate(&t.events, &cpu) {
+        Ok(r) => Outcome {
+            cycles: r.cpu.cycles,
+            classes: committed_classes(&r),
+            faults: r.faults,
+            error: None,
+        },
+        Err(e) => Outcome {
+            error: Some(e.to_string()),
+            ..Outcome::default()
+        },
+    }
+}
+
+fn watchdog_leg(h: &Harness) -> WatchdogReport {
+    let id = BenchId::LinkedList;
+    let t = h.trace(TraceKey::new(id, Variant::LogPSf, &h.exp));
+    let cpu = CpuConfig {
+        watchdog_cycles: WATCHDOG_DEMO_BOUND,
+        ..CpuConfig::baseline()
+    };
+    match try_simulate(&t.events, &cpu) {
+        Err(e) => {
+            let fired = matches!(e.kind, SimErrorKind::NoRetireProgress { .. });
+            let snapshot_populated = e.snapshot.cycle > 0 && e.snapshot.rob_len > 0;
+            WatchdogReport {
+                id,
+                bound: WATCHDOG_DEMO_BOUND,
+                fired,
+                cycle: e.snapshot.cycle,
+                rob_len: e.snapshot.rob_len,
+                detail: e.to_string(),
+                ok: fired && snapshot_populated,
+            }
+        }
+        Ok(r) => WatchdogReport {
+            id,
+            bound: WATCHDOG_DEMO_BOUND,
+            fired: false,
+            cycle: r.cpu.cycles,
+            rob_len: 0,
+            detail: "run completed; watchdog never fired".to_string(),
+            ok: false,
+        },
+    }
+}
+
+/// Runs the faultsim matrix on the harness's worker budget.
+///
+/// Simulations (four per cell: fault-free and faulted on the baseline
+/// and SP256 cores, with fault-free runs shared between the two plans
+/// of a `(benchmark, variant)` pair) and crash-verdict sweeps are
+/// independent jobs fanned out via [`run_indexed`]; results come back
+/// in input order, so the report is identical at any `--jobs` value.
+pub fn run_faultsim(h: &Harness) -> FaultReport {
+    let plans = plans(h.exp.seed);
+    // Flat sim list per (bench, variant): plan 0 is fault-free, then
+    // one slot per named plan; each on both cores.
+    let sims: Vec<(BenchId, Variant, usize, bool)> = BenchId::ALL
+        .iter()
+        .flat_map(|&id| {
+            VARIANTS.iter().flat_map(move |&v| {
+                (0..=plans.len()).flat_map(move |p| [(id, v, p, false), (id, v, p, true)])
+            })
+        })
+        .collect();
+    let outs = run_indexed(h.jobs, &sims, |_, &(id, v, p, sp)| {
+        let fault = (p > 0).then(|| plans[p - 1].1);
+        run_one(h, id, v, fault, sp)
+    });
+    let pairs: Vec<(BenchId, Variant)> = BenchId::ALL
+        .iter()
+        .flat_map(|&id| VARIANTS.iter().map(move |&v| (id, v)))
+        .collect();
+    let verdicts = run_indexed(h.jobs, &pairs, |_, &(id, v)| {
+        if v == Variant::Base {
+            "n/a"
+        } else {
+            crash_verdict(id, v, &h.exp)
+        }
+    });
+
+    let per_pair = 2 * (plans.len() + 1);
+    let mut cells = Vec::new();
+    for (pi, &(id, v)) in pairs.iter().enumerate() {
+        let chunk = &outs[pi * per_pair..(pi + 1) * per_pair];
+        let (clean_base, clean_sp) = (&chunk[0], &chunk[1]);
+        let t = h.trace(TraceKey::new(id, v, &h.exp));
+        let reference = trace_classes(&t.counts);
+        let verdict = verdicts[pi];
+        let verdict_ok = match v {
+            Variant::Base => verdict == "n/a",
+            Variant::LogPSf => verdict == "recovers",
+            Variant::Log | Variant::LogP => verdict == "violation",
+        };
+        for (p, &(plan, _)) in plans.iter().enumerate() {
+            let (fb, fs) = (&chunk[2 * (p + 1)], &chunk[2 * (p + 1) + 1]);
+            let runs = [clean_base, clean_sp, fb, fs];
+            let state_ok = runs
+                .iter()
+                .all(|o| o.error.is_none() && o.classes == reference);
+            let errors: Vec<String> = runs.iter().filter_map(|o| o.error.clone()).collect();
+            cells.push(Cell {
+                id,
+                variant: v,
+                plan,
+                base_cycles: clean_base.cycles,
+                base_cycles_faulted: fb.cycles,
+                sp_cycles: clean_sp.cycles,
+                sp_cycles_faulted: fs.cycles,
+                faults_injected: fb.faults.total() + fs.faults.total(),
+                extra_cycles: fb.faults.extra_cycles + fs.faults.extra_cycles,
+                state_ok,
+                verdict,
+                verdict_ok,
+                errors,
+            });
+        }
+    }
+    FaultReport {
+        exp: h.exp,
+        cells,
+        watchdog: watchdog_leg(h),
+    }
+}
+
+impl FaultReport {
+    /// Faults injected across every `storm` cell (the sweep is vacuous
+    /// if the adversarial plan never fires).
+    pub fn storm_faults(&self) -> u64 {
+        self.cells
+            .iter()
+            .filter(|c| c.plan == "storm")
+            .map(|c| c.faults_injected)
+            .sum()
+    }
+
+    /// Cells whose faulted cycle counts differ from the fault-free
+    /// reference (proof the injected faults actually perturb timing).
+    pub fn perturbed_cells(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| {
+                c.base_cycles_faulted != c.base_cycles || c.sp_cycles_faulted != c.sp_cycles
+            })
+            .count()
+    }
+
+    /// Did every cell keep state and verdict invariant, did the storm
+    /// plan actually inject and perturb, and did the watchdog leg
+    /// detect its wedged run?
+    pub fn ok(&self) -> bool {
+        self.cells.iter().all(|c| c.state_ok && c.verdict_ok)
+            && self.watchdog.ok
+            && self.storm_faults() > 0
+            && self.perturbed_cells() > 0
+    }
+
+    /// The human-readable report (deterministic; stdout-destined).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let plans = plans(self.exp.seed);
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "== faultsim (scale 1/{}, seed {:#x}, plans {}) ==",
+            self.exp.scale,
+            self.exp.seed,
+            plans.iter().map(|(n, _)| *n).collect::<Vec<_>>().join("/")
+        );
+        let _ = writeln!(
+            s,
+            "{:<5} {:<7} {:<6} {:>12} {:>12} {:>12} {:>12} {:>7} {:<9} state",
+            "bench",
+            "variant",
+            "plan",
+            "base",
+            "base+fault",
+            "sp256",
+            "sp256+fault",
+            "faults",
+            "verdict"
+        );
+        for c in &self.cells {
+            let state = if c.state_ok {
+                "ok".to_string()
+            } else if c.errors.is_empty() {
+                "FAIL: committed state diverged".to_string()
+            } else {
+                format!("FAIL: {}", c.errors[0])
+            };
+            let verdict = if c.verdict_ok {
+                c.verdict.to_string()
+            } else {
+                format!("FAIL:{}", c.verdict)
+            };
+            let _ = writeln!(
+                s,
+                "{:<5} {:<7} {:<6} {:>12} {:>12} {:>12} {:>12} {:>7} {:<9} {}",
+                c.id.abbrev(),
+                variant_key(c.variant),
+                c.plan,
+                c.base_cycles,
+                c.base_cycles_faulted,
+                c.sp_cycles,
+                c.sp_cycles_faulted,
+                c.faults_injected,
+                verdict,
+                state
+            );
+        }
+        let w = &self.watchdog;
+        let _ = writeln!(
+            s,
+            "watchdog leg ({} logpsf, bound {}): {}",
+            w.id.abbrev(),
+            w.bound,
+            if w.ok {
+                format!("ok: fired at cycle {} (rob {})", w.cycle, w.rob_len)
+            } else {
+                format!("FAIL: {}", w.detail)
+            }
+        );
+        let _ = writeln!(
+            s,
+            "faultsim: {} ({} cells, {} faults under storm, {} cells perturbed)",
+            if self.ok() { "PASS" } else { "FAIL" },
+            self.cells.len(),
+            self.storm_faults(),
+            self.perturbed_cells()
+        );
+        s
+    }
+
+    /// The machine-readable report.
+    pub fn render_json(&self) -> String {
+        let cells = self.cells.iter().map(|c| {
+            let mut o = JsonObject::new();
+            o.str("bench", c.id.abbrev())
+                .str("variant", variant_key(c.variant))
+                .str("plan", c.plan)
+                .num("base_cycles", c.base_cycles as f64)
+                .num("base_cycles_faulted", c.base_cycles_faulted as f64)
+                .num("sp_cycles", c.sp_cycles as f64)
+                .num("sp_cycles_faulted", c.sp_cycles_faulted as f64)
+                .num("faults", c.faults_injected as f64)
+                .num("extra_cycles", c.extra_cycles as f64)
+                .num("state_ok", u8::from(c.state_ok))
+                .str("verdict", c.verdict)
+                .num("verdict_ok", u8::from(c.verdict_ok));
+            if !c.errors.is_empty() {
+                o.raw(
+                    "errors",
+                    array(c.errors.iter().map(|e| {
+                        let mut eo = JsonObject::new();
+                        eo.str("error", e);
+                        eo.render()
+                    })),
+                );
+            }
+            o.render()
+        });
+        let plan_list = plans(self.exp.seed).into_iter().map(|(name, spec)| {
+            let mut o = JsonObject::new();
+            o.str("name", name).num("seed", spec.seed as f64);
+            o.render()
+        });
+        let w = &self.watchdog;
+        let mut wo = JsonObject::new();
+        wo.str("bench", w.id.abbrev())
+            .num("bound", w.bound as f64)
+            .num("fired", u8::from(w.fired))
+            .num("cycle", w.cycle as f64)
+            .num("rob_len", w.rob_len as f64)
+            .str("detail", &w.detail)
+            .num("ok", u8::from(w.ok));
+        let mut root = JsonObject::new();
+        root.str("schema", "specpersist/faultsim-v1")
+            .num("scale", self.exp.scale as f64)
+            .num("seed", self.exp.seed as f64)
+            .num("ok", u8::from(self.ok()))
+            .raw("plans", array(plan_list))
+            .raw("cells", array(cells))
+            .raw("watchdog", wo.render());
+        root.render()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::Experiment;
+
+    fn smoke_harness(jobs: usize) -> Harness {
+        Harness::new(
+            Experiment {
+                scale: 2400,
+                seed: 7,
+            },
+            jobs,
+        )
+    }
+
+    #[test]
+    fn invariance_holds_across_the_matrix_at_smoke_scale() {
+        let rep = run_faultsim(&smoke_harness(4));
+        assert_eq!(rep.cells.len(), 7 * 4 * 2, "bench x variant x plan");
+        for c in &rep.cells {
+            assert!(
+                c.state_ok,
+                "{} {} {}: committed state diverged ({:?})",
+                c.id, c.variant, c.plan, c.errors
+            );
+            assert!(
+                c.verdict_ok,
+                "{} {} {}: verdict {}",
+                c.id, c.variant, c.plan, c.verdict
+            );
+        }
+        // Non-vacuity: the adversarial plan must actually fire and move
+        // cycle counts somewhere in the matrix.
+        assert!(rep.storm_faults() > 0, "storm plan never injected");
+        assert!(
+            rep.perturbed_cells() > 0,
+            "faults never moved a cycle count"
+        );
+        assert!(rep.ok());
+    }
+
+    #[test]
+    fn watchdog_leg_converts_stall_into_typed_error() {
+        let rep = run_faultsim(&smoke_harness(4));
+        let w = &rep.watchdog;
+        assert!(
+            w.fired,
+            "watchdog must fire under a {}-cycle bound",
+            w.bound
+        );
+        assert!(w.ok, "snapshot not populated: {}", w.detail);
+        assert!(w.detail.contains("no retirement progress"), "{}", w.detail);
+        assert!(w.detail.contains("rob"), "snapshot missing: {}", w.detail);
+        assert!(w.cycle > 0);
+    }
+
+    #[test]
+    fn report_is_identical_at_any_job_count() {
+        let a = run_faultsim(&smoke_harness(1));
+        let b = run_faultsim(&smoke_harness(8));
+        assert_eq!(a.render_text(), b.render_text());
+        assert_eq!(a.render_json(), b.render_json());
+        assert!(a.ok());
+    }
+
+    #[test]
+    fn json_shape_is_balanced_and_keyed() {
+        let rep = run_faultsim(&smoke_harness(4));
+        let j = rep.render_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        for key in [
+            "\"schema\":\"specpersist/faultsim-v1\"",
+            "\"plans\"",
+            "\"cells\"",
+            "\"watchdog\"",
+            "\"verdict\"",
+            "\"extra_cycles\"",
+        ] {
+            assert!(j.contains(key), "missing {key}");
+        }
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod cache;
 pub mod crashfuzz;
+pub mod faultsim;
 pub mod json;
 pub mod parallel;
 pub mod report;
@@ -45,7 +46,7 @@ use spp_pmem::{FlushMode, SharedTrace, TraceCounts, Variant};
 use spp_workloads::{run_benchmark, BenchId, BenchSpec, RunConfig};
 
 /// Harness-wide parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Experiment {
     /// Divisor applied to Table 1's `#InitOps`/`#SimOps` (1 = paper
     /// scale; the default harness uses 50).

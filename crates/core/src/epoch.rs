@@ -139,19 +139,27 @@ impl EpochManager {
         self.epochs.back().copied()
     }
 
-    /// Commits the oldest epoch, freeing its checkpoint.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no epoch is live.
-    pub fn commit_oldest(&mut self) -> Epoch {
-        let e = self.epochs.pop_front().expect("no epoch to commit");
+    /// Commits the oldest epoch, freeing its checkpoint. Returns `None`
+    /// (and changes nothing) when no epoch is live, so a confused caller
+    /// can surface a typed error instead of aborting the simulation.
+    pub fn commit_oldest(&mut self) -> Option<Epoch> {
+        let e = self.epochs.pop_front()?;
         let freed = self.checkpoints.release_oldest();
-        debug_assert_eq!(
-            freed.id, e.checkpoint.id,
+        debug_assert!(
+            freed.is_some_and(|f| f.id == e.checkpoint.id),
             "checkpoints must free in epoch order"
         );
-        e
+        Some(e)
+    }
+
+    /// Live checkpoints (diagnostic snapshots).
+    pub fn checkpoints_live(&self) -> usize {
+        self.checkpoints.live()
+    }
+
+    /// Checkpoint slots configured (diagnostic snapshots).
+    pub fn checkpoint_capacity(&self) -> usize {
+        self.checkpoints.capacity()
     }
 
     /// Rolls back all speculation to the oldest checkpoint; returns the
@@ -177,6 +185,7 @@ impl EpochManager {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -196,10 +205,11 @@ mod tests {
     fn commit_is_strictly_oldest_first() {
         let mut em = EpochManager::new(4);
         let ids: Vec<u64> = (0..3).map(|i| em.begin(i, i as u64).unwrap()).collect();
-        assert_eq!(em.commit_oldest().id, ids[0]);
-        assert_eq!(em.commit_oldest().id, ids[1]);
-        assert_eq!(em.commit_oldest().id, ids[2]);
+        assert_eq!(em.commit_oldest().unwrap().id, ids[0]);
+        assert_eq!(em.commit_oldest().unwrap().id, ids[1]);
+        assert_eq!(em.commit_oldest().unwrap().id, ids[2]);
         assert!(!em.speculating());
+        assert_eq!(em.commit_oldest(), None, "nothing left to commit");
     }
 
     #[test]

@@ -38,13 +38,17 @@
 //! let e1 = epochs.begin(10, 50).unwrap();
 //!
 //! // The first pcommit acknowledges: epoch 0 commits and drains.
-//! let drained = ssb.drain_epoch(epochs.commit_oldest().id);
+//! let drained = ssb.drain_epoch(epochs.commit_oldest().unwrap().id);
 //! assert_eq!(drained.len(), 2);
 //! assert_eq!(epochs.oldest().unwrap().id, e1);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Simulation code must degrade to typed errors, never abort mid-run:
+// `.unwrap()`/`.expect()` are banned outside tests (CI runs clippy with
+// `-D warnings`, making these hard errors there).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod bloom;
 mod blt;

@@ -211,8 +211,13 @@ impl Ssb {
             "draining an epoch while an older one is still buffered"
         );
         let mut out = Vec::new();
-        while self.fifo.front().is_some_and(|f| f.epoch == epoch) {
-            out.push(self.fifo.pop_front().expect("checked front"));
+        while let Some(e) = self.fifo.pop_front() {
+            if e.epoch == epoch {
+                out.push(e);
+            } else {
+                self.fifo.push_front(e);
+                break;
+            }
         }
         out
     }
@@ -255,6 +260,7 @@ impl Ssb {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

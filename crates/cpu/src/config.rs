@@ -1,7 +1,7 @@
 //! Pipeline configuration (Table 2) and speculative-persistence options.
 
 use spp_core::SsbConfig;
-use spp_mem::MemConfig;
+use spp_mem::{Cycle, MemConfig};
 
 /// Speculative persistence (SP) configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +60,13 @@ pub struct CpuConfig {
     /// Speculative persistence; `None` reproduces the non-speculative
     /// baseline (the Log+P+Sf bars of Fig. 8).
     pub sp: Option<SpConfig>,
+    /// Forward-progress watchdog: if no micro-op retires for more than
+    /// this many cycles while work remains, the simulation stops with a
+    /// typed [`crate::SimError`] instead of hanging. `0` disables the
+    /// watchdog. The default (one million cycles) sits far above any
+    /// legitimate stall in the modelled machine (worst observed:
+    /// tens of thousands of cycles for a contended WPQ drain).
+    pub watchdog_cycles: Cycle,
 }
 
 impl CpuConfig {
@@ -74,6 +81,7 @@ impl CpuConfig {
             store_buffer: 32,
             mem: MemConfig::paper(),
             sp: None,
+            watchdog_cycles: 1_000_000,
         }
     }
 
@@ -93,6 +101,7 @@ impl Default for CpuConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

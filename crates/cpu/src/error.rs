@@ -1,0 +1,126 @@
+//! Typed simulation errors and the forward-progress watchdog snapshot.
+//!
+//! A wedged or internally inconsistent pipeline must surface as a value
+//! the caller can inspect — never as a hang or a panic backtrace. Every
+//! [`SimError`] carries a [`DiagnosticSnapshot`] of the machine state at
+//! the moment of failure: what sat at the ROB head, how full each
+//! speculative structure was, and how deep the memory controller's
+//! write-pending queue ran.
+
+use std::fmt;
+
+use spp_mem::Cycle;
+
+use crate::uop::Uop;
+
+/// Why a simulation could not continue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimErrorKind {
+    /// The forward-progress watchdog fired: no micro-op retired for more
+    /// than `bound` cycles while the pipeline still held work.
+    NoRetireProgress {
+        /// The configured no-retire bound
+        /// ([`crate::CpuConfig::watchdog_cycles`]).
+        bound: Cycle,
+    },
+    /// The pipeline made no progress this cycle and no future event is
+    /// scheduled anywhere: a true deadlock.
+    NoFutureEvent,
+    /// An internal pipeline invariant broke (a state that should be
+    /// unreachable); `what` names the violated assumption.
+    BrokenInvariant {
+        /// The violated assumption.
+        what: &'static str,
+    },
+}
+
+/// Machine state captured when a [`SimError`] is raised.
+#[derive(Debug, Clone, Default)]
+pub struct DiagnosticSnapshot {
+    /// Simulated cycle of the failure.
+    pub cycle: Cycle,
+    /// Micro-op at the ROB head (usually the one that cannot retire).
+    pub rob_head: Option<Uop>,
+    /// Occupied ROB entries.
+    pub rob_len: usize,
+    /// Occupied fetch-queue entries.
+    pub fetchq_len: usize,
+    /// Occupied post-retirement store-buffer entries.
+    pub store_buffer_len: usize,
+    /// Occupied LSQ slots.
+    pub lsq_used: usize,
+    /// Posted flushes not yet globally visible.
+    pub pending_flushes: usize,
+    /// Posted pcommits not yet acknowledged.
+    pub pending_pcommits: usize,
+    /// Was the core retiring speculatively?
+    pub speculating: bool,
+    /// Total SSB entries buffered.
+    pub ssb_len: usize,
+    /// SSB occupancy per epoch, front (oldest) first.
+    pub ssb_per_epoch: Vec<(u64, usize)>,
+    /// Live checkpoint-buffer entries.
+    pub checkpoints_live: usize,
+    /// Checkpoint-buffer capacity (0 when SP is disabled).
+    pub checkpoint_capacity: usize,
+    /// Write-pending-queue occupancy at the memory controller.
+    pub wpq_depth: usize,
+    /// Had the trace cursor reached the end of the trace?
+    pub trace_done: bool,
+}
+
+impl fmt::Display for DiagnosticSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {}: rob {} (head {:?}), fetchq {}, lsq {}, store buffer {}, \
+             pending flushes/pcommits {}/{}, speculating {}, ssb {} {:?}, \
+             checkpoints {}/{}, wpq {}, trace done {}",
+            self.cycle,
+            self.rob_len,
+            self.rob_head.map(|u| u.kind),
+            self.fetchq_len,
+            self.lsq_used,
+            self.store_buffer_len,
+            self.pending_flushes,
+            self.pending_pcommits,
+            self.speculating,
+            self.ssb_len,
+            self.ssb_per_epoch,
+            self.checkpoints_live,
+            self.checkpoint_capacity,
+            self.wpq_depth,
+            self.trace_done,
+        )
+    }
+}
+
+/// A simulation failure: what went wrong plus the machine state when it
+/// did.
+#[derive(Debug, Clone)]
+pub struct SimError {
+    /// The failure class.
+    pub kind: SimErrorKind,
+    /// Machine state at the failure (boxed to keep `Result` small on
+    /// the simulation hot path).
+    pub snapshot: Box<DiagnosticSnapshot>,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            SimErrorKind::NoRetireProgress { bound } => {
+                write!(f, "no retirement progress within {bound} cycles (watchdog)")?;
+            }
+            SimErrorKind::NoFutureEvent => {
+                f.write_str("pipeline deadlock: no progress and no scheduled event")?;
+            }
+            SimErrorKind::BrokenInvariant { what } => {
+                write!(f, "broken pipeline invariant: {what}")?;
+            }
+        }
+        write!(f, " [{}]", self.snapshot)
+    }
+}
+
+impl std::error::Error for SimError {}

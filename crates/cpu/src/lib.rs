@@ -28,8 +28,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Simulation hot paths must surface faults as typed errors, not abort.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod config;
+mod error;
 mod multi;
 mod pipeline;
 mod stats;
@@ -38,17 +41,35 @@ mod uop;
 use spp_pmem::Event;
 
 pub use config::{CpuConfig, SpConfig};
+pub use error::{DiagnosticSnapshot, SimError, SimErrorKind};
 pub use multi::{MultiCore, MultiCoreError};
 pub use pipeline::Pipeline;
 pub use stats::{CpuStats, SimResult};
 pub use uop::{TraceCursor, Uop, UopKind};
 
 /// Replays `events` through the pipeline and returns the statistics.
+///
+/// # Panics
+///
+/// Panics if the simulation fails (watchdog, deadlock, or broken
+/// invariant); use [`try_simulate`] to handle the error.
 pub fn simulate(events: &[Event], cfg: &CpuConfig) -> SimResult {
     Pipeline::new(events, *cfg).run()
 }
 
+/// Replays `events` through the pipeline, surfacing simulation failures
+/// (watchdog expiry, deadlock, broken invariants) as typed errors with
+/// a diagnostic snapshot instead of panicking.
+///
+/// # Errors
+///
+/// Returns the pipeline's [`SimError`] on failure.
+pub fn try_simulate(events: &[Event], cfg: &CpuConfig) -> Result<SimResult, SimError> {
+    Pipeline::new(events, *cfg).try_run()
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use spp_pmem::{PAddr, PmemEnv, Variant};
@@ -288,7 +309,7 @@ mod tests {
             if p.is_done() {
                 break;
             }
-            p.step();
+            p.step().unwrap();
             if !rolled && p.inject_coherence(target) {
                 rolled = true;
             }

@@ -20,6 +20,7 @@ use spp_mem::{shared_mem_ctrl, MemConfigError, MemorySystem};
 use spp_pmem::Event;
 
 use crate::config::CpuConfig;
+use crate::error::SimError;
 use crate::pipeline::Pipeline;
 use crate::stats::SimResult;
 
@@ -104,7 +105,26 @@ impl<'t> MultiCore<'t> {
     }
 
     /// Runs every core to completion and returns per-core results.
-    pub fn run(mut self) -> Vec<SimResult> {
+    ///
+    /// # Panics
+    ///
+    /// Panics if any core's simulation fails; use
+    /// [`MultiCore::try_run`] to handle the error.
+    pub fn run(self) -> Vec<SimResult> {
+        match self.try_run() {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs every core to completion, surfacing the first core
+    /// simulation failure (watchdog, deadlock, broken invariant) as a
+    /// typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] of the first failing core.
+    pub fn try_run(mut self) -> Result<Vec<SimResult>, SimError> {
         loop {
             // Advance the laggard among unfinished cores.
             let next = self
@@ -115,15 +135,16 @@ impl<'t> MultiCore<'t> {
                 .min_by_key(|(_, c)| c.now())
                 .map(|(i, _)| i);
             match next {
-                Some(i) => self.cores[i].step(),
+                Some(i) => self.cores[i].step()?,
                 None => break,
             }
         }
-        self.cores.iter().map(|c| c.result()).collect()
+        Ok(self.cores.iter().map(|c| c.result()).collect())
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::simulate;

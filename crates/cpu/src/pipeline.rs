@@ -23,12 +23,26 @@
 use std::collections::VecDeque;
 
 use spp_core::{BloomFilter, Blt, EpochManager, Ssb, SsbEntry, SsbOp};
-use spp_mem::{AccessKind, Cycle, MemorySystem};
+use spp_mem::{AccessKind, Cycle, Fault, FaultSite, FaultState, MemorySystem, PIPE_STREAM};
 use spp_pmem::{BlockId, Event, PAddr};
 
 use crate::config::{CpuConfig, SpConfig};
+use crate::error::{DiagnosticSnapshot, SimError, SimErrorKind};
 use crate::stats::{CpuStats, SimResult};
 use crate::uop::{TraceCursor, Uop, UopKind};
+
+/// Internal step failure: lightweight so it can be raised inside
+/// borrow-heavy regions; [`Pipeline::step`] attaches the diagnostic
+/// snapshot when converting it into a [`SimError`].
+#[derive(Debug, Clone, Copy)]
+enum StepErr {
+    /// An internal invariant broke.
+    Broken(&'static str),
+    /// No progress and no scheduled future event.
+    Wedged,
+    /// The forward-progress watchdog fired at this bound.
+    Watchdog(Cycle),
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EState {
@@ -138,6 +152,11 @@ pub struct Pipeline<'t> {
     pending_flushes: Vec<Cycle>,
     pending_pcommits: Vec<Cycle>,
     sp: Option<SpState>,
+    /// Pipeline-side fault-injection streams (ack return/duplication,
+    /// SSB and checkpoint pressure); `None` without a fault plan.
+    faults: Option<FaultState>,
+    /// Cycle of the most recent retirement (watchdog reference point).
+    last_retire: Cycle,
     stats: CpuStats,
 }
 
@@ -167,6 +186,8 @@ impl<'t> Pipeline<'t> {
             pending_flushes: Vec::new(),
             pending_pcommits: Vec::new(),
             sp: cfg.sp.map(SpState::new),
+            faults: cfg.mem.fault.map(|spec| FaultState::new(spec, PIPE_STREAM)),
+            last_retire: 0,
             stats: CpuStats::default(),
             cfg,
         }
@@ -190,18 +211,60 @@ impl<'t> Pipeline<'t> {
     }
 
     /// Runs to completion and returns the results.
-    pub fn run(mut self) -> SimResult {
-        while !self.is_done() {
-            self.step();
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails (watchdog, deadlock, or broken
+    /// invariant); use [`Pipeline::try_run`] to handle the error.
+    pub fn run(self) -> SimResult {
+        match self.try_run() {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
         }
-        self.result()
+    }
+
+    /// Runs to completion, surfacing simulation failures as typed
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] (with a [`DiagnosticSnapshot`]) if the
+    /// forward-progress watchdog fires, the pipeline deadlocks, or an
+    /// internal invariant breaks.
+    pub fn try_run(mut self) -> Result<SimResult, SimError> {
+        while !self.is_done() {
+            self.step()?;
+        }
+        Ok(self.result())
     }
 
     /// Advances one cycle (or skips idle time to the next event).
-    pub fn step(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on watchdog expiry, deadlock, or a broken
+    /// internal invariant.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        match self.step_inner() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let kind = match e {
+                    StepErr::Broken(what) => SimErrorKind::BrokenInvariant { what },
+                    StepErr::Wedged => SimErrorKind::NoFutureEvent,
+                    StepErr::Watchdog(bound) => SimErrorKind::NoRetireProgress { bound },
+                };
+                Err(SimError {
+                    kind,
+                    snapshot: Box::new(self.snapshot()),
+                })
+            }
+        }
+    }
+
+    fn step_inner(&mut self) -> Result<(), StepErr> {
         let mut progressed = false;
-        progressed |= self.commit_drain();
-        let retire_block = self.retire();
+        progressed |= self.commit_drain()?;
+        let retire_block = self.retire()?;
         progressed |= retire_block.progressed;
         progressed |= self.drain_store_buffer();
         progressed |= self.issue();
@@ -216,8 +279,15 @@ impl<'t> Pipeline<'t> {
 
         if progressed || self.is_done() {
             self.now += 1;
+        } else if self.fault_retry(&retire_block) {
+            // A fault is denying SSB or checkpoint resources: the denial
+            // is re-drawn per attempt, so retry next cycle rather than
+            // sleeping until a scheduled event that may never come.
+            self.now += 1;
         } else {
-            let target = self.next_event_time();
+            let Some(target) = self.next_event_time() else {
+                return Err(StepErr::Wedged);
+            };
             debug_assert!(
                 target > self.now,
                 "no-progress cycle must have a future event"
@@ -238,6 +308,54 @@ impl<'t> Pipeline<'t> {
             self.now = target;
         }
         self.stats.cycles = self.now;
+
+        let bound = self.cfg.watchdog_cycles;
+        if bound > 0 && self.now.saturating_sub(self.last_retire) > bound && !self.is_done() {
+            return Err(StepErr::Watchdog(bound));
+        }
+        Ok(())
+    }
+
+    /// Should a no-progress cycle retry instead of sleeping? True when a
+    /// resource-denial fault may be the cause (its draw can clear on any
+    /// retry, so there need not be a scheduled wake-up event).
+    fn fault_retry(&self, block: &RetireBlock) -> bool {
+        (block.ssb_full || block.checkpoint)
+            && self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.spec().denies_resources())
+    }
+
+    /// Captures the diagnostic state attached to [`SimError`]s (public
+    /// so harnesses can also inspect a healthy pipeline mid-run).
+    pub fn snapshot(&mut self) -> DiagnosticSnapshot {
+        let mut snap = DiagnosticSnapshot {
+            cycle: self.now,
+            rob_head: self.rob.front().map(|e| e.uop),
+            rob_len: self.rob.len(),
+            fetchq_len: self.fetchq.len(),
+            store_buffer_len: self.store_buffer.len(),
+            lsq_used: self.lsq_used,
+            pending_flushes: self.pending_flushes.len(),
+            pending_pcommits: self.pending_pcommits.len(),
+            trace_done: self.cursor.is_done(),
+            wpq_depth: self.mem.wpq_occupancy(self.now),
+            ..DiagnosticSnapshot::default()
+        };
+        if let Some(sp) = &self.sp {
+            snap.speculating = sp.speculating;
+            snap.ssb_len = sp.ssb.len();
+            for e in sp.ssb.iter() {
+                match snap.ssb_per_epoch.last_mut() {
+                    Some(last) if last.0 == e.epoch => last.1 += 1,
+                    _ => snap.ssb_per_epoch.push((e.epoch, 1)),
+                }
+            }
+            snap.checkpoints_live = sp.epochs.checkpoints_live();
+            snap.checkpoint_capacity = sp.epochs.checkpoint_capacity();
+        }
+        snap
     }
 
     /// Assembles the final statistics.
@@ -249,6 +367,12 @@ impl<'t> Pipeline<'t> {
             ..SimResult::default()
         };
         r.cpu.cycles = self.now;
+        r.faults = self.mem.fault_stats().merged(
+            self.faults
+                .as_ref()
+                .map(FaultState::stats)
+                .unwrap_or_default(),
+        );
         if let Some(sp) = &self.sp {
             r.ssb = sp.ssb.stats();
             r.bloom = sp.bloom.stats();
@@ -275,8 +399,14 @@ impl<'t> Pipeline<'t> {
             return false;
         }
         // Rollback: squash everything younger than the oldest checkpoint.
-        let oldest_epoch = sp.epochs.oldest().expect("speculating").id;
-        let resume = sp.epochs.rollback().expect("speculating");
+        // (`speculating()` was checked above, so both are `Some`.)
+        let Some(oldest) = sp.epochs.oldest() else {
+            return false;
+        };
+        let oldest_epoch = oldest.id;
+        let Some(resume) = sp.epochs.rollback() else {
+            return false;
+        };
         sp.ssb.flush_from(oldest_epoch);
         sp.gates.clear();
         sp.blt.clear();
@@ -440,8 +570,10 @@ impl<'t> Pipeline<'t> {
         }
     }
 
-    fn pop_retired(&mut self, class: impl Fn(&mut CpuStats)) {
-        let e = self.rob.pop_front().expect("retiring from empty ROB");
+    fn pop_retired(&mut self, class: impl Fn(&mut CpuStats)) -> Result<(), StepErr> {
+        let Some(e) = self.rob.pop_front() else {
+            return Err(StepErr::Broken("retired from an empty ROB"));
+        };
         self.seq_base = e.seq + 1;
         if e.uop.kind.is_mem() {
             self.lsq_used -= 1;
@@ -449,13 +581,57 @@ impl<'t> Pipeline<'t> {
         self.stats.committed_uops += 1;
         class(&mut self.stats);
         self.note_spec_retired(1);
+        Ok(())
+    }
+
+    /// Draws the SSB-pressure site; `true` when a fault denies this
+    /// allocation attempt (the held slots cover all currently free
+    /// ones).
+    fn ssb_alloc_denied(&mut self) -> bool {
+        let free = self.sp.as_ref().map_or(0, |s| s.ssb.free());
+        if let Some(f) = self.faults.as_mut() {
+            if let Some(Fault::SsbPressure { held }) = f.draw(FaultSite::SsbAlloc) {
+                return free <= held;
+            }
+        }
+        false
+    }
+
+    /// Draws the checkpoint-pressure site; `true` when a fault denies
+    /// this allocation attempt.
+    fn checkpoint_alloc_denied(&mut self) -> bool {
+        self.faults.as_mut().is_some_and(|f| {
+            matches!(
+                f.draw(FaultSite::CheckpointAlloc),
+                Some(Fault::CheckpointPressure)
+            )
+        })
+    }
+
+    /// Draws the ack-return and ack-duplication sites for a `pcommit`
+    /// acknowledged at `done`: returns the (possibly delayed) arrival
+    /// and queues a duplicate delivery if one fires.
+    fn fault_ack(&mut self, mut done: Cycle) -> Cycle {
+        if let Some(f) = self.faults.as_mut() {
+            if let Some(Fault::PcommitAckDelay { extra }) = f.draw(FaultSite::AckReturn) {
+                done += extra;
+            }
+            if let Some(Fault::PcommitAckDuplicate { redelivery }) = f.draw(FaultSite::AckDuplicate)
+            {
+                // The duplicate ack arrives later and must be tolerated:
+                // it is one more pending acknowledgement for fences to
+                // wait out, never a second drain.
+                self.pending_pcommits.push(done + redelivery);
+            }
+        }
+        done
     }
 
     fn pcommit_outstanding(&self) -> bool {
         self.pending_pcommits.iter().any(|&t| t > self.now)
     }
 
-    fn retire(&mut self) -> RetireBlock {
+    fn retire(&mut self) -> Result<RetireBlock, StepErr> {
         let mut block = RetireBlock::default();
         let mut retired = 0;
         while retired < self.cfg.width {
@@ -468,13 +644,13 @@ impl<'t> Pipeline<'t> {
             let speculating = self.sp.as_ref().is_some_and(|s| s.speculating);
             match head.uop.kind {
                 UopKind::Compute => {
-                    self.pop_retired(|_| {});
+                    self.pop_retired(|_| {})?;
                 }
                 UopKind::Load { .. } => {
-                    self.pop_retired(|s| s.loads += 1);
+                    self.pop_retired(|s| s.loads += 1)?;
                 }
                 UopKind::Store { addr } => {
-                    if !self.retire_store(addr, &mut block) {
+                    if !self.retire_store(addr, &mut block)? {
                         break;
                     }
                 }
@@ -491,7 +667,7 @@ impl<'t> Pipeline<'t> {
                         } else {
                             SsbOp::Clwb { block: b }
                         };
-                        if !self.push_ssb(op) {
+                        if !self.push_ssb(op)? {
                             block.ssb_full = true;
                             self.stats.ssb_full_stall_cycles += 1;
                             break;
@@ -503,27 +679,28 @@ impl<'t> Pipeline<'t> {
                     if self.pcommit_outstanding() {
                         self.stats.stores_while_pcommit += 1;
                     }
-                    self.pop_retired(|s| s.flushes += 1);
+                    self.pop_retired(|s| s.flushes += 1)?;
                 }
                 UopKind::Clflush { block: b } => {
-                    if !self.retire_clflush(b, speculating, &mut block) {
+                    if !self.retire_clflush(b, speculating, &mut block)? {
                         break;
                     }
                 }
                 UopKind::Pcommit => {
                     if speculating {
-                        if !self.retire_spec_pcommit_pattern(&mut block) {
+                        if !self.retire_spec_pcommit_pattern(&mut block)? {
                             break;
                         }
                     } else if self.ssb_nonempty() {
-                        if !self.push_ssb(SsbOp::Pcommit) {
+                        if !self.push_ssb(SsbOp::Pcommit)? {
                             block.ssb_full = true;
                             self.stats.ssb_full_stall_cycles += 1;
                             break;
                         }
-                        self.pop_retired(|s| s.pcommits += 1);
+                        self.pop_retired(|s| s.pcommits += 1)?;
                     } else {
                         let done = self.mem.pcommit(self.now);
+                        let done = self.fault_ack(done);
                         let inflight = 1 + self
                             .pending_pcommits
                             .iter()
@@ -532,19 +709,22 @@ impl<'t> Pipeline<'t> {
                         self.stats.max_inflight_pcommits =
                             self.stats.max_inflight_pcommits.max(inflight);
                         self.pending_pcommits.push(done);
-                        self.pop_retired(|s| s.pcommits += 1);
+                        self.pop_retired(|s| s.pcommits += 1)?;
                     }
                 }
                 UopKind::Sfence | UopKind::Mfence => {
-                    if !self.retire_fence(speculating, &mut block) {
+                    if !self.retire_fence(speculating, &mut block)? {
                         break;
                     }
                 }
             }
             retired += 1;
         }
+        if retired > 0 {
+            self.last_retire = self.now;
+        }
         block.progressed = retired > 0;
-        block
+        Ok(block)
     }
 
     fn ssb_nonempty(&self) -> bool {
@@ -552,132 +732,168 @@ impl<'t> Pipeline<'t> {
     }
 
     /// Pushes an op into the SSB tagged with the current tail epoch.
-    fn push_ssb(&mut self, op: SsbOp) -> bool {
-        let sp = self.sp.as_mut().expect("SSB push without SP");
+    /// `Ok(false)` means the SSB is full (or a fault denied the slot).
+    fn push_ssb(&mut self, op: SsbOp) -> Result<bool, StepErr> {
+        if self.ssb_alloc_denied() {
+            return Ok(false);
+        }
+        let Some(sp) = self.sp.as_mut() else {
+            return Err(StepErr::Broken("SSB push without SP"));
+        };
         let epoch = if sp.speculating {
-            sp.epochs.youngest().expect("speculating").id
+            let Some(youngest) = sp.epochs.youngest() else {
+                return Err(StepErr::Broken("speculating with no live epoch"));
+            };
+            youngest.id
         } else {
             // Post-exit tail: ordered behind the already-committed drain.
             sp.committed_frontier.unwrap_or(0)
         };
         if let SsbOp::Store { addr } = op {
             if sp.ssb.push(SsbEntry { op, epoch }).is_err() {
-                return false;
+                return Ok(false);
             }
             sp.bloom.insert(addr);
             sp.bloom_dirty = true;
             if sp.speculating {
                 sp.blt.record(addr.block());
             }
-            true
+            Ok(true)
         } else {
-            sp.ssb.push(SsbEntry { op, epoch }).is_ok()
+            Ok(sp.ssb.push(SsbEntry { op, epoch }).is_ok())
         }
     }
 
-    fn retire_store(&mut self, addr: PAddr, block: &mut RetireBlock) -> bool {
+    fn retire_store(&mut self, addr: PAddr, block: &mut RetireBlock) -> Result<bool, StepErr> {
         let speculating = self.sp.as_ref().is_some_and(|s| s.speculating);
         if speculating || self.ssb_nonempty() {
-            if !self.push_ssb(SsbOp::Store { addr }) {
+            if !self.push_ssb(SsbOp::Store { addr })? {
                 block.ssb_full = true;
                 self.stats.ssb_full_stall_cycles += 1;
-                return false;
+                return Ok(false);
             }
         } else {
             if self.store_buffer.len() >= self.cfg.store_buffer {
-                return false;
+                return Ok(false);
             }
             self.store_buffer.push_back(addr.block());
         }
         if self.pcommit_outstanding() {
             self.stats.stores_while_pcommit += 1;
         }
-        self.pop_retired(|s| s.stores += 1);
-        true
+        self.pop_retired(|s| s.stores += 1)?;
+        Ok(true)
     }
 
-    fn retire_clflush(&mut self, b: BlockId, speculating: bool, block: &mut RetireBlock) -> bool {
+    fn retire_clflush(
+        &mut self,
+        b: BlockId,
+        speculating: bool,
+        block: &mut RetireBlock,
+    ) -> Result<bool, StepErr> {
         if !self.store_buffer.is_empty() {
-            return false;
+            return Ok(false);
         }
         if speculating || self.ssb_nonempty() {
-            if !self.push_ssb(SsbOp::ClflushOpt { block: b }) {
+            if !self.push_ssb(SsbOp::ClflushOpt { block: b })? {
                 block.ssb_full = true;
-                return false;
+                return Ok(false);
             }
-            self.pop_retired(|s| s.flushes += 1);
-            return true;
+            self.pop_retired(|s| s.flushes += 1)?;
+            return Ok(true);
         }
         // Legacy clflush serializes: issue once, then hold retirement
         // until visible.
-        match self.rob.front().expect("head").state {
+        let Some(head) = self.rob.front() else {
+            return Err(StepErr::Broken("clflush retire with an empty ROB"));
+        };
+        match head.state {
             EState::Ready => {
                 let f = self.mem.flush(self.now, b, true);
-                self.rob.front_mut().expect("head").state = EState::Exec(f.visible_at);
-                false
+                if let Some(h) = self.rob.front_mut() {
+                    h.state = EState::Exec(f.visible_at);
+                }
+                Ok(false)
             }
             EState::Exec(t) if t <= self.now => {
-                self.pop_retired(|s| s.flushes += 1);
-                true
+                self.pop_retired(|s| s.flushes += 1)?;
+                Ok(true)
             }
-            _ => false,
+            _ => Ok(false),
         }
     }
 
     /// Speculative-mode `pcommit` at the head: if followed by an
     /// `sfence` (and combining is on), consume both as the combined SSB
     /// opcode and open a child epoch at the trailing fence.
-    fn retire_spec_pcommit_pattern(&mut self, block: &mut RetireBlock) -> bool {
-        let combine = self.sp.as_ref().expect("sp").cfg.combine_barrier;
+    fn retire_spec_pcommit_pattern(&mut self, block: &mut RetireBlock) -> Result<bool, StepErr> {
+        let Some(combine) = self.sp.as_ref().map(|s| s.cfg.combine_barrier) else {
+            return Err(StepErr::Broken("speculative pcommit without SP"));
+        };
         let next_is_sfence = self.rob.len() >= 2 && matches!(self.rob[1].uop.kind, UopKind::Sfence);
         if combine && next_is_sfence {
             return self.consume_combined_barrier(0, block);
         }
         if combine && self.rob.len() < 2 && !(self.cursor.is_done() && self.fetchq.is_empty()) {
             // The sfence is probably right behind; wait for dispatch.
-            return false;
+            return Ok(false);
         }
         // Bare in-shadow pcommit: delay it into the SSB.
-        if !self.push_ssb(SsbOp::Pcommit) {
+        if !self.push_ssb(SsbOp::Pcommit)? {
             block.ssb_full = true;
             self.stats.ssb_full_stall_cycles += 1;
-            return false;
+            return Ok(false);
         }
-        self.pop_retired(|s| s.pcommits += 1);
-        true
+        self.pop_retired(|s| s.pcommits += 1)?;
+        Ok(true)
     }
 
     /// Consumes `pcommit`(at head offset 0 or 1) + trailing `sfence`:
     /// pushes the combined opcode, opens a child epoch checkpointed at
     /// the trailing fence. `pcommit_at` is the ROB index of the pcommit.
-    fn consume_combined_barrier(&mut self, pcommit_at: usize, block: &mut RetireBlock) -> bool {
+    /// Consumes nothing unless every resource check passes.
+    fn consume_combined_barrier(
+        &mut self,
+        pcommit_at: usize,
+        block: &mut RetireBlock,
+    ) -> Result<bool, StepErr> {
         let fence_idx = pcommit_at + 1;
         debug_assert!(matches!(self.rob[pcommit_at].uop.kind, UopKind::Pcommit));
         debug_assert!(matches!(self.rob[fence_idx].uop.kind, UopKind::Sfence));
         let resume_idx = self.rob[fence_idx].uop.trace_idx;
+        let ssb_denied = self.ssb_alloc_denied();
+        let ckpt_denied = self.checkpoint_alloc_denied();
         {
-            let sp = self.sp.as_mut().expect("sp");
-            if sp.ssb.free() < 1 {
+            let Some(sp) = self.sp.as_mut() else {
+                return Err(StepErr::Broken("combined barrier without SP"));
+            };
+            if sp.ssb.free() < 1 || ssb_denied {
                 block.ssb_full = true;
                 self.stats.ssb_full_stall_cycles += 1;
-                return false;
+                return Ok(false);
             }
-            if !sp.epochs.can_begin() {
+            if !sp.epochs.can_begin() || ckpt_denied {
                 block.checkpoint = true;
                 self.stats.checkpoint_stall_cycles += 1;
-                return false;
+                return Ok(false);
             }
-            let parent = sp.epochs.youngest().expect("speculating").id;
-            sp.ssb
+            let Some(parent) = sp.epochs.youngest() else {
+                return Err(StepErr::Broken("combined barrier while not speculating"));
+            };
+            let parent = parent.id;
+            if sp
+                .ssb
                 .push(SsbEntry {
                     op: SsbOp::SfencePcommitSfence,
                     epoch: parent,
                 })
-                .expect("space checked");
-            let child = sp
-                .epochs
-                .begin(resume_idx, self.now)
-                .expect("checkpoint checked");
+                .is_err()
+            {
+                return Err(StepErr::Broken("SSB push failed after free-space check"));
+            }
+            let Ok(child) = sp.epochs.begin(resume_idx, self.now) else {
+                return Err(StepErr::Broken("checkpoint begin failed after can_begin"));
+            };
             sp.gates.push_back(Gate {
                 epoch: child,
                 ready_at: None,
@@ -689,13 +905,15 @@ impl<'t> Pipeline<'t> {
         // Retire the consumed micro-ops (leading sfence if present,
         // pcommit, trailing sfence).
         for _ in 0..=fence_idx {
-            let e = self.rob.pop_front().expect("pattern entries present");
+            let Some(e) = self.rob.pop_front() else {
+                return Err(StepErr::Broken("combined pattern missing its ROB entries"));
+            };
             self.seq_base = e.seq + 1;
             self.stats.committed_uops += 1;
             match e.uop.kind {
                 UopKind::Pcommit => self.stats.pcommits += 1,
                 UopKind::Sfence => self.stats.fences += 1,
-                _ => unreachable!("combined pattern holds only pcommit/sfence"),
+                _ => return Err(StepErr::Broken("combined pattern held a non-barrier uop")),
             }
         }
         // Squash attribution: the child's checkpoint resumes at the
@@ -712,39 +930,51 @@ impl<'t> Pipeline<'t> {
                 back.1 += 1;
             }
         }
-        true
+        Ok(true)
     }
 
-    fn retire_fence(&mut self, speculating: bool, block: &mut RetireBlock) -> bool {
+    fn retire_fence(
+        &mut self,
+        speculating: bool,
+        block: &mut RetireBlock,
+    ) -> Result<bool, StepErr> {
         if speculating {
             // In-shadow fence: combined pattern or a bare child epoch.
-            let combine = self.sp.as_ref().expect("sp").cfg.combine_barrier;
+            let Some(combine) = self.sp.as_ref().map(|s| s.cfg.combine_barrier) else {
+                return Err(StepErr::Broken("speculative fence without SP"));
+            };
             let pat = combine
                 && self.rob.len() >= 3
                 && matches!(self.rob[0].uop.kind, UopKind::Sfence)
                 && matches!(self.rob[1].uop.kind, UopKind::Pcommit)
                 && matches!(self.rob[2].uop.kind, UopKind::Sfence);
             if pat {
-                // Consume the leading sfence first, then the pair.
-                let lead = self.rob.front().expect("head").seq;
-                let _ = lead;
-                // Reuse the combined path by treating [1],[2]; retire all
-                // three in one go: temporarily handle leading fence.
-                return self.consume_leading_then_combined(block);
+                // Leading sfence + pcommit + trailing sfence: the
+                // combined path checks resources before consuming, so it
+                // can take all three directly.
+                return self.consume_combined_barrier(1, block);
             }
             if combine && self.rob.len() < 3 && !(self.cursor.is_done() && self.fetchq.is_empty()) {
-                return false; // wait for the rest of the pattern
+                return Ok(false); // wait for the rest of the pattern
             }
             // Bare fence: new child epoch (no pending pcommit of its own).
-            let resume_idx = self.rob.front().expect("head").uop.trace_idx;
+            let Some(head) = self.rob.front() else {
+                return Err(StepErr::Broken("fence retire with an empty ROB"));
+            };
+            let resume_idx = head.uop.trace_idx;
+            let ckpt_denied = self.checkpoint_alloc_denied();
             {
-                let sp = self.sp.as_mut().expect("sp");
-                if !sp.epochs.can_begin() {
+                let Some(sp) = self.sp.as_mut() else {
+                    return Err(StepErr::Broken("speculative fence without SP"));
+                };
+                if !sp.epochs.can_begin() || ckpt_denied {
                     block.checkpoint = true;
                     self.stats.checkpoint_stall_cycles += 1;
-                    return false;
+                    return Ok(false);
                 }
-                let child = sp.epochs.begin(resume_idx, self.now).expect("checked");
+                let Ok(child) = sp.epochs.begin(resume_idx, self.now) else {
+                    return Err(StepErr::Broken("checkpoint begin failed after can_begin"));
+                };
                 sp.gates.push_back(Gate {
                     epoch: child,
                     ready_at: Some(self.now),
@@ -753,8 +983,8 @@ impl<'t> Pipeline<'t> {
                 sp.retired_per_epoch.push_back((child, 0));
             }
             self.stats.epochs += 1;
-            self.pop_retired(|s| s.fences += 1);
-            return true;
+            self.pop_retired(|s| s.fences += 1)?;
+            return Ok(true);
         }
 
         // Non-speculative fence: wait for the store buffer and all
@@ -762,7 +992,7 @@ impl<'t> Pipeline<'t> {
         if !self.store_buffer.is_empty() {
             block.fence = true;
             self.stats.fence_stall_cycles += 1;
-            return false;
+            return Ok(false);
         }
         let now = self.now;
         self.pending_flushes.retain(|&t| t > now);
@@ -775,14 +1005,17 @@ impl<'t> Pipeline<'t> {
                 .as_ref()
                 .is_some_and(|s| s.drain_visible_frontier > now);
         if !flushes_pending && !pcommits_pending && !drain_pending {
-            self.pop_retired(|s| s.fences += 1);
-            return true;
+            self.pop_retired(|s| s.fences += 1)?;
+            return Ok(true);
         }
         // Blocked. Trigger speculation if enabled and the wait involves
         // pcommit acknowledgements or a pending SSB drain (§4.2.1); a
         // pure clwb-visibility wait is short and simply stalls.
         if self.sp.is_some() && (pcommits_pending || drain_pending) {
-            let resume_idx = self.rob.front().expect("head").uop.trace_idx;
+            let Some(head) = self.rob.front() else {
+                return Err(StepErr::Broken("fence retire with an empty ROB"));
+            };
+            let resume_idx = head.uop.trace_idx;
             let gate_time = self
                 .pending_flushes
                 .iter()
@@ -790,13 +1023,18 @@ impl<'t> Pipeline<'t> {
                 .copied()
                 .max()
                 .unwrap_or(now);
-            let sp = self.sp.as_mut().expect("checked");
-            if !sp.epochs.can_begin() {
+            let ckpt_denied = self.checkpoint_alloc_denied();
+            let Some(sp) = self.sp.as_mut() else {
+                return Err(StepErr::Broken("speculation entry without SP"));
+            };
+            if !sp.epochs.can_begin() || ckpt_denied {
                 block.checkpoint = true;
                 self.stats.checkpoint_stall_cycles += 1;
-                return false;
+                return Ok(false);
             }
-            let e0 = sp.epochs.begin(resume_idx, now).expect("checked");
+            let Ok(e0) = sp.epochs.begin(resume_idx, now) else {
+                return Err(StepErr::Broken("checkpoint begin failed after can_begin"));
+            };
             sp.gates.push_back(Gate {
                 epoch: e0,
                 ready_at: Some(gate_time),
@@ -807,41 +1045,22 @@ impl<'t> Pipeline<'t> {
             self.stats.epochs += 1;
             self.pending_flushes.clear();
             self.pending_pcommits.clear();
-            self.pop_retired(|s| s.fences += 1);
-            return true;
+            self.pop_retired(|s| s.fences += 1)?;
+            return Ok(true);
         }
         block.fence = true;
         self.stats.fence_stall_cycles += 1;
-        false
-    }
-
-    /// Head is `sfence` with `pcommit; sfence` behind (combined pattern
-    /// including the leading fence): push the marker, open the child,
-    /// retire all three.
-    fn consume_leading_then_combined(&mut self, block: &mut RetireBlock) -> bool {
-        // Check resources before consuming anything.
-        {
-            let sp = self.sp.as_ref().expect("sp");
-            if sp.ssb.free() < 1 {
-                block.ssb_full = true;
-                self.stats.ssb_full_stall_cycles += 1;
-                return false;
-            }
-            if !sp.epochs.can_begin() {
-                block.checkpoint = true;
-                self.stats.checkpoint_stall_cycles += 1;
-                return false;
-            }
-        }
-        self.consume_combined_barrier(1, block)
+        Ok(false)
     }
 
     // ---- store buffer ----------------------------------------------------
 
     fn drain_store_buffer(&mut self) -> bool {
         let mut any = false;
-        while !self.store_buffer.is_empty() && self.sb_busy <= self.now {
-            let b = self.store_buffer.pop_front().expect("non-empty");
+        while self.sb_busy <= self.now {
+            let Some(b) = self.store_buffer.pop_front() else {
+                break;
+            };
             // Posted write: state effects now, 1/cycle pacing.
             let _ = self.mem.access(self.now, b, AccessKind::Store);
             self.sb_busy = self.now + 1;
@@ -852,14 +1071,18 @@ impl<'t> Pipeline<'t> {
 
     // ---- SP commit & drain -------------------------------------------------
 
-    fn commit_drain(&mut self) -> bool {
+    fn commit_drain(&mut self) -> Result<bool, StepErr> {
         let now = self.now;
-        let Some(sp) = &mut self.sp else { return false };
+        let Some(sp) = &mut self.sp else {
+            return Ok(false);
+        };
         let mut progressed = false;
 
         // Commit epochs whose gates pass, oldest first.
         while let Some(oldest) = sp.epochs.oldest() {
-            let gate = sp.gates.front().expect("gate per epoch");
+            let Some(gate) = sp.gates.front() else {
+                return Err(StepErr::Broken("live epoch without a commit gate"));
+            };
             debug_assert_eq!(gate.epoch, oldest.id);
             let Some(t) = gate.ready_at else { break };
             if t > now {
@@ -871,7 +1094,9 @@ impl<'t> Pipeline<'t> {
                     break;
                 }
             }
-            sp.epochs.commit_oldest();
+            if sp.epochs.commit_oldest().is_none() {
+                return Err(StepErr::Broken("commit of a vanished epoch"));
+            }
             sp.gates.pop_front();
             sp.retired_per_epoch.pop_front();
             sp.committed_frontier = Some(oldest.id);
@@ -891,7 +1116,9 @@ impl<'t> Pipeline<'t> {
             if !sp.frontier_committed(front.epoch) {
                 break;
             }
-            let e = sp.ssb.pop_front().expect("peeked");
+            let Some(e) = sp.ssb.pop_front() else {
+                return Err(StepErr::Broken("SSB entry vanished mid-drain"));
+            };
             let t = sp.drain_busy.max(now);
             match e.op {
                 SsbOp::Store { addr } => {
@@ -917,7 +1144,21 @@ impl<'t> Pipeline<'t> {
                     // then the pcommit issues and its ack gates the next
                     // epoch.
                     let issue = t.max(sp.drain_visible_frontier);
-                    let done = self.mem.pcommit(issue);
+                    let mut done = self.mem.pcommit(issue);
+                    // Ack faults apply here too: a delayed ack holds the
+                    // next epoch's gate; a duplicate becomes one more
+                    // pending acknowledgement for later fences.
+                    if let Some(f) = self.faults.as_mut() {
+                        if let Some(Fault::PcommitAckDelay { extra }) = f.draw(FaultSite::AckReturn)
+                        {
+                            done += extra;
+                        }
+                        if let Some(Fault::PcommitAckDuplicate { redelivery }) =
+                            f.draw(FaultSite::AckDuplicate)
+                        {
+                            self.pending_pcommits.push(done + redelivery);
+                        }
+                    }
                     let inflight =
                         1 + self.pending_pcommits.iter().filter(|&&pt| pt > now).count() as u64;
                     self.stats.max_inflight_pcommits =
@@ -943,12 +1184,14 @@ impl<'t> Pipeline<'t> {
             sp.bloom_dirty = false;
             progressed = true;
         }
-        progressed
+        Ok(progressed)
     }
 
     // ---- idle-time skipping ------------------------------------------------
 
-    fn next_event_time(&self) -> Cycle {
+    /// The next cycle at which anything is scheduled to happen, or
+    /// `None` when the pipeline is wedged (no progress possible, ever).
+    fn next_event_time(&self) -> Option<Cycle> {
         let mut t = Cycle::MAX;
         for e in &self.rob {
             if let EState::Exec(d) = e.state {
@@ -984,16 +1227,7 @@ impl<'t> Pipeline<'t> {
                 t = t.min(sp.drain_visible_frontier);
             }
         }
-        assert!(
-            t != Cycle::MAX,
-            "pipeline deadlock at cycle {}: rob={}, fetchq={}, sb={}, cursor_done={}",
-            self.now,
-            self.rob.len(),
-            self.fetchq.len(),
-            self.store_buffer.len(),
-            self.cursor.is_done()
-        );
-        t
+        (t != Cycle::MAX).then_some(t)
     }
 }
 
@@ -1007,6 +1241,7 @@ struct RetireBlock {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     //! Regression pin for the DESIGN §7 bloom-reset invariant: the
     //! filter resets only once the post-exit drain finishes, so a store
@@ -1066,7 +1301,7 @@ mod tests {
         let mut p = Pipeline::new(&t, CpuConfig::with_sp());
         let mut mid_drain_windows = 0u64;
         while !p.is_done() {
-            p.step();
+            p.step().unwrap();
             assert_no_false_negatives(&p);
             let sp = p.sp.as_ref().expect("SP enabled");
             // The dangerous window: speculation has ended but entries
@@ -1110,7 +1345,7 @@ mod tests {
             if p.is_done() {
                 break;
             }
-            p.step();
+            p.step().unwrap();
             assert_no_false_negatives(&p);
             if i % 7 == 0 {
                 // Snoop a block a speculative store may have touched.
@@ -1122,5 +1357,217 @@ mod tests {
             }
         }
         assert!(rolled_back, "no rollback triggered; the test is vacuous");
+    }
+
+    // ---- fault injection & forward progress -----------------------------
+
+    use crate::simulate;
+    use spp_mem::{FaultSpec, MemConfig};
+
+    fn with_plan(base: CpuConfig, plan: FaultSpec) -> CpuConfig {
+        CpuConfig {
+            mem: MemConfig {
+                fault: Some(plan),
+                ..base.mem
+            },
+            ..base
+        }
+    }
+
+    fn committed_classes(r: &SimResult) -> [u64; 6] {
+        [
+            r.cpu.committed_uops,
+            r.cpu.loads,
+            r.cpu.stores,
+            r.cpu.flushes,
+            r.cpu.pcommits,
+            r.cpu.fences,
+        ]
+    }
+
+    /// The faultsim invariant at pipeline granularity: timing faults may
+    /// move cycle counts but never the committed architectural work.
+    #[test]
+    fn timing_faults_never_change_committed_work() {
+        let t = barrier_trace(30);
+        for base in [CpuConfig::baseline(), CpuConfig::with_sp()] {
+            let clean = Pipeline::new(&t, base).try_run().unwrap();
+            for plan in [FaultSpec::quiet(3), FaultSpec::storm(3)] {
+                let faulty = Pipeline::new(&t, with_plan(base, plan)).try_run().unwrap();
+                assert_eq!(
+                    committed_classes(&clean),
+                    committed_classes(&faulty),
+                    "plan {plan:?} changed architectural work (sp={})",
+                    base.sp.is_some()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn storm_plan_actually_injects_and_costs_cycles() {
+        let t = barrier_trace(30);
+        let clean = Pipeline::new(&t, CpuConfig::with_sp()).try_run().unwrap();
+        let faulty = Pipeline::new(&t, with_plan(CpuConfig::with_sp(), FaultSpec::storm(3)))
+            .try_run()
+            .unwrap();
+        assert!(faulty.faults.total() > 0, "storm must fire");
+        assert_eq!(clean.faults.total(), 0);
+        assert!(
+            faulty.cpu.cycles > clean.cpu.cycles,
+            "storm faults must cost cycles ({} vs {})",
+            faulty.cpu.cycles,
+            clean.cpu.cycles
+        );
+    }
+
+    /// Satellite regression: an sfence arriving while all four
+    /// checkpoint-buffer entries are live must stall the ROB head
+    /// cleanly (attributed to the checkpoint buffer) and resume once a
+    /// predecessor commits — constructed directly rather than hoping a
+    /// trace reaches the state.
+    #[test]
+    fn sfence_with_full_checkpoint_buffer_stalls_cleanly() {
+        let t = vec![Event::Sfence, Event::Compute(8)];
+        let mut p = Pipeline::new(&t, CpuConfig::with_sp());
+        {
+            let sp = p.sp.as_mut().unwrap();
+            for i in 0..4u64 {
+                let id = sp.epochs.begin(0, 0).unwrap();
+                sp.gates.push_back(Gate {
+                    epoch: id,
+                    ready_at: Some(1_000 + i * 500),
+                    needs_prior_drain: false,
+                });
+                sp.retired_per_epoch.push_back((id, 0));
+            }
+            assert!(!sp.epochs.can_begin(), "all four checkpoints are live");
+            sp.speculating = true;
+        }
+        while !p.is_done() {
+            p.step().unwrap();
+        }
+        let r = p.result();
+        assert!(
+            r.cpu.checkpoint_stall_cycles > 0,
+            "the head fence must attribute its stall to the checkpoint buffer"
+        );
+        assert_eq!(r.cpu.fences, 1);
+        assert_eq!(r.cpu.committed_uops, 9);
+    }
+
+    /// Satellite regression: a constructed livelock — the core is
+    /// mid-speculation with its only epoch gated on a combined-barrier
+    /// pcommit that will never issue, and the wedge plan denies the head
+    /// fence's checkpoint on every retry — must be converted by the
+    /// watchdog into a typed error with a populated snapshot, not a
+    /// hang.
+    #[test]
+    fn watchdog_converts_wedged_pipeline_into_typed_error() {
+        let t = vec![Event::Sfence, Event::Compute(8)];
+        let cfg = CpuConfig {
+            watchdog_cycles: 5_000,
+            ..with_plan(CpuConfig::with_sp(), FaultSpec::wedge(1))
+        };
+        let mut p = Pipeline::new(&t, cfg);
+        {
+            let sp = p.sp.as_mut().unwrap();
+            let id = sp.epochs.begin(0, 0).unwrap();
+            sp.gates.push_back(Gate {
+                epoch: id,
+                ready_at: None,
+                needs_prior_drain: false,
+            });
+            sp.retired_per_epoch.push_back((id, 0));
+            sp.speculating = true;
+        }
+        let err = loop {
+            match p.step() {
+                Ok(()) => assert!(!p.is_done(), "livelock fixture must not finish"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(
+            err.kind,
+            crate::SimErrorKind::NoRetireProgress { bound: 5_000 }
+        );
+        let s = &err.snapshot;
+        assert!(s.cycle > 5_000);
+        assert!(s.rob_head.is_some(), "the stuck uop must be identified");
+        assert!(s.speculating);
+        assert_eq!(s.checkpoints_live, 1);
+        assert_eq!(s.checkpoint_capacity, 4);
+        let msg = err.to_string();
+        assert!(msg.contains("no retirement progress"), "got: {msg}");
+        assert!(msg.contains("checkpoints"), "got: {msg}");
+    }
+
+    /// Satellite: SSB overflow under injected pressure (a tiny SSB plus
+    /// a plan that holds most slots) still commits exactly the fault-free
+    /// architectural work.
+    #[test]
+    fn ssb_overflow_under_fault_pressure_keeps_committed_work_identical() {
+        let t = barrier_trace(30);
+        let small = CpuConfig {
+            sp: Some(SpConfig::with_ssb_entries(32)),
+            ..CpuConfig::baseline()
+        };
+        let clean = Pipeline::new(&t, small).try_run().unwrap();
+        let plan = FaultSpec {
+            ssb_pressure_pm: 300,
+            ssb_held_slots: 28,
+            ..FaultSpec::none(11)
+        };
+        let faulty = Pipeline::new(&t, with_plan(small, plan)).try_run().unwrap();
+        assert_eq!(committed_classes(&clean), committed_classes(&faulty));
+        assert!(faulty.faults.ssb_pressure > 0, "pressure must fire");
+    }
+
+    /// Satellite: a rollback landing while ack-delay faults hold the
+    /// drain mid-epoch must stay sound — no bloom false negatives, and
+    /// the same committed work as a fault-free run (extends the PR 2
+    /// bloom-reset soundness tests).
+    #[test]
+    fn rollback_with_fault_delayed_drain_stays_sound() {
+        let t = barrier_trace(40);
+        let plan = FaultSpec {
+            ack_delay_pm: 400,
+            ack_delay_max: 3_000,
+            ..FaultSpec::none(13)
+        };
+        let mut p = Pipeline::new(&t, with_plan(CpuConfig::with_sp(), plan));
+        let mut rolled = false;
+        for i in 0.. {
+            if p.is_done() {
+                break;
+            }
+            p.step().unwrap();
+            assert_no_false_negatives(&p);
+            if i % 7 == 0 {
+                let addr = PAddr::new(1 << 20 | (4096 + (i / 7 % 40) * 64));
+                if p.inject_coherence(addr.block()) {
+                    rolled = true;
+                    assert_no_false_negatives(&p);
+                }
+            }
+        }
+        assert!(rolled, "no rollback triggered; the test is vacuous");
+        let r = p.result();
+        assert!(r.faults.ack_delays > 0, "the plan must actually delay acks");
+        let clean = simulate(&t, &CpuConfig::with_sp());
+        assert_eq!(r.cpu.committed_uops, clean.cpu.committed_uops);
+    }
+
+    /// Identical plans and traces give identical results — the
+    /// `--jobs`-invariance precondition at the pipeline level.
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let t = barrier_trace(20);
+        let cfg = with_plan(CpuConfig::with_sp(), FaultSpec::storm(42));
+        let a = Pipeline::new(&t, cfg).try_run().unwrap();
+        let b = Pipeline::new(&t, cfg).try_run().unwrap();
+        assert_eq!(a.cpu.cycles, b.cpu.cycles);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(committed_classes(&a), committed_classes(&b));
     }
 }

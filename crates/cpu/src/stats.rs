@@ -1,7 +1,7 @@
 //! Simulation statistics: the raw counters behind Figs. 8-14.
 
 use spp_core::{BloomStats, BltStats, CheckpointStats, SsbStats};
-use spp_mem::{Cycle, McStats, MemStats};
+use spp_mem::{Cycle, FaultStats, McStats, MemStats};
 
 /// Everything a simulation run measures.
 #[derive(Debug, Clone, Copy, Default)]
@@ -65,6 +65,9 @@ pub struct SimResult {
     pub checkpoints: CheckpointStats,
     /// BLT counters (zero when SP is disabled).
     pub blt: BltStats,
+    /// Injected-fault counters, memory- and pipeline-side streams merged
+    /// (all zero when no fault plan is configured).
+    pub faults: FaultStats,
 }
 
 impl SimResult {

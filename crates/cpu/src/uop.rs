@@ -144,6 +144,7 @@ impl<'t> TraceCursor<'t> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -126,7 +126,7 @@ proptest! {
         let mut i = 0usize;
         let mut steps = 0usize;
         while !p.is_done() {
-            p.step();
+            p.step().unwrap();
             steps += 1;
             if steps.is_multiple_of(period) {
                 let b = spp_pmem::PAddr::new(4096 + snoop_blocks[i % snoop_blocks.len()] * 64);

@@ -83,6 +83,11 @@ pub struct MemConfig {
     /// Cycles to transfer an evicted/flushed block from the LLC to the
     /// memory controller.
     pub transfer_latency: Cycle,
+    /// Optional seeded fault-injection plan. `None` (the default) means
+    /// a fault-free machine; a plan threads deterministic timing faults
+    /// through the memory controller and the pipeline (see
+    /// [`crate::FaultSpec`]).
+    pub fault: Option<crate::FaultSpec>,
 }
 
 impl MemConfig {
@@ -115,6 +120,7 @@ impl MemConfig {
             wpq_entries: 128,
             nvmm_banks: 32,
             transfer_latency: 8,
+            fault: None,
         }
     }
 
@@ -148,6 +154,7 @@ impl Default for MemConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -241,9 +241,16 @@ impl MemorySystem {
     pub fn mc_stats(&self) -> McStats {
         self.mc.borrow().stats()
     }
+
+    /// Counts of faults the memory controller's injection plan has fired
+    /// so far (all zero when no plan is configured).
+    pub fn fault_stats(&self) -> crate::FaultStats {
+        self.mc.borrow().fault_stats()
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

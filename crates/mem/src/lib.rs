@@ -33,14 +33,20 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Simulation hot paths must surface faults as typed errors, not abort.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod cache;
 mod config;
+mod fault;
 mod hierarchy;
 mod memctrl;
 
 pub use cache::{Cache, Eviction};
 pub use config::{CacheConfig, Cycle, MemConfig, MemConfigError};
+pub use fault::{
+    splitmix64, Fault, FaultSite, FaultSpec, FaultState, FaultStats, MEM_STREAM, PIPE_STREAM,
+};
 pub use hierarchy::{
     shared_mem_ctrl, AccessKind, FlushOutcome, HitLevel, MemStats, MemorySystem, SharedMemCtrl,
 };

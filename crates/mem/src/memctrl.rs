@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use crate::config::{Cycle, MemConfig, MemConfigError};
+use crate::fault::{Fault, FaultSite, FaultState, FaultStats, MEM_STREAM};
 
 /// Statistics collected by the memory controller.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,6 +49,8 @@ pub struct MemCtrl {
     /// whose local clocks drift slightly are clamped forward to keep
     /// the admission order monotone.
     last_seen: Cycle,
+    /// Seeded fault injection (memory-side sites), when configured.
+    faults: Option<FaultState>,
     stats: McStats,
 }
 
@@ -79,6 +82,7 @@ impl MemCtrl {
             inflight: VecDeque::new(),
             bank_free: vec![0; cfg.nvmm_banks],
             last_seen: 0,
+            faults: cfg.fault.map(|spec| FaultState::new(spec, MEM_STREAM)),
             cfg,
             stats: McStats::default(),
         })
@@ -108,10 +112,18 @@ impl MemCtrl {
     pub fn write_back(&mut self, arrival: Cycle) -> (Cycle, Cycle) {
         let arrival = self.clamp_time(arrival);
         self.drop_completed(arrival);
+        // Transient WPQ backpressure: held slots shrink the queue for
+        // this admission only (at least one slot always remains).
+        let mut entries = self.cfg.wpq_entries;
+        if let Some(f) = &mut self.faults {
+            if let Some(Fault::WpqBackpressure { held }) = f.draw(FaultSite::WpqAdmit) {
+                entries = entries.saturating_sub(held).max(1);
+            }
+        }
         let mut admitted = arrival;
-        if self.inflight.len() >= self.cfg.wpq_entries {
+        if self.inflight.len() >= entries {
             // Wait for the oldest in-flight write to drain (FIFO slots).
-            let idx = self.inflight.len() - self.cfg.wpq_entries;
+            let idx = self.inflight.len() - entries;
             let free_at = self.inflight[idx];
             admitted = admitted.max(free_at);
             self.stats.wpq_stall_cycles += free_at.saturating_sub(arrival);
@@ -125,8 +137,20 @@ impl MemCtrl {
                 bank = i;
             }
         }
-        let start = self.bank_free[bank].max(admitted);
-        let done = start + self.cfg.nvmm_write;
+        let mut start = self.bank_free[bank].max(admitted);
+        let mut write_latency = self.cfg.nvmm_write;
+        if let Some(f) = &mut self.faults {
+            if let Some(Fault::BankStall { extra }) = f.draw(FaultSite::BankGrant) {
+                start += extra;
+            }
+            if let Some(Fault::NvmmWriteSpike { extra }) = f.draw(FaultSite::NvmmWrite) {
+                write_latency += extra;
+            }
+        }
+        // Completion times stay monotone in admission order even when a
+        // spiked write outlasts its successors: the WPQ drains FIFO, so
+        // a later write's slot frees no earlier than an earlier one's.
+        let done = (start + write_latency).max(self.inflight.back().copied().unwrap_or(0));
         self.bank_free[bank] = done;
         debug_assert!(self.inflight.back().is_none_or(|&b| b <= done));
         self.inflight.push_back(done);
@@ -161,16 +185,32 @@ impl MemCtrl {
     pub fn read(&mut self, arrival: Cycle) -> Cycle {
         let arrival = self.clamp_time(arrival);
         self.stats.nvmm_reads += 1;
-        arrival + self.cfg.nvmm_read
+        let mut latency = self.cfg.nvmm_read;
+        if let Some(f) = &mut self.faults {
+            if let Some(Fault::NvmmReadSpike { extra }) = f.draw(FaultSite::NvmmRead) {
+                latency += extra;
+            }
+        }
+        arrival + latency
     }
 
     /// Statistics snapshot.
     pub fn stats(&self) -> McStats {
         self.stats
     }
+
+    /// Memory-side fault-injection counters (zero when no plan is
+    /// configured).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+            .as_ref()
+            .map(FaultState::stats)
+            .unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -295,6 +335,49 @@ mod tests {
             ..MemConfig::paper()
         };
         let _ = MemCtrl::new(cfg);
+    }
+
+    #[test]
+    fn fault_plan_perturbs_timing_but_keeps_completion_monotone() {
+        let cfg = MemConfig {
+            fault: Some(crate::FaultSpec::storm(5)),
+            ..MemConfig::paper()
+        };
+        let mut faulty = MemCtrl::new(cfg);
+        let mut clean = mc(32, 128);
+        let mut prev = 0;
+        let mut diverged = false;
+        for i in 0..500u64 {
+            let t = i * 3;
+            let (_, df) = faulty.write_back(t);
+            let (_, dc) = clean.write_back(t);
+            assert!(df >= prev, "completion order must stay monotone");
+            prev = df;
+            diverged |= df != dc;
+        }
+        assert!(diverged, "storm plan must actually perturb timing");
+        assert!(faulty.fault_stats().total() > 0);
+        assert_eq!(clean.fault_stats().total(), 0);
+        // Reads spike too, and never below the nominal latency.
+        for i in 0..200u64 {
+            let t = 10_000 + i * 400;
+            assert!(faulty.read(t) >= t + 105);
+        }
+    }
+
+    #[test]
+    fn identical_fault_plans_give_identical_timings() {
+        let cfg = MemConfig {
+            fault: Some(crate::FaultSpec::storm(11)),
+            ..MemConfig::paper()
+        };
+        let mut a = MemCtrl::new(cfg);
+        let mut b = MemCtrl::new(cfg);
+        for i in 0..300u64 {
+            assert_eq!(a.write_back(i * 2), b.write_back(i * 2));
+            assert_eq!(a.pcommit(i * 2 + 1), b.pcommit(i * 2 + 1));
+        }
+        assert_eq!(a.fault_stats(), b.fault_stats());
     }
 
     #[test]

@@ -58,11 +58,10 @@ impl PAddr {
     ///
     /// Panics on address-space overflow.
     pub fn offset(self, bytes: u64) -> PAddr {
-        PAddr(
-            self.0
-                .checked_add(bytes)
-                .expect("persistent address overflow"),
-        )
+        match self.0.checked_add(bytes) {
+            Some(a) => PAddr(a),
+            None => panic!("persistent address overflow: {self} + {bytes}"),
+        }
     }
 
     /// Returns this address rounded down to its cache-block base.
@@ -136,6 +135,7 @@ pub fn blocks_covering(addr: PAddr, len: u64) -> impl Iterator<Item = BlockId> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -246,6 +246,7 @@ pub fn persist_boundaries(events: &[Event]) -> Vec<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::addr::PAddr;

@@ -44,6 +44,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Simulation hot paths must surface faults as typed errors, not abort.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod addr;
 pub mod crash;

@@ -156,6 +156,7 @@ pub fn recover(space: &mut Space, layout: &LogLayout) -> RecoveryReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -52,7 +52,7 @@ fn main() {
         let mut snoops = 0u64;
         let mut i = 0usize;
         while !p.is_done() {
-            p.step();
+            p.step().unwrap();
             steps += 1;
             if period > 0 && steps.is_multiple_of(period) {
                 i = (i + 131) % targets.len();

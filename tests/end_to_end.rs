@@ -168,7 +168,7 @@ fn rollback_reexecution_is_exact() {
     let mut rolled = 0;
     let mut i = 0usize;
     while !p.is_done() {
-        p.step();
+        p.step().unwrap();
         if rolled < 2 && !stored.is_empty() {
             i = (i + 7) % stored.len();
             if p.inject_coherence(stored[i]) {
