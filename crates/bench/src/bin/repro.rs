@@ -23,15 +23,29 @@
 //!              may move), crash verdicts must hold, and the
 //!              forward-progress watchdog must convert a wedged run
 //!              into a typed error; exits non-zero on any divergence
+//!   soak [--iters N]  bounded endurance: loop the journaled faultsim
+//!              matrix plus the must-pass crashfuzz leg under derived
+//!              per-iteration seeds, re-verifying journal integrity
+//!              every iteration; exits non-zero on any divergence or
+//!              corrupt journal line
 //!
 //! Options:
 //!   --scale N  divide Table 1's op counts by N (default 50; 1 = paper)
 //!   --seed S   RNG seed (default 0x5EED)
 //!   --jobs J   worker threads (default: all cores; 1 = serial)
+//!   --journal [PATH]  (faultsim/soak) record completed cells into the
+//!              journaled result manifest at PATH (default:
+//!              `.specpersist/journal-v1.jsonl`); a fresh run requires
+//!              a fresh path
+//!   --resume   (with --journal) replay verified cells from an existing
+//!              journal instead of recomputing them; the resumed stdout
+//!              is byte-identical to an uninterrupted run's
+//!   --iters N  (soak) iteration count (default 4)
 //!
 //! Invalid input (a malformed or zero --scale/--jobs, an unknown
-//! command, benchmark, variant, or leg) exits non-zero with a one-line
-//! `repro: ...` diagnostic on stderr.
+//! command, benchmark, variant, or leg, or contradictory journal
+//! flags) exits non-zero with a one-line `repro: ...` diagnostic on
+//! stderr.
 //!
 //! Every trace is recorded exactly once per invocation and shared
 //! across all simulator configurations (the `repro all` sweep replays
@@ -47,7 +61,7 @@ use std::time::Instant;
 use spp_bench::report;
 use spp_bench::{Experiment, Harness};
 
-const USAGE: &str = "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore|crashfuzz|faultsim> [--scale N] [--seed S] [--jobs J]";
+const USAGE: &str = "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore|crashfuzz|faultsim|soak> [--scale N] [--seed S] [--jobs J] [--journal [PATH] [--resume]] [--iters N]";
 
 /// A rejected invocation: every variant renders as one line, and every
 /// variant exits non-zero. Parsing never panics on user input.
@@ -72,6 +86,20 @@ enum CliError {
     UnknownVariant(String),
     /// The crashfuzz leg name is not a known slice of the matrix.
     UnknownLeg(String),
+    /// `--journal`/`--resume`/`--iters` given to a command that has no
+    /// journal support.
+    FlagUnsupported { flag: &'static str, cmd: String },
+    /// `--resume` without `--journal`.
+    ResumeNeedsJournal,
+    /// `--resume` named a journal file that does not exist.
+    ResumeMissingJournal(String),
+    /// `--journal` named an existing non-empty journal without
+    /// `--resume` (mixing two campaigns in one manifest is always a
+    /// mistake; replaying one must be explicit).
+    JournalNeedsResume(String),
+    /// The journal could not be opened (the wrapped
+    /// [`spp_bench::JournalError`] rendering).
+    Journal(String),
 }
 
 impl fmt::Display for CliError {
@@ -94,6 +122,20 @@ impl fmt::Display for CliError {
             CliError::UnknownLeg(l) => {
                 write!(f, "unknown crashfuzz leg {l:?} (want all|log|logp|logpsf)")
             }
+            CliError::FlagUnsupported { flag, cmd } => {
+                write!(f, "{flag} is not supported by {cmd:?} (journaled commands: faultsim, soak; --iters: soak)")
+            }
+            CliError::ResumeNeedsJournal => f.write_str("--resume requires --journal <path>"),
+            CliError::ResumeMissingJournal(p) => {
+                write!(f, "--resume: journal {p:?} does not exist")
+            }
+            CliError::JournalNeedsResume(p) => {
+                write!(
+                    f,
+                    "journal {p:?} already has entries; pass --resume to replay it or pick a fresh path"
+                )
+            }
+            CliError::Journal(e) => f.write_str(e),
         }
     }
 }
@@ -104,6 +146,9 @@ struct Cli {
     cmd: String,
     exp: Experiment,
     jobs: usize,
+    journal: Option<String>,
+    resume: bool,
+    iters: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -115,6 +160,9 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     };
     let mut exp = Experiment::default();
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut journal: Option<String> = None;
+    let mut resume = false;
+    let mut iters: Option<u64> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 1;
     fn flag_value(
@@ -144,6 +192,42 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 jobs = flag_value("--jobs", args, i, 1, "an integer of at least 1")? as usize;
                 i += 2;
             }
+            "--journal" => {
+                // The path is optional: bare `--journal` (end of args,
+                // or another flag next) uses the conventional manifest
+                // location. An explicit empty path is still an error.
+                match args.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        if next.is_empty() {
+                            return Err(CliError::BadValue {
+                                flag: "--journal",
+                                given: String::new(),
+                                want: "a file path",
+                            });
+                        }
+                        journal = Some(next.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        journal = Some(spp_bench::journal::DEFAULT_JOURNAL_PATH.to_string());
+                        i += 1;
+                    }
+                }
+            }
+            "--resume" => {
+                resume = true;
+                i += 1;
+            }
+            "--iters" => {
+                iters = Some(flag_value(
+                    "--iters",
+                    args,
+                    i,
+                    1,
+                    "an integer of at least 1",
+                )?);
+                i += 2;
+            }
             other => {
                 positional.push(other.to_string());
                 i += 1;
@@ -154,8 +238,57 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         cmd,
         exp,
         jobs,
+        journal,
+        resume,
+        iters,
         positional,
     })
+}
+
+/// Rejects journal flags on commands that cannot honor them, and
+/// contradictory combinations, before any work starts.
+fn check_flag_scope(cli: &Cli) -> Result<(), CliError> {
+    let journaled = matches!(cli.cmd.as_str(), "faultsim" | "soak");
+    if cli.journal.is_some() && !journaled {
+        return Err(CliError::FlagUnsupported {
+            flag: "--journal",
+            cmd: cli.cmd.clone(),
+        });
+    }
+    if cli.resume && !journaled {
+        return Err(CliError::FlagUnsupported {
+            flag: "--resume",
+            cmd: cli.cmd.clone(),
+        });
+    }
+    if cli.iters.is_some() && cli.cmd != "soak" {
+        return Err(CliError::FlagUnsupported {
+            flag: "--iters",
+            cmd: cli.cmd.clone(),
+        });
+    }
+    if cli.resume && cli.journal.is_none() {
+        return Err(CliError::ResumeNeedsJournal);
+    }
+    Ok(())
+}
+
+/// Opens the journal at `path` under the CLI's resume discipline:
+/// resuming requires the file to exist, and starting fresh requires it
+/// to be absent or empty — an existing manifest is never silently
+/// appended to and never silently ignored.
+fn open_journal(path: &std::path::Path, resume: bool) -> Result<spp_bench::Journal, CliError> {
+    let display = path.display().to_string();
+    let has_entries = std::fs::metadata(path)
+        .map(|m| m.len() > 0)
+        .unwrap_or(false);
+    if resume && !path.exists() {
+        return Err(CliError::ResumeMissingJournal(display));
+    }
+    if !resume && has_entries {
+        return Err(CliError::JournalNeedsResume(display));
+    }
+    spp_bench::Journal::open(path).map_err(|e| CliError::Journal(e.to_string()))
 }
 
 /// Runs one evaluation stage, reporting wall time and throughput on
@@ -189,10 +322,14 @@ fn main() -> ExitCode {
 }
 
 fn run(cli: Cli) -> Result<ExitCode, CliError> {
+    check_flag_scope(&cli)?;
     let Cli {
         cmd,
         exp,
         jobs,
+        journal,
+        resume,
+        iters,
         positional,
     } = cli;
     let harness = Harness::new(exp, jobs);
@@ -290,7 +427,8 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
         ),
         "trace" => return trace_cmd(&positional, &exp).map(|()| ExitCode::SUCCESS),
         "crashfuzz" => return crashfuzz_cmd(&harness, &positional),
-        "faultsim" => return Ok(faultsim_cmd(&harness)),
+        "faultsim" => return faultsim_cmd(&harness, journal.as_deref(), resume),
+        "soak" => return soak_cmd(&exp, jobs, iters, journal.as_deref(), resume),
         _ => return Err(CliError::UnknownCommand(cmd)),
     }
     Ok(ExitCode::SUCCESS)
@@ -316,21 +454,93 @@ fn crashfuzz_cmd(harness: &Harness, positional: &[String]) -> Result<ExitCode, C
     })
 }
 
-/// `repro faultsim`: run the fault-injection matrix (benchmark x
-/// variant x plan, both cores) plus the watchdog-detection leg and
-/// print the text report and one JSON line. Exits non-zero if a
-/// faulted run changed committed state or a crash verdict, a plan
-/// never fired, or the watchdog failed to convert a wedged run into a
-/// typed error.
-fn faultsim_cmd(harness: &Harness) -> ExitCode {
-    use spp_bench::faultsim::run_faultsim;
-    let rep = staged("faultsim", 7 * 4 * 2 * 3 + 1, || run_faultsim(harness));
+/// `repro faultsim [--journal PATH [--resume]]`: run the
+/// fault-injection matrix (benchmark x variant x plan, both cores)
+/// plus the watchdog-detection leg on the supervised pool and print
+/// the text report and one JSON line. With a journal, completed cells
+/// are recorded and `--resume` replays them — the resumed stdout is
+/// byte-identical to an uninterrupted run's. Exits non-zero if a
+/// faulted run changed committed state or a crash verdict, a cell
+/// exhausted its retry budget, a plan never fired, or the watchdog
+/// failed to convert a wedged run into a typed error.
+fn faultsim_cmd(
+    harness: &Harness,
+    journal: Option<&str>,
+    resume: bool,
+) -> Result<ExitCode, CliError> {
+    use spp_bench::faultsim::{run_faultsim_opts, FaultsimOpts};
+    let j = match journal {
+        Some(p) => Some(open_journal(std::path::Path::new(p), resume)?),
+        None => None,
+    };
+    let rep = staged("faultsim", 7 * 4 * 2 * 3 + 1, || {
+        run_faultsim_opts(
+            harness,
+            FaultsimOpts {
+                journal: j.as_ref(),
+                ..FaultsimOpts::default()
+            },
+        )
+    });
+    if let Some(j) = &j {
+        // Corrupt or undecodable entries recomputed; surface each one.
+        for e in j.corrupt() {
+            eprintln!("repro: journal: {e}");
+        }
+        eprintln!(
+            "# journal {}: {} cells replayed",
+            j.path().display(),
+            rep.replayed
+        );
+    }
     print!("{}", rep.render_text());
     println!("{}", rep.render_json());
-    if rep.ok() {
+    Ok(if rep.ok() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    })
+}
+
+/// `repro soak [--iters N] [--journal PATH [--resume]]`: bounded
+/// endurance over the journaled faultsim matrix plus the must-pass
+/// crashfuzz leg, with per-iteration journal re-verification. Without
+/// `--journal` the manifest lives in a pid-suffixed temp file that is
+/// removed on success. Exits non-zero on any divergence, degraded
+/// cell, or corrupt journal line.
+fn soak_cmd(
+    exp: &Experiment,
+    jobs: usize,
+    iters: Option<u64>,
+    journal: Option<&str>,
+    resume: bool,
+) -> Result<ExitCode, CliError> {
+    use spp_bench::soak::{run_soak, DEFAULT_SOAK_ITERS};
+    let iters = iters.unwrap_or(DEFAULT_SOAK_ITERS);
+    let (path, is_temp) = match journal {
+        Some(p) => (std::path::PathBuf::from(p), false),
+        None => {
+            let p =
+                std::env::temp_dir().join(format!("spp-soak-journal-{}.jsonl", std::process::id()));
+            let _ = std::fs::remove_file(&p);
+            (p, true)
+        }
+    };
+    let j = open_journal(&path, resume)?;
+    let rep = staged("soak", 0, || run_soak(exp, jobs, iters, &j));
+    for e in j.corrupt() {
+        eprintln!("repro: journal: {e}");
+    }
+    eprintln!("# journal {}", j.path().display());
+    print!("{}", rep.render_text());
+    println!("{}", rep.render_json());
+    if rep.ok() {
+        if is_temp {
+            let _ = std::fs::remove_file(&path);
+        }
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
     }
 }
 
@@ -485,11 +695,134 @@ mod tests {
             CliError::UnknownBench("ZZ".into()),
             CliError::UnknownVariant("fast".into()),
             CliError::UnknownLeg("base".into()),
+            CliError::FlagUnsupported {
+                flag: "--journal",
+                cmd: "all".into(),
+            },
+            CliError::ResumeNeedsJournal,
+            CliError::ResumeMissingJournal("/tmp/x.jsonl".into()),
+            CliError::JournalNeedsResume("/tmp/x.jsonl".into()),
+            CliError::Journal("journal \"x\": denied".into()),
         ];
         for e in errors {
             let s = e.to_string();
             assert!(!s.is_empty() && !s.contains('\n'), "{e:?} renders {s:?}");
         }
+    }
+
+    #[test]
+    fn journal_flags_parse() {
+        let cli = parse_args(&args(&[
+            "faultsim",
+            "--journal",
+            "j.jsonl",
+            "--resume",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(cli.journal.as_deref(), Some("j.jsonl"));
+        assert!(cli.resume);
+        assert!(check_flag_scope(&cli).is_ok());
+        let cli = parse_args(&args(&["soak", "--iters", "3"])).unwrap();
+        assert_eq!(cli.iters, Some(3));
+        assert!(check_flag_scope(&cli).is_ok());
+    }
+
+    #[test]
+    fn resume_without_journal_is_a_typed_error() {
+        let cli = parse_args(&args(&["faultsim", "--resume"])).unwrap();
+        assert_eq!(
+            check_flag_scope(&cli).unwrap_err(),
+            CliError::ResumeNeedsJournal
+        );
+    }
+
+    #[test]
+    fn journal_flags_are_rejected_on_unjournaled_commands() {
+        for (words, flag) in [
+            (vec!["all", "--journal", "j.jsonl"], "--journal"),
+            (vec!["fig8", "--resume"], "--resume"),
+            (vec!["faultsim", "--iters", "2"], "--iters"),
+        ] {
+            let cli = parse_args(&args(&words)).unwrap();
+            assert_eq!(
+                check_flag_scope(&cli).unwrap_err(),
+                CliError::FlagUnsupported {
+                    flag,
+                    cmd: words[0].to_string(),
+                },
+                "{words:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn journal_flag_values_are_validated() {
+        // Bare `--journal` (end of args, or another flag next) falls
+        // back to the conventional manifest location.
+        let cli = parse_args(&args(&["faultsim", "--journal"])).unwrap();
+        assert_eq!(
+            cli.journal.as_deref(),
+            Some(spp_bench::journal::DEFAULT_JOURNAL_PATH)
+        );
+        let cli = parse_args(&args(&["faultsim", "--journal", "--resume"])).unwrap();
+        assert_eq!(
+            cli.journal.as_deref(),
+            Some(spp_bench::journal::DEFAULT_JOURNAL_PATH)
+        );
+        assert!(cli.resume);
+        // An explicit empty path is still a typed error.
+        let e = parse_args(&args(&["faultsim", "--journal", ""])).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                CliError::BadValue {
+                    flag: "--journal",
+                    ..
+                }
+            ),
+            "{e:?}"
+        );
+        let e = parse_args(&args(&["soak", "--iters", "0"])).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                CliError::BadValue {
+                    flag: "--iters",
+                    ..
+                }
+            ),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn open_journal_enforces_the_resume_discipline() {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "spp-repro-cli-journal-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        // Resuming a journal that does not exist is a typed error.
+        assert!(matches!(
+            open_journal(&p, true).unwrap_err(),
+            CliError::ResumeMissingJournal(_)
+        ));
+        // A fresh run against a fresh path opens (and creates) it.
+        open_journal(&p, false).unwrap();
+        // A fresh run against an existing non-empty journal must not
+        // silently mix campaigns.
+        std::fs::write(&p, "x\n").unwrap();
+        assert!(matches!(
+            open_journal(&p, false).unwrap_err(),
+            CliError::JournalNeedsResume(_)
+        ));
+        // Resuming it is fine (the bogus line surfaces via corrupt()).
+        let j = open_journal(&p, true).unwrap();
+        assert_eq!(j.corrupt().len(), 1);
+        std::fs::remove_file(&p).unwrap();
     }
 
     #[test]

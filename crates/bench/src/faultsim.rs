@@ -34,6 +34,18 @@
 //! Every fault stream is a splitmix64 counter stream seeded from
 //! `(plan seed, component salt, site)`, so cells are pure functions of
 //! their inputs: the report is byte-identical at any `--jobs` value.
+//!
+//! The matrix runs on the [`Supervisor`]: each `(benchmark, variant)`
+//! pair is one supervised cell (six simulations plus the bounded crash
+//! verdict), keyed for the journaled result manifest. With a journal
+//! attached (`repro faultsim --journal … [--resume]`) completed pairs
+//! replay instead of recomputing, so a killed run resumes where it
+//! stopped — and because every pair is a pure function of its key, the
+//! resumed report is byte-identical to an uninterrupted one. A pair
+//! whose simulation panics or returns a typed [`spp_cpu::SimError`] is
+//! retried on the supervisor's bounded deterministic schedule and, on
+//! exhaustion, degrades to a per-cell `failed` record carrying the
+//! diagnostic snapshot; every other pair still reports.
 
 use spp_cpu::{try_simulate, CpuConfig, SimErrorKind, SimResult};
 use spp_mem::{FaultSpec, FaultStats};
@@ -42,8 +54,9 @@ use spp_workloads::oracle::record_bundle;
 use spp_workloads::BenchId;
 
 use crate::crashfuzz::{crash_points, fuzz_bundle_spec, minimal_witness, SEEDS_PER_POINT};
-use crate::json::{array, JsonObject};
-use crate::{run_indexed, Harness, TraceKey};
+use crate::json::{array, parse, JsonObject, Value};
+use crate::supervisor::{CellError, CellFailure, Supervisor};
+use crate::{Harness, Journal, TraceKey};
 
 /// The build variants swept by `repro faultsim` (all four: even the
 /// un-instrumented `Base` build must be timing-invariant under NVMM
@@ -73,13 +86,11 @@ struct Outcome {
     cycles: u64,
     classes: [u64; 6],
     faults: FaultStats,
-    /// Display form of a [`spp_cpu::SimError`], if the run failed.
-    error: Option<String>,
 }
 
 /// One faultsim cell: a `(benchmark, variant, plan)` triple with the
 /// fault-free reference and the faulted runs on both cores.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cell {
     /// Which benchmark.
     pub id: BenchId,
@@ -106,13 +117,10 @@ pub struct Cell {
     pub verdict: &'static str,
     /// Does the verdict match the variant's expectation?
     pub verdict_ok: bool,
-    /// Simulation errors, if any faulted run failed (always a bug:
-    /// plans must perturb timing, not wedge the machine).
-    pub errors: Vec<String>,
 }
 
 /// The watchdog-detection leg's outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WatchdogReport {
     /// The benchmark whose trace was replayed.
     pub id: BenchId,
@@ -135,10 +143,34 @@ pub struct WatchdogReport {
 pub struct FaultReport {
     /// Scale/seed the traces were recorded at.
     pub exp: crate::Experiment,
-    /// Per-cell results, in deterministic matrix order.
+    /// Per-cell results, in deterministic matrix order (pairs that
+    /// exhausted their retry budget are absent here and present in
+    /// [`FaultReport::failures`]).
     pub cells: Vec<Cell>,
+    /// Pairs that exhausted the supervisor's retry budget: degraded
+    /// per-cell records carrying the diagnostic snapshot, in matrix
+    /// order. Any entry here fails the report.
+    pub failures: Vec<CellFailure>,
+    /// Supervised cells served from the journal without recomputation
+    /// (stderr diagnostics only — never part of the report bytes).
+    pub replayed: usize,
     /// The watchdog-detection leg.
     pub watchdog: WatchdogReport,
+}
+
+/// Options for [`run_faultsim_opts`]: journal attachment, retry
+/// budget, and the fault-injection hook the supervision tests use.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultsimOpts<'j> {
+    /// Replay completed pairs from (and record new ones into) this
+    /// journal.
+    pub journal: Option<&'j Journal>,
+    /// Total attempts per pair; 0 means the supervisor default.
+    pub max_attempts: u32,
+    /// Fault-injection hook: panic inside this pair's cell on every
+    /// attempt, demonstrating retry exhaustion and per-cell
+    /// degradation without touching the simulator.
+    pub inject_panic: Option<(BenchId, Variant)>,
 }
 
 fn variant_key(v: Variant) -> &'static str {
@@ -203,7 +235,7 @@ fn run_one(
     variant: Variant,
     fault: Option<FaultSpec>,
     sp: bool,
-) -> Outcome {
+) -> Result<Outcome, CellError> {
     let t = h.trace(TraceKey::new(id, variant, &h.exp));
     let mut cpu = if sp {
         CpuConfig::with_sp()
@@ -212,17 +244,67 @@ fn run_one(
     };
     cpu.mem.fault = fault;
     match try_simulate(&t.events, &cpu) {
-        Ok(r) => Outcome {
+        Ok(r) => Ok(Outcome {
             cycles: r.cpu.cycles,
             classes: committed_classes(&r),
             faults: r.faults,
-            error: None,
-        },
-        Err(e) => Outcome {
-            error: Some(e.to_string()),
-            ..Outcome::default()
-        },
+        }),
+        Err(e) => Err(CellError::from_sim(&e)),
     }
+}
+
+/// One supervised `(benchmark, variant)` pair: two fault-free and four
+/// faulted simulations (shared across the two plans) plus the bounded
+/// crash verdict, yielding one [`Cell`] per plan. A typed
+/// [`spp_cpu::SimError`] anywhere inside propagates as a [`CellError`]
+/// so the supervisor can retry and, on exhaustion, degrade the pair.
+fn run_pair(
+    h: &Harness,
+    id: BenchId,
+    v: Variant,
+    inject_panic: Option<(BenchId, Variant)>,
+) -> Result<Vec<Cell>, CellError> {
+    if inject_panic == Some((id, v)) {
+        panic!("injected pair fault: {} {}", id.abbrev(), variant_key(v));
+    }
+    let plans = plans(h.exp.seed);
+    let clean_base = run_one(h, id, v, None, false)?;
+    let clean_sp = run_one(h, id, v, None, true)?;
+    let t = h.trace(TraceKey::new(id, v, &h.exp));
+    let reference = trace_classes(&t.counts);
+    let verdict = if v == Variant::Base {
+        "n/a"
+    } else {
+        crash_verdict(id, v, &h.exp)
+    };
+    let verdict_ok = match v {
+        Variant::Base => verdict == "n/a",
+        Variant::LogPSf => verdict == "recovers",
+        Variant::Log | Variant::LogP => verdict == "violation",
+    };
+    let mut cells = Vec::with_capacity(plans.len());
+    for (plan, spec) in plans {
+        let fb = run_one(h, id, v, Some(spec), false)?;
+        let fs = run_one(h, id, v, Some(spec), true)?;
+        let state_ok = [&clean_base, &clean_sp, &fb, &fs]
+            .iter()
+            .all(|o| o.classes == reference);
+        cells.push(Cell {
+            id,
+            variant: v,
+            plan,
+            base_cycles: clean_base.cycles,
+            base_cycles_faulted: fb.cycles,
+            sp_cycles: clean_sp.cycles,
+            sp_cycles_faulted: fs.cycles,
+            faults_injected: fb.faults.total() + fs.faults.total(),
+            extra_cycles: fb.faults.extra_cycles + fs.faults.extra_cycles,
+            state_ok,
+            verdict,
+            verdict_ok,
+        });
+    }
+    Ok(cells)
 }
 
 fn watchdog_leg(h: &Harness) -> WatchdogReport {
@@ -258,83 +340,243 @@ fn watchdog_leg(h: &Harness) -> WatchdogReport {
     }
 }
 
-/// Runs the faultsim matrix on the harness's worker budget.
-///
-/// Simulations (four per cell: fault-free and faulted on the baseline
-/// and SP256 cores, with fault-free runs shared between the two plans
-/// of a `(benchmark, variant)` pair) and crash-verdict sweeps are
-/// independent jobs fanned out via [`run_indexed`]; results come back
-/// in input order, so the report is identical at any `--jobs` value.
-pub fn run_faultsim(h: &Harness) -> FaultReport {
-    let plans = plans(h.exp.seed);
-    // Flat sim list per (bench, variant): plan 0 is fault-free, then
-    // one slot per named plan; each on both cores.
-    let sims: Vec<(BenchId, Variant, usize, bool)> = BenchId::ALL
-        .iter()
-        .flat_map(|&id| {
-            VARIANTS.iter().flat_map(move |&v| {
-                (0..=plans.len()).flat_map(move |p| [(id, v, p, false), (id, v, p, true)])
-            })
-        })
-        .collect();
-    let outs = run_indexed(h.jobs, &sims, |_, &(id, v, p, sp)| {
-        let fault = (p > 0).then(|| plans[p - 1].1);
-        run_one(h, id, v, fault, sp)
-    });
-    let pairs: Vec<(BenchId, Variant)> = BenchId::ALL
-        .iter()
-        .flat_map(|&id| VARIANTS.iter().map(move |&v| (id, v)))
-        .collect();
-    let verdicts = run_indexed(h.jobs, &pairs, |_, &(id, v)| {
-        if v == Variant::Base {
-            "n/a"
-        } else {
-            crash_verdict(id, v, &h.exp)
-        }
-    });
+/// Everything besides scale/seed that determines a cell's result,
+/// folded into the journal key so entries written under a different
+/// configuration can never replay into this run.
+fn config_hash(exp: &crate::Experiment) -> u64 {
+    let ps = plans(exp.seed);
+    spp_pmem::hash64(
+        format!(
+            "faultsim;plans={:#x},{:#x};points={VERDICT_POINTS};seeds={SEEDS_PER_POINT};wd={WATCHDOG_DEMO_BOUND}",
+            ps[0].1.seed, ps[1].1.seed
+        )
+        .as_bytes(),
+    )
+}
 
-    let per_pair = 2 * (plans.len() + 1);
+/// The journal key of one `(benchmark, variant)` pair.
+fn pair_key(id: BenchId, v: Variant, exp: &crate::Experiment) -> String {
+    format!(
+        "faultsim/{}/{}/s{}/x{:016x}/clwb/c{:016x}",
+        id.abbrev(),
+        variant_key(v),
+        exp.scale,
+        exp.seed,
+        config_hash(exp)
+    )
+}
+
+/// The journal key of the watchdog-detection leg.
+fn watchdog_key(exp: &crate::Experiment) -> String {
+    format!(
+        "faultsim/watchdog/{}/s{}/x{:016x}/b{}/c{:016x}",
+        BenchId::LinkedList.abbrev(),
+        exp.scale,
+        exp.seed,
+        WATCHDOG_DEMO_BOUND,
+        config_hash(exp)
+    )
+}
+
+/// One supervised unit of the faultsim matrix.
+#[derive(Debug, Clone, Copy)]
+enum CellTask {
+    Pair(BenchId, Variant),
+    Watchdog,
+}
+
+/// A supervised unit's journalled value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CellValue {
+    Pair(Vec<Cell>),
+    Watchdog(WatchdogReport),
+}
+
+fn bench_from_abbrev(s: &str) -> Option<BenchId> {
+    BenchId::ALL.iter().copied().find(|b| b.abbrev() == s)
+}
+
+fn variant_from_key(s: &str) -> Option<Variant> {
+    VARIANTS.iter().copied().find(|&v| variant_key(v) == s)
+}
+
+/// Maps a decoded plan name back onto the interned `&'static str` the
+/// in-process runner produces, so replayed reports are byte-identical.
+fn plan_from_name(s: &str) -> Option<&'static str> {
+    match s {
+        "quiet" => Some("quiet"),
+        "storm" => Some("storm"),
+        _ => None,
+    }
+}
+
+fn verdict_from_name(s: &str) -> Option<&'static str> {
+    match s {
+        "recovers" => Some("recovers"),
+        "violation" => Some("violation"),
+        "n/a" => Some("n/a"),
+        _ => None,
+    }
+}
+
+/// One cell as a JSON object (shared by the report and the journal
+/// payload codec).
+fn cell_json(c: &Cell) -> String {
+    let mut o = JsonObject::new();
+    o.str("bench", c.id.abbrev())
+        .str("variant", variant_key(c.variant))
+        .str("plan", c.plan)
+        .num("base_cycles", c.base_cycles as f64)
+        .num("base_cycles_faulted", c.base_cycles_faulted as f64)
+        .num("sp_cycles", c.sp_cycles as f64)
+        .num("sp_cycles_faulted", c.sp_cycles_faulted as f64)
+        .num("faults", c.faults_injected as f64)
+        .num("extra_cycles", c.extra_cycles as f64)
+        .num("state_ok", u8::from(c.state_ok))
+        .str("verdict", c.verdict)
+        .num("verdict_ok", u8::from(c.verdict_ok));
+    o.render()
+}
+
+fn decode_cell(v: &Value) -> Option<Cell> {
+    Some(Cell {
+        id: bench_from_abbrev(v.get("bench")?.as_str()?)?,
+        variant: variant_from_key(v.get("variant")?.as_str()?)?,
+        plan: plan_from_name(v.get("plan")?.as_str()?)?,
+        base_cycles: v.get("base_cycles")?.as_u64()?,
+        base_cycles_faulted: v.get("base_cycles_faulted")?.as_u64()?,
+        sp_cycles: v.get("sp_cycles")?.as_u64()?,
+        sp_cycles_faulted: v.get("sp_cycles_faulted")?.as_u64()?,
+        faults_injected: v.get("faults")?.as_u64()?,
+        extra_cycles: v.get("extra_cycles")?.as_u64()?,
+        state_ok: v.get("state_ok")?.as_u64()? != 0,
+        verdict: verdict_from_name(v.get("verdict")?.as_str()?)?,
+        verdict_ok: v.get("verdict_ok")?.as_u64()? != 0,
+    })
+}
+
+/// The watchdog leg as a JSON object (shared by the report and the
+/// journal payload codec).
+fn watchdog_json(w: &WatchdogReport) -> String {
+    let mut o = JsonObject::new();
+    o.str("bench", w.id.abbrev())
+        .num("bound", w.bound as f64)
+        .num("fired", u8::from(w.fired))
+        .num("cycle", w.cycle as f64)
+        .num("rob_len", w.rob_len as f64)
+        .str("detail", &w.detail)
+        .num("ok", u8::from(w.ok));
+    o.render()
+}
+
+fn encode_cell_value(v: &CellValue) -> String {
+    let mut o = JsonObject::new();
+    match v {
+        CellValue::Pair(cells) => o.raw("cells", array(cells.iter().map(cell_json))),
+        CellValue::Watchdog(w) => o.raw("watchdog", watchdog_json(w)),
+    };
+    o.render()
+}
+
+fn decode_cell_value(payload: &str) -> Option<CellValue> {
+    let v = parse(payload).ok()?;
+    if let Some(cells) = v.get("cells") {
+        let arr = cells.as_arr()?;
+        let mut out = Vec::with_capacity(arr.len());
+        for c in arr {
+            out.push(decode_cell(c)?);
+        }
+        return Some(CellValue::Pair(out));
+    }
+    let w = v.get("watchdog")?;
+    Some(CellValue::Watchdog(WatchdogReport {
+        id: bench_from_abbrev(w.get("bench")?.as_str()?)?,
+        bound: w.get("bound")?.as_u64()?,
+        fired: w.get("fired")?.as_u64()? != 0,
+        cycle: w.get("cycle")?.as_u64()?,
+        rob_len: w.get("rob_len")?.as_u64()? as usize,
+        detail: w.get("detail")?.as_str()?.to_string(),
+        ok: w.get("ok")?.as_u64()? != 0,
+    }))
+}
+
+/// Runs the faultsim matrix under the [`Supervisor`].
+///
+/// Each `(benchmark, variant)` pair — six simulations plus the bounded
+/// crash verdict — and the watchdog leg is one supervised cell: panic-
+/// isolated, retried on the bounded deterministic schedule, journalled
+/// under `opts.journal` when one is attached, and degraded to a
+/// per-cell failure record on retry exhaustion. Outcomes come back in
+/// input order, so the report is byte-identical at any `--jobs` value
+/// and across interrupted-then-resumed vs. uninterrupted runs.
+pub fn run_faultsim_opts(h: &Harness, opts: FaultsimOpts<'_>) -> FaultReport {
+    let mut tasks: Vec<CellTask> = BenchId::ALL
+        .iter()
+        .flat_map(|&id| VARIANTS.iter().map(move |&v| CellTask::Pair(id, v)))
+        .collect();
+    tasks.push(CellTask::Watchdog);
+    let sup = Supervisor {
+        jobs: h.jobs,
+        max_attempts: if opts.max_attempts == 0 {
+            crate::supervisor::MAX_ATTEMPTS
+        } else {
+            opts.max_attempts
+        },
+        journal: opts.journal,
+    };
+    let outcomes = sup.run_cells(
+        &tasks,
+        |_, t| match t {
+            CellTask::Pair(id, v) => pair_key(*id, *v, &h.exp),
+            CellTask::Watchdog => watchdog_key(&h.exp),
+        },
+        |_, t| match t {
+            CellTask::Pair(id, v) => run_pair(h, *id, *v, opts.inject_panic).map(CellValue::Pair),
+            CellTask::Watchdog => Ok(CellValue::Watchdog(watchdog_leg(h))),
+        },
+        encode_cell_value,
+        decode_cell_value,
+    );
     let mut cells = Vec::new();
-    for (pi, &(id, v)) in pairs.iter().enumerate() {
-        let chunk = &outs[pi * per_pair..(pi + 1) * per_pair];
-        let (clean_base, clean_sp) = (&chunk[0], &chunk[1]);
-        let t = h.trace(TraceKey::new(id, v, &h.exp));
-        let reference = trace_classes(&t.counts);
-        let verdict = verdicts[pi];
-        let verdict_ok = match v {
-            Variant::Base => verdict == "n/a",
-            Variant::LogPSf => verdict == "recovers",
-            Variant::Log | Variant::LogP => verdict == "violation",
-        };
-        for (p, &(plan, _)) in plans.iter().enumerate() {
-            let (fb, fs) = (&chunk[2 * (p + 1)], &chunk[2 * (p + 1) + 1]);
-            let runs = [clean_base, clean_sp, fb, fs];
-            let state_ok = runs
-                .iter()
-                .all(|o| o.error.is_none() && o.classes == reference);
-            let errors: Vec<String> = runs.iter().filter_map(|o| o.error.clone()).collect();
-            cells.push(Cell {
-                id,
-                variant: v,
-                plan,
-                base_cycles: clean_base.cycles,
-                base_cycles_faulted: fb.cycles,
-                sp_cycles: clean_sp.cycles,
-                sp_cycles_faulted: fs.cycles,
-                faults_injected: fb.faults.total() + fs.faults.total(),
-                extra_cycles: fb.faults.extra_cycles + fs.faults.extra_cycles,
-                state_ok,
-                verdict,
-                verdict_ok,
-                errors,
-            });
+    let mut failures = Vec::new();
+    let mut replayed = 0;
+    let mut watchdog = WatchdogReport {
+        id: BenchId::LinkedList,
+        bound: WATCHDOG_DEMO_BOUND,
+        fired: false,
+        cycle: 0,
+        rob_len: 0,
+        detail: "watchdog leg did not run".to_string(),
+        ok: false,
+    };
+    for (o, t) in outcomes.into_iter().zip(&tasks) {
+        if o.replayed {
+            replayed += 1;
+        }
+        match o.result {
+            Ok(CellValue::Pair(mut cs)) => cells.append(&mut cs),
+            Ok(CellValue::Watchdog(w)) => watchdog = w,
+            Err(f) => {
+                if matches!(t, CellTask::Watchdog) {
+                    watchdog.detail = f.reason.clone();
+                }
+                failures.push(f);
+            }
         }
     }
     FaultReport {
         exp: h.exp,
         cells,
-        watchdog: watchdog_leg(h),
+        failures,
+        replayed,
+        watchdog,
     }
+}
+
+/// Runs the faultsim matrix with default supervision (no journal, the
+/// default retry budget, no injected faults).
+pub fn run_faultsim(h: &Harness) -> FaultReport {
+    run_faultsim_opts(h, FaultsimOpts::default())
 }
 
 impl FaultReport {
@@ -359,11 +601,12 @@ impl FaultReport {
             .count()
     }
 
-    /// Did every cell keep state and verdict invariant, did the storm
-    /// plan actually inject and perturb, and did the watchdog leg
-    /// detect its wedged run?
+    /// Did every cell keep state and verdict invariant, did no pair
+    /// exhaust its retry budget, did the storm plan actually inject
+    /// and perturb, and did the watchdog leg detect its wedged run?
     pub fn ok(&self) -> bool {
         self.cells.iter().all(|c| c.state_ok && c.verdict_ok)
+            && self.failures.is_empty()
             && self.watchdog.ok
             && self.storm_faults() > 0
             && self.perturbed_cells() > 0
@@ -397,10 +640,8 @@ impl FaultReport {
         for c in &self.cells {
             let state = if c.state_ok {
                 "ok".to_string()
-            } else if c.errors.is_empty() {
-                "FAIL: committed state diverged".to_string()
             } else {
-                format!("FAIL: {}", c.errors[0])
+                "FAIL: committed state diverged".to_string()
             };
             let verdict = if c.verdict_ok {
                 c.verdict.to_string()
@@ -422,6 +663,13 @@ impl FaultReport {
                 state
             );
         }
+        for f in &self.failures {
+            let _ = writeln!(
+                s,
+                "cell {}: FAILED after {} attempts: {}",
+                f.key, f.attempts, f.reason
+            );
+        }
         let w = &self.watchdog;
         let _ = writeln!(
             s,
@@ -436,9 +684,10 @@ impl FaultReport {
         );
         let _ = writeln!(
             s,
-            "faultsim: {} ({} cells, {} faults under storm, {} cells perturbed)",
+            "faultsim: {} ({} cells, {} failed, {} faults under storm, {} cells perturbed)",
             if self.ok() { "PASS" } else { "FAIL" },
             self.cells.len(),
+            self.failures.len(),
             self.storm_faults(),
             self.perturbed_cells()
         );
@@ -447,54 +696,20 @@ impl FaultReport {
 
     /// The machine-readable report.
     pub fn render_json(&self) -> String {
-        let cells = self.cells.iter().map(|c| {
-            let mut o = JsonObject::new();
-            o.str("bench", c.id.abbrev())
-                .str("variant", variant_key(c.variant))
-                .str("plan", c.plan)
-                .num("base_cycles", c.base_cycles as f64)
-                .num("base_cycles_faulted", c.base_cycles_faulted as f64)
-                .num("sp_cycles", c.sp_cycles as f64)
-                .num("sp_cycles_faulted", c.sp_cycles_faulted as f64)
-                .num("faults", c.faults_injected as f64)
-                .num("extra_cycles", c.extra_cycles as f64)
-                .num("state_ok", u8::from(c.state_ok))
-                .str("verdict", c.verdict)
-                .num("verdict_ok", u8::from(c.verdict_ok));
-            if !c.errors.is_empty() {
-                o.raw(
-                    "errors",
-                    array(c.errors.iter().map(|e| {
-                        let mut eo = JsonObject::new();
-                        eo.str("error", e);
-                        eo.render()
-                    })),
-                );
-            }
-            o.render()
-        });
         let plan_list = plans(self.exp.seed).into_iter().map(|(name, spec)| {
             let mut o = JsonObject::new();
             o.str("name", name).num("seed", spec.seed as f64);
             o.render()
         });
-        let w = &self.watchdog;
-        let mut wo = JsonObject::new();
-        wo.str("bench", w.id.abbrev())
-            .num("bound", w.bound as f64)
-            .num("fired", u8::from(w.fired))
-            .num("cycle", w.cycle as f64)
-            .num("rob_len", w.rob_len as f64)
-            .str("detail", &w.detail)
-            .num("ok", u8::from(w.ok));
         let mut root = JsonObject::new();
         root.str("schema", "specpersist/faultsim-v1")
             .num("scale", self.exp.scale as f64)
             .num("seed", self.exp.seed as f64)
             .num("ok", u8::from(self.ok()))
             .raw("plans", array(plan_list))
-            .raw("cells", array(cells))
-            .raw("watchdog", wo.render());
+            .raw("cells", array(self.cells.iter().map(cell_json)))
+            .raw("failures", array(self.failures.iter().map(|f| f.to_json())))
+            .raw("watchdog", watchdog_json(&self.watchdog));
         root.render()
     }
 }
@@ -519,11 +734,12 @@ mod tests {
     fn invariance_holds_across_the_matrix_at_smoke_scale() {
         let rep = run_faultsim(&smoke_harness(4));
         assert_eq!(rep.cells.len(), 7 * 4 * 2, "bench x variant x plan");
+        assert!(rep.failures.is_empty(), "{:?}", rep.failures);
         for c in &rep.cells {
             assert!(
                 c.state_ok,
-                "{} {} {}: committed state diverged ({:?})",
-                c.id, c.variant, c.plan, c.errors
+                "{} {} {}: committed state diverged",
+                c.id, c.variant, c.plan
             );
             assert!(
                 c.verdict_ok,
@@ -576,11 +792,84 @@ mod tests {
             "\"schema\":\"specpersist/faultsim-v1\"",
             "\"plans\"",
             "\"cells\"",
+            "\"failures\"",
             "\"watchdog\"",
             "\"verdict\"",
             "\"extra_cycles\"",
         ] {
             assert!(j.contains(key), "missing {key}");
         }
+        crate::json::parse(&j).expect("report must parse");
+    }
+
+    #[test]
+    fn exhausted_pair_degrades_to_failed_record_while_others_report() {
+        let h = smoke_harness(4);
+        let rep = run_faultsim_opts(
+            &h,
+            FaultsimOpts {
+                inject_panic: Some((BenchId::LinkedList, Variant::Log)),
+                max_attempts: 2,
+                ..FaultsimOpts::default()
+            },
+        );
+        // The injected pair degrades; every other pair still reports.
+        assert_eq!(rep.cells.len(), (7 * 4 - 1) * 2);
+        assert_eq!(rep.failures.len(), 1);
+        let f = &rep.failures[0];
+        assert!(
+            f.key.contains(&format!(
+                "/{}/{}/",
+                BenchId::LinkedList.abbrev(),
+                variant_key(Variant::Log)
+            )),
+            "{}",
+            f.key
+        );
+        assert_eq!(f.attempts, 2, "retry budget consumed");
+        assert!(f.reason.contains("injected pair fault"), "{}", f.reason);
+        assert!(!rep.ok(), "a degraded pair must fail the report");
+        let text = rep.render_text();
+        assert!(text.contains("FAILED after 2 attempts"), "{text}");
+        assert!(text.contains("faultsim: FAIL"), "{text}");
+        let json = rep.render_json();
+        assert!(json.contains("injected pair fault"), "{json}");
+        crate::json::parse(&json).expect("report must parse");
+    }
+
+    #[test]
+    fn journaled_rerun_replays_byte_identically() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("spp-faultsim-journal-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let h = smoke_harness(2);
+        let (text, json);
+        {
+            let j = Journal::open(&p).unwrap();
+            let rep = run_faultsim_opts(
+                &h,
+                FaultsimOpts {
+                    journal: Some(&j),
+                    ..FaultsimOpts::default()
+                },
+            );
+            assert_eq!(rep.replayed, 0, "first run computes everything");
+            assert!(rep.ok());
+            text = rep.render_text();
+            json = rep.render_json();
+        }
+        let j = Journal::open(&p).unwrap();
+        assert!(j.corrupt().is_empty(), "{:?}", j.corrupt());
+        let rep = run_faultsim_opts(
+            &h,
+            FaultsimOpts {
+                journal: Some(&j),
+                ..FaultsimOpts::default()
+            },
+        );
+        assert_eq!(rep.replayed, 7 * 4 + 1, "every cell replays");
+        assert_eq!(rep.render_text(), text, "replayed stdout byte-identical");
+        assert_eq!(rep.render_json(), json);
+        std::fs::remove_file(&p).unwrap();
     }
 }

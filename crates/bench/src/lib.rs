@@ -34,12 +34,17 @@
 pub mod cache;
 pub mod crashfuzz;
 pub mod faultsim;
+pub mod journal;
 pub mod json;
 pub mod parallel;
 pub mod report;
+pub mod soak;
+pub mod supervisor;
 
 pub use cache::{CacheStats, TraceCache, TraceKey};
+pub use journal::{Journal, JournalError};
 pub use parallel::run_indexed;
+pub use supervisor::{CellFailure, CellOutcome, Supervisor};
 
 use spp_cpu::{simulate, CpuConfig, SimResult, SpConfig};
 use spp_pmem::{FlushMode, SharedTrace, TraceCounts, Variant};

@@ -38,7 +38,12 @@ where
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
                 let r = f(i, item);
-                *slots[i].lock().expect("worker panicked mid-store") = Some(r);
+                // Poison-tolerant: another worker's panic (propagated
+                // by the scope after the join) must not turn this
+                // store into a second, confusing panic.
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
             });
         }
     });
@@ -46,7 +51,7 @@ where
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("worker panicked mid-store")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("every slot filled once the scope joins")
         })
         .collect()
@@ -99,5 +104,33 @@ mod tests {
         let items: Vec<u64> = (0..64).collect();
         let f = |i: usize, x: &u64| i as u64 ^ (x * 31);
         assert_eq!(run_indexed(1, &items, f), run_indexed(6, &items, f));
+    }
+
+    #[test]
+    fn empty_input_returns_empty_at_any_job_count() {
+        let empty: Vec<u32> = Vec::new();
+        for jobs in [0, 1, 3, 128] {
+            assert!(
+                run_indexed(jobs, &empty, |_, &x| x).is_empty(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn jobs_beyond_item_count_are_clamped_and_ordered() {
+        // More workers than items: the clamp means no worker ever
+        // spawns idle, and ordering still holds.
+        let items: Vec<u64> = (0..3).collect();
+        let out = run_indexed(64, &items, |i, &x| (i as u64, x * 7));
+        assert_eq!(out, vec![(0, 0), (1, 7), (2, 14)]);
+    }
+
+    #[test]
+    fn single_item_runs_inline_on_the_caller_thread() {
+        let caller = std::thread::current().id();
+        let out = run_indexed(8, &[42u64], |_, &x| (std::thread::current().id(), x));
+        assert_eq!(out[0].0, caller, "one item must not pay a spawn");
+        assert_eq!(out[0].1, 42);
     }
 }

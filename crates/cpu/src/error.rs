@@ -69,6 +69,43 @@ pub struct DiagnosticSnapshot {
     pub trace_done: bool,
 }
 
+impl DiagnosticSnapshot {
+    /// The snapshot as one flat JSON object (stable key order, no
+    /// external dependency): the machine-readable form that failure
+    /// records in journalled reports carry, so a degraded cell still
+    /// ships the full machine state for post-mortem without parsing a
+    /// display string.
+    pub fn to_json(&self) -> String {
+        let per_epoch: Vec<String> = self
+            .ssb_per_epoch
+            .iter()
+            .map(|(e, n)| format!("[{e},{n}]"))
+            .collect();
+        format!(
+            "{{\"cycle\":{},\"rob_head\":\"{:?}\",\"rob_len\":{},\"fetchq_len\":{},\
+             \"lsq_used\":{},\"store_buffer_len\":{},\"pending_flushes\":{},\
+             \"pending_pcommits\":{},\"speculating\":{},\"ssb_len\":{},\
+             \"ssb_per_epoch\":[{}],\"checkpoints_live\":{},\"checkpoint_capacity\":{},\
+             \"wpq_depth\":{},\"trace_done\":{}}}",
+            self.cycle,
+            self.rob_head.map(|u| u.kind),
+            self.rob_len,
+            self.fetchq_len,
+            self.lsq_used,
+            self.store_buffer_len,
+            self.pending_flushes,
+            self.pending_pcommits,
+            self.speculating,
+            self.ssb_len,
+            per_epoch.join(","),
+            self.checkpoints_live,
+            self.checkpoint_capacity,
+            self.wpq_depth,
+            self.trace_done,
+        )
+    }
+}
+
 impl fmt::Display for DiagnosticSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -120,6 +157,22 @@ impl fmt::Display for SimError {
             }
         }
         write!(f, " [{}]", self.snapshot)
+    }
+}
+
+impl SimError {
+    /// The error as one JSON object: a `kind` string plus the full
+    /// [`DiagnosticSnapshot::to_json`] under `snapshot`.
+    pub fn to_json(&self) -> String {
+        let kind = match self.kind {
+            SimErrorKind::NoRetireProgress { bound } => format!("no_retire_progress:{bound}"),
+            SimErrorKind::NoFutureEvent => "no_future_event".to_string(),
+            SimErrorKind::BrokenInvariant { what } => format!("broken_invariant:{what}"),
+        };
+        format!(
+            "{{\"kind\":\"{kind}\",\"snapshot\":{}}}",
+            self.snapshot.to_json()
+        )
     }
 }
 

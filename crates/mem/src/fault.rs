@@ -19,13 +19,11 @@
 use crate::config::Cycle;
 
 /// The splitmix64 mixer (Steele et al.), the repository's standard
-/// deterministic stream generator.
-pub const fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+/// deterministic stream generator — the single shared implementation
+/// lives in `spp-pmem` (canonically re-exported as
+/// `spp_core::splitmix64`); this re-export keeps `spp_mem::splitmix64`
+/// working for existing callers.
+pub use spp_pmem::rng::splitmix64;
 
 /// One injected fault, as drawn at an injection site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

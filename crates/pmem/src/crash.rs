@@ -30,6 +30,7 @@ use std::collections::HashMap;
 
 use crate::addr::BlockId;
 use crate::event::Event;
+use crate::rng::splitmix64;
 use crate::space::Space;
 
 /// One store affecting a block, in trace order.
@@ -208,16 +209,6 @@ impl<'a> CrashSim<'a> {
     pub fn dirty_blocks(&self) -> impl Iterator<Item = (BlockId, usize)> + '_ {
         self.stores.keys().map(move |&b| (b, self.guarantee(b)))
     }
-}
-
-/// SplitMix64: a statistically strong 64-bit mixer (the seeding
-/// function of the xoshiro family), used for deterministic per-block
-/// writeback schedules.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
 }
 
 /// The sorted, deduplicated crash indices at which durability state can
