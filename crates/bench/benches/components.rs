@@ -107,7 +107,7 @@ fn bench_memory_system(c: &mut Criterion) {
         })
     });
     g.bench_function("flush_pcommit", |b| {
-        let mut mc = MemCtrl::new(MemConfig::paper());
+        let mut mc = MemCtrl::try_new(MemConfig::paper()).unwrap();
         let mut t = 0u64;
         b.iter(|| {
             t += 400;

@@ -4,9 +4,16 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use spp_bench::{run_variant, Experiment};
-use spp_cpu::{simulate, CpuConfig};
+use spp_cpu::{CpuConfig, SimResult, Simulator};
 use spp_pmem::{Event, PAddr, Variant};
 use spp_workloads::BenchId;
+
+fn simulate(events: &[Event], cfg: &CpuConfig) -> SimResult {
+    Simulator::new(events)
+        .config(*cfg)
+        .run()
+        .expect("bench traces must simulate cleanly")
+}
 
 fn barrier_trace(n: u64) -> Vec<Event> {
     let mut ev = Vec::new();

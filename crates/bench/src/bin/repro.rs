@@ -28,6 +28,13 @@
 //!              per-iteration seeds, re-verifying journal integrity
 //!              every iteration; exits non-zero on any divergence or
 //!              corrupt journal line
+//!   profile <BENCH> <VARIANT>  cycle-resolved observability: replay
+//!              one trace on the baseline and SP256 cores with the
+//!              spp-obs probe attached, print the stall-attribution
+//!              table plus one `specpersist/profile-v1` JSON line, and
+//!              optionally export a Chrome trace (--trace-out); exits
+//!              non-zero if the probe's attribution diverges from the
+//!              machine's own stall counters
 //!
 //! Options:
 //!   --scale N  divide Table 1's op counts by N (default 50; 1 = paper)
@@ -41,6 +48,9 @@
 //!              journal instead of recomputing them; the resumed stdout
 //!              is byte-identical to an uninterrupted run's
 //!   --iters N  (soak) iteration count (default 4)
+//!   --trace-out PATH  (profile) write the merged Chrome trace_event
+//!              document to PATH (loadable in Perfetto or
+//!              chrome://tracing)
 //!
 //! Invalid input (a malformed or zero --scale/--jobs, an unknown
 //! command, benchmark, variant, or leg, or contradictory journal
@@ -61,7 +71,7 @@ use std::time::Instant;
 use spp_bench::report;
 use spp_bench::{Experiment, Harness};
 
-const USAGE: &str = "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore|crashfuzz|faultsim|soak> [--scale N] [--seed S] [--jobs J] [--journal [PATH] [--resume]] [--iters N]";
+const USAGE: &str = "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore|crashfuzz|faultsim|soak|profile> [--scale N] [--seed S] [--jobs J] [--journal [PATH] [--resume]] [--iters N] [--trace-out PATH]";
 
 /// A rejected invocation: every variant renders as one line, and every
 /// variant exits non-zero. Parsing never panics on user input.
@@ -80,6 +90,8 @@ enum CliError {
     },
     /// `repro trace` needs a benchmark and a variant.
     MissingTraceArgs,
+    /// `repro profile` needs a benchmark and a variant.
+    MissingProfileArgs,
     /// The benchmark abbreviation is not in Table 1.
     UnknownBench(String),
     /// The build-variant name is not one of the four builds.
@@ -113,6 +125,9 @@ impl fmt::Display for CliError {
             CliError::MissingTraceArgs => {
                 f.write_str("trace needs <GH|HM|LL|SS|AT|BT|RT> <base|log|logp|logpsf>")
             }
+            CliError::MissingProfileArgs => {
+                f.write_str("profile needs <GH|HM|LL|SS|AT|BT|RT> <base|log|logp|logpsf>")
+            }
             CliError::UnknownBench(b) => {
                 write!(f, "unknown benchmark {b:?} (want GH|HM|LL|SS|AT|BT|RT)")
             }
@@ -123,7 +138,7 @@ impl fmt::Display for CliError {
                 write!(f, "unknown crashfuzz leg {l:?} (want all|log|logp|logpsf)")
             }
             CliError::FlagUnsupported { flag, cmd } => {
-                write!(f, "{flag} is not supported by {cmd:?} (journaled commands: faultsim, soak; --iters: soak)")
+                write!(f, "{flag} is not supported by {cmd:?} (journaled commands: faultsim, soak, profile; --iters: soak; --trace-out: profile)")
             }
             CliError::ResumeNeedsJournal => f.write_str("--resume requires --journal <path>"),
             CliError::ResumeMissingJournal(p) => {
@@ -149,6 +164,7 @@ struct Cli {
     journal: Option<String>,
     resume: bool,
     iters: Option<u64>,
+    trace_out: Option<String>,
     positional: Vec<String>,
 }
 
@@ -163,6 +179,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let mut journal: Option<String> = None;
     let mut resume = false;
     let mut iters: Option<u64> = None;
+    let mut trace_out: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 1;
     fn flag_value(
@@ -218,6 +235,19 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 resume = true;
                 i += 1;
             }
+            "--trace-out" => match args.get(i + 1) {
+                Some(next) if !next.is_empty() && !next.starts_with("--") => {
+                    trace_out = Some(next.clone());
+                    i += 2;
+                }
+                _ => {
+                    return Err(CliError::BadValue {
+                        flag: "--trace-out",
+                        given: args.get(i + 1).cloned().unwrap_or_default(),
+                        want: "a file path",
+                    })
+                }
+            },
             "--iters" => {
                 iters = Some(flag_value(
                     "--iters",
@@ -241,6 +271,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         journal,
         resume,
         iters,
+        trace_out,
         positional,
     })
 }
@@ -248,7 +279,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
 /// Rejects journal flags on commands that cannot honor them, and
 /// contradictory combinations, before any work starts.
 fn check_flag_scope(cli: &Cli) -> Result<(), CliError> {
-    let journaled = matches!(cli.cmd.as_str(), "faultsim" | "soak");
+    let journaled = matches!(cli.cmd.as_str(), "faultsim" | "soak" | "profile");
     if cli.journal.is_some() && !journaled {
         return Err(CliError::FlagUnsupported {
             flag: "--journal",
@@ -264,6 +295,12 @@ fn check_flag_scope(cli: &Cli) -> Result<(), CliError> {
     if cli.iters.is_some() && cli.cmd != "soak" {
         return Err(CliError::FlagUnsupported {
             flag: "--iters",
+            cmd: cli.cmd.clone(),
+        });
+    }
+    if cli.trace_out.is_some() && cli.cmd != "profile" {
+        return Err(CliError::FlagUnsupported {
+            flag: "--trace-out",
             cmd: cli.cmd.clone(),
         });
     }
@@ -330,6 +367,7 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
         journal,
         resume,
         iters,
+        trace_out,
         positional,
     } = cli;
     let harness = Harness::new(exp, jobs);
@@ -429,6 +467,15 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
         "crashfuzz" => return crashfuzz_cmd(&harness, &positional),
         "faultsim" => return faultsim_cmd(&harness, journal.as_deref(), resume),
         "soak" => return soak_cmd(&exp, jobs, iters, journal.as_deref(), resume),
+        "profile" => {
+            return profile_cmd(
+                &harness,
+                &positional,
+                journal.as_deref(),
+                resume,
+                trace_out.as_deref(),
+            )
+        }
         _ => return Err(CliError::UnknownCommand(cmd)),
     }
     Ok(ExitCode::SUCCESS)
@@ -544,10 +591,124 @@ fn soak_cmd(
     }
 }
 
+/// `repro profile <BENCH> <VARIANT> [--trace-out PATH] [--journal PATH
+/// [--resume]]`: replay one trace on the baseline and SP256 cores with
+/// the spp-obs probe attached, print the stall-attribution table and
+/// one `specpersist/profile-v1` JSON line, and optionally write the
+/// merged Chrome trace. With a journal the completed cell is recorded
+/// (text, JSON and trace all in the payload) and `--resume` replays it
+/// byte-identically. Exits non-zero if the probe's attribution diverges
+/// from the machine's stall counters.
+fn profile_cmd(
+    harness: &Harness,
+    positional: &[String],
+    journal: Option<&str>,
+    resume: bool,
+    trace_out: Option<&str>,
+) -> Result<ExitCode, CliError> {
+    use spp_bench::journal::{CellStatus, Entry};
+    use spp_bench::json::{parse, Value};
+    use spp_bench::profile::run_profile;
+    use spp_workloads::BenchId;
+
+    let (Some(bench), Some(variant)) = (positional.first(), positional.get(1)) else {
+        return Err(CliError::MissingProfileArgs);
+    };
+    let id = BenchId::ALL
+        .iter()
+        .copied()
+        .find(|b| b.abbrev().eq_ignore_ascii_case(bench))
+        .ok_or_else(|| CliError::UnknownBench(bench.clone()))?;
+    let variant = spp_bench::parse_variant(variant)
+        .ok_or_else(|| CliError::UnknownVariant(variant.clone()))?;
+
+    let j = match journal {
+        Some(p) => Some(open_journal(std::path::Path::new(p), resume)?),
+        None => None,
+    };
+    let key = format!(
+        "profile/{}/{}/scale{}/seed{:#x}",
+        id.abbrev(),
+        spp_bench::variant_key(variant),
+        harness.exp.scale,
+        harness.exp.seed
+    );
+    let write_trace = |trace: &str| {
+        if let Some(path) = trace_out {
+            match std::fs::write(path, trace) {
+                Ok(()) => eprintln!("# chrome trace: {path} ({} bytes)", trace.len()),
+                Err(e) => eprintln!("repro: --trace-out {path:?}: {e}"),
+            }
+        }
+    };
+
+    // A verified journal entry replays the whole cell: stdout and the
+    // exported trace are byte-identical to the original run's.
+    if let Some(j) = &j {
+        if let Some(entry) = j.lookup(&key) {
+            let decoded = parse(&entry.payload).ok().and_then(|v| {
+                let field = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_string);
+                Some((
+                    v.get("ok").and_then(Value::as_u64)?,
+                    field("text")?,
+                    field("json")?,
+                    field("trace")?,
+                ))
+            });
+            match decoded {
+                Some((ok, text, json, trace)) => {
+                    eprintln!("# journal {}: profile cell replayed", j.path().display());
+                    print!("{text}");
+                    println!("{json}");
+                    write_trace(&trace);
+                    return Ok(if ok == 1 {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    });
+                }
+                None => j.report_bad_payload(&key, "profile payload does not decode"),
+            }
+        }
+    }
+
+    let rep = staged("profile", 2, || run_profile(harness, id, variant));
+    let text = rep.render_text();
+    let json = rep.render_json();
+    let trace = rep.chrome_trace();
+    if let Some(j) = &j {
+        for e in j.corrupt() {
+            eprintln!("repro: journal: {e}");
+        }
+        let mut payload = spp_bench::json::JsonObject::new();
+        payload
+            .num("ok", u8::from(rep.ok()))
+            .str("text", &text)
+            .str("json", &json)
+            .str("trace", &trace);
+        let entry = Entry {
+            key,
+            attempt: 1,
+            status: CellStatus::Ok,
+            payload: payload.render(),
+        };
+        if let Err(e) = j.append(&entry) {
+            eprintln!("repro: journal: {e}");
+        }
+    }
+    print!("{text}");
+    println!("{json}");
+    write_trace(&trace);
+    Ok(if rep.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 /// `repro trace <BENCH> <VARIANT>`: record one trace and print its
 /// micro-op mix and per-operation averages.
 fn trace_cmd(positional: &[String], exp: &Experiment) -> Result<(), CliError> {
-    use spp_pmem::Variant;
     use spp_workloads::{run_benchmark, BenchId, BenchSpec, RunConfig};
     let (Some(bench), Some(variant)) = (positional.first(), positional.get(1)) else {
         return Err(CliError::MissingTraceArgs);
@@ -557,13 +718,8 @@ fn trace_cmd(positional: &[String], exp: &Experiment) -> Result<(), CliError> {
         .copied()
         .find(|b| b.abbrev().eq_ignore_ascii_case(bench))
         .ok_or_else(|| CliError::UnknownBench(bench.clone()))?;
-    let variant = match variant.to_ascii_lowercase().as_str() {
-        "base" => Variant::Base,
-        "log" => Variant::Log,
-        "logp" | "log+p" => Variant::LogP,
-        "logpsf" | "log+p+sf" => Variant::LogPSf,
-        _ => return Err(CliError::UnknownVariant(variant.clone())),
-    };
+    let variant = spp_bench::parse_variant(variant)
+        .ok_or_else(|| CliError::UnknownVariant(variant.clone()))?;
     let spec = BenchSpec::scaled(id, exp.scale);
     let out = run_benchmark(&RunConfig {
         variant,
@@ -692,6 +848,7 @@ mod tests {
                 want: "an integer of at least 1",
             },
             CliError::MissingTraceArgs,
+            CliError::MissingProfileArgs,
             CliError::UnknownBench("ZZ".into()),
             CliError::UnknownVariant("fast".into()),
             CliError::UnknownLeg("base".into()),
@@ -839,6 +996,71 @@ mod tests {
         assert_eq!(
             trace_cmd(&args(&["LL"]), &exp).unwrap_err(),
             CliError::MissingTraceArgs
+        );
+    }
+
+    #[test]
+    fn profile_flags_parse_and_scope_check() {
+        // `--trace-out` with a value parses, and profile accepts the
+        // journal flags (it is a journaled command).
+        let cli = parse_args(&args(&[
+            "profile",
+            "LL",
+            "logpsf",
+            "--trace-out",
+            "t.json",
+            "--journal",
+            "j.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(cli.cmd, "profile");
+        assert_eq!(cli.positional, args(&["LL", "logpsf"]));
+        assert_eq!(cli.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(cli.journal.as_deref(), Some("j.jsonl"));
+        assert!(check_flag_scope(&cli).is_ok());
+        // A missing or flag-like value is a typed error.
+        for words in [
+            vec!["profile", "LL", "base", "--trace-out"],
+            vec!["profile", "LL", "base", "--trace-out", "--jobs"],
+            vec!["profile", "LL", "base", "--trace-out", ""],
+        ] {
+            let e = parse_args(&args(&words)).unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    CliError::BadValue {
+                        flag: "--trace-out",
+                        ..
+                    }
+                ),
+                "{words:?} gave {e:?}"
+            );
+        }
+        // `--trace-out` is profile-only.
+        let cli = parse_args(&args(&["all", "--trace-out", "t.json"])).unwrap();
+        assert_eq!(
+            check_flag_scope(&cli).unwrap_err(),
+            CliError::FlagUnsupported {
+                flag: "--trace-out",
+                cmd: "all".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn profile_cmd_rejects_unknown_names() {
+        let h = Harness::new(Experiment::default(), 1);
+        assert_eq!(
+            profile_cmd(&h, &args(&["ZZ", "base"]), None, false, None).unwrap_err(),
+            CliError::UnknownBench("ZZ".into())
+        );
+        assert_eq!(
+            profile_cmd(&h, &args(&["LL", "fast"]), None, false, None).unwrap_err(),
+            CliError::UnknownVariant("fast".into())
+        );
+        assert_eq!(
+            profile_cmd(&h, &args(&["LL"]), None, false, None).unwrap_err(),
+            CliError::MissingProfileArgs
         );
     }
 

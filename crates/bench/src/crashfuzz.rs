@@ -26,13 +26,13 @@
 //! only: every witness search is a deterministic scan and the report is
 //! byte-identical at any job count.
 
-use spp_cpu::{simulate, CpuConfig, SimResult};
+use spp_cpu::{CpuConfig, SimResult};
 use spp_pmem::{persist_boundaries, FlushMode, TraceCounts, Variant};
 use spp_workloads::oracle::{record_bundle, BundleSpec, CrashBundle, ViolationKind};
 use spp_workloads::BenchId;
 
 use crate::json::{array, JsonObject};
-use crate::{run_indexed, Experiment, Harness, TraceKey};
+use crate::{run_indexed, variant_key, Experiment, Harness, TraceKey};
 
 /// Non-boundary crash points sampled per trace (evenly spaced).
 const SAMPLED_POINTS: usize = 64;
@@ -208,15 +208,6 @@ pub struct FuzzReport {
     pub sp: Vec<SpReport>,
 }
 
-fn variant_key(v: Variant) -> &'static str {
-    match v {
-        Variant::Base => "base",
-        Variant::Log => "log",
-        Variant::LogP => "logp",
-        Variant::LogPSf => "logpsf",
-    }
-}
-
 fn committed_classes(r: &SimResult) -> [u64; 6] {
     [
         r.cpu.committed_uops,
@@ -319,8 +310,8 @@ pub fn run_crashfuzz(h: &Harness, leg: Leg) -> FuzzReport {
     let sp = if leg.runs_sp_differential() {
         run_indexed(h.jobs, &BenchId::ALL, |_, &id| {
             let t = h.trace(TraceKey::new(id, Variant::LogPSf, &h.exp));
-            let base = simulate(&t.events, &CpuConfig::baseline());
-            let sp = simulate(&t.events, &CpuConfig::with_sp());
+            let base = crate::must_simulate(&t.events, &CpuConfig::baseline());
+            let sp = crate::must_simulate(&t.events, &CpuConfig::with_sp());
             let ok = committed_classes(&base) == committed_classes(&sp)
                 && committed_classes(&base) == trace_classes(&t.counts);
             SpReport {
@@ -472,15 +463,14 @@ impl FuzzReport {
                 .num("ok", u8::from(r.ok));
             o.render()
         });
-        let mut root = JsonObject::new();
-        root.str("schema", "specpersist/crashfuzz-v1")
-            .num("scale", self.exp.scale as f64)
-            .num("seed", self.exp.seed as f64)
-            .num("seeds_per_point", self.seeds_per_point as f64)
-            .num("ok", u8::from(self.ok()))
-            .raw("cells", array(cells))
-            .raw("sp", array(sp));
-        root.render()
+        crate::schema::emit(crate::schema::CRASHFUZZ, |root| {
+            root.num("scale", self.exp.scale as f64)
+                .num("seed", self.exp.seed as f64)
+                .num("seeds_per_point", self.seeds_per_point as f64)
+                .num("ok", u8::from(self.ok()))
+                .raw("cells", array(cells))
+                .raw("sp", array(sp));
+        })
     }
 }
 

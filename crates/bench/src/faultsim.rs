@@ -47,7 +47,7 @@
 //! exhaustion, degrades to a per-cell `failed` record carrying the
 //! diagnostic snapshot; every other pair still reports.
 
-use spp_cpu::{try_simulate, CpuConfig, SimErrorKind, SimResult};
+use spp_cpu::{CpuConfig, SimErrorKind, SimResult, Simulator};
 use spp_mem::{FaultSpec, FaultStats};
 use spp_pmem::{TraceCounts, Variant};
 use spp_workloads::oracle::record_bundle;
@@ -56,7 +56,7 @@ use spp_workloads::BenchId;
 use crate::crashfuzz::{crash_points, fuzz_bundle_spec, minimal_witness, SEEDS_PER_POINT};
 use crate::json::{array, parse, JsonObject, Value};
 use crate::supervisor::{CellError, CellFailure, Supervisor};
-use crate::{Harness, Journal, TraceKey};
+use crate::{variant_key, Harness, Journal, TraceKey};
 
 /// The build variants swept by `repro faultsim` (all four: even the
 /// un-instrumented `Base` build must be timing-invariant under NVMM
@@ -173,15 +173,6 @@ pub struct FaultsimOpts<'j> {
     pub inject_panic: Option<(BenchId, Variant)>,
 }
 
-fn variant_key(v: Variant) -> &'static str {
-    match v {
-        Variant::Base => "base",
-        Variant::Log => "log",
-        Variant::LogP => "logp",
-        Variant::LogPSf => "logpsf",
-    }
-}
-
 fn committed_classes(r: &SimResult) -> [u64; 6] {
     [
         r.cpu.committed_uops,
@@ -243,7 +234,7 @@ fn run_one(
         CpuConfig::baseline()
     };
     cpu.mem.fault = fault;
-    match try_simulate(&t.events, &cpu) {
+    match Simulator::new(&t.events).config(cpu).run() {
         Ok(r) => Ok(Outcome {
             cycles: r.cpu.cycles,
             classes: committed_classes(&r),
@@ -314,7 +305,7 @@ fn watchdog_leg(h: &Harness) -> WatchdogReport {
         watchdog_cycles: WATCHDOG_DEMO_BOUND,
         ..CpuConfig::baseline()
     };
-    match try_simulate(&t.events, &cpu) {
+    match Simulator::new(&t.events).config(cpu).run() {
         Err(e) => {
             let fired = matches!(e.kind, SimErrorKind::NoRetireProgress { .. });
             let snapshot_populated = e.snapshot.cycle > 0 && e.snapshot.rob_len > 0;
@@ -701,16 +692,15 @@ impl FaultReport {
             o.str("name", name).num("seed", spec.seed as f64);
             o.render()
         });
-        let mut root = JsonObject::new();
-        root.str("schema", "specpersist/faultsim-v1")
-            .num("scale", self.exp.scale as f64)
-            .num("seed", self.exp.seed as f64)
-            .num("ok", u8::from(self.ok()))
-            .raw("plans", array(plan_list))
-            .raw("cells", array(self.cells.iter().map(cell_json)))
-            .raw("failures", array(self.failures.iter().map(|f| f.to_json())))
-            .raw("watchdog", watchdog_json(&self.watchdog));
-        root.render()
+        crate::schema::emit(crate::schema::FAULTSIM, |root| {
+            root.num("scale", self.exp.scale as f64)
+                .num("seed", self.exp.seed as f64)
+                .num("ok", u8::from(self.ok()))
+                .raw("plans", array(plan_list))
+                .raw("cells", array(self.cells.iter().map(cell_json)))
+                .raw("failures", array(self.failures.iter().map(|f| f.to_json())))
+                .raw("watchdog", watchdog_json(&self.watchdog));
+        })
     }
 }
 

@@ -31,10 +31,10 @@ use std::sync::Mutex;
 
 use spp_core::hash64;
 
-use crate::json::{parse, JsonObject, Value};
+use crate::json::{parse, Value};
 
-/// The journal line schema identifier.
-pub const JOURNAL_SCHEMA: &str = "specpersist/journal-v1";
+/// The journal line schema identifier (see [`crate::schema::JOURNAL`]).
+pub const JOURNAL_SCHEMA: &str = crate::schema::JOURNAL.id();
 
 /// The conventional journal location (relative to the working
 /// directory); `repro --journal` accepts any path.
@@ -44,6 +44,7 @@ pub const DEFAULT_JOURNAL_PATH: &str = ".specpersist/journal-v1.jsonl";
 /// variant renders as one line; none is ever silently ignored — the
 /// affected cell recomputes and the error is reported.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum JournalError {
     /// The journal file could not be created, read, or appended to.
     Io {
@@ -174,14 +175,13 @@ impl Entry {
 
     /// The entry as one journal line (newline-terminated).
     fn render(&self) -> String {
-        let mut o = JsonObject::new();
-        o.str("schema", JOURNAL_SCHEMA)
-            .str("key", &self.key)
-            .num("attempt", self.attempt)
-            .str("status", self.status.as_str())
-            .str("hash", &format!("{:016x}", self.checksum()))
-            .str("payload", &self.payload);
-        let mut line = o.render();
+        let mut line = crate::schema::emit(crate::schema::JOURNAL, |o| {
+            o.str("key", &self.key)
+                .num("attempt", self.attempt)
+                .str("status", self.status.as_str())
+                .str("hash", &format!("{:016x}", self.checksum()))
+                .str("payload", &self.payload);
+        });
         line.push('\n');
         line
     }

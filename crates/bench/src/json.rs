@@ -426,10 +426,9 @@ pub fn suite_json(runs: &[BenchRun]) -> String {
         o.raw("sp256", sp.render());
         o.render()
     });
-    let mut root = JsonObject::new();
-    root.str("schema", "specpersist/suite-v1");
-    root.raw("benchmarks", array(items));
-    root.render()
+    crate::schema::emit(crate::schema::SUITE, |root| {
+        root.raw("benchmarks", array(items));
+    })
 }
 
 #[cfg(test)]

@@ -37,7 +37,9 @@ pub mod faultsim;
 pub mod journal;
 pub mod json;
 pub mod parallel;
+pub mod profile;
 pub mod report;
+pub mod schema;
 pub mod soak;
 pub mod supervisor;
 
@@ -46,9 +48,43 @@ pub use journal::{Journal, JournalError};
 pub use parallel::run_indexed;
 pub use supervisor::{CellFailure, CellOutcome, Supervisor};
 
-use spp_cpu::{simulate, CpuConfig, SimResult, SpConfig};
-use spp_pmem::{FlushMode, SharedTrace, TraceCounts, Variant};
+use spp_cpu::{CpuConfig, SimResult, Simulator, SpConfig};
+use spp_pmem::{Event, FlushMode, SharedTrace, TraceCounts, Variant};
 use spp_workloads::{run_benchmark, BenchId, BenchSpec, RunConfig};
+
+/// Replays `events` on `cpu` through the [`Simulator`] façade, panicking
+/// on failure (the harness's recorded traces are known-good; a failure
+/// here is a harness bug, not an input problem).
+pub(crate) fn must_simulate(events: &[Event], cpu: &CpuConfig) -> SimResult {
+    match Simulator::new(events).config(*cpu).run() {
+        Ok(r) => r,
+        Err(e) => panic!("simulation failed: {e}"),
+    }
+}
+
+/// The lowercase variant key used in every machine-readable document
+/// (`base`/`log`/`logp`/`logpsf`) — also what `repro` accepts on the
+/// command line.
+pub fn variant_key(v: Variant) -> &'static str {
+    match v {
+        Variant::Base => "base",
+        Variant::Log => "log",
+        Variant::LogP => "logp",
+        Variant::LogPSf => "logpsf",
+    }
+}
+
+/// Parses a [`variant_key`] (case-insensitive; `log+p`/`log+p+sf`
+/// spellings accepted) back to its [`Variant`].
+pub fn parse_variant(s: &str) -> Option<Variant> {
+    match s.to_ascii_lowercase().as_str() {
+        "base" => Some(Variant::Base),
+        "log" => Some(Variant::Log),
+        "logp" | "log+p" => Some(Variant::LogP),
+        "logpsf" | "log+p+sf" => Some(Variant::LogPSf),
+        _ => None,
+    }
+}
 
 /// Harness-wide parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,7 +200,7 @@ impl Harness {
     /// Replays the keyed trace on `cpu`.
     fn sim(&self, key: TraceKey, cpu: &CpuConfig) -> (TraceCounts, SimResult) {
         let t = self.cache.get(key);
-        (t.counts, simulate(&t.events, cpu))
+        (t.counts, must_simulate(&t.events, cpu))
     }
 
     /// `Base`-build cycles on the baseline core (the denominator of
@@ -403,7 +439,7 @@ impl Harness {
             } else {
                 CpuConfig::baseline()
             };
-            simulate(&traces[ti].events, &cpu)
+            must_simulate(&traces[ti].events, &cpu)
         });
         LoggingComparison {
             full_cycles: sims[0].cpu.cycles / ops,
@@ -447,7 +483,8 @@ impl Harness {
             } else {
                 CpuConfig::baseline()
             };
-            MultiCore::new(&refs, CpuConfig { mem, ..core })
+            MultiCore::try_new(&refs, CpuConfig { mem, ..core })
+                .expect("multicore study uses a validated config")
                 .run()
                 .iter()
                 .map(|r| r.cpu.cycles)
@@ -482,7 +519,7 @@ pub fn run_variant(
         seed: exp.seed,
         capture_base: false,
     });
-    let sim = simulate(&out.trace.events, cpu);
+    let sim = must_simulate(&out.trace.events, cpu);
     (out.trace.counts, sim)
 }
 

@@ -210,14 +210,13 @@ impl SoakReport {
 
     /// The machine-readable report.
     pub fn render_json(&self) -> String {
-        let mut root = JsonObject::new();
-        root.str("schema", "specpersist/soak-v1")
-            .num("scale", self.exp.scale as f64)
-            .num("seed", self.exp.seed as f64)
-            .num("iters", self.iters as f64)
-            .num("ok", u8::from(self.ok()))
-            .raw("rows", array(self.rows.iter().map(row_json)));
-        root.render()
+        crate::schema::emit(crate::schema::SOAK, |root| {
+            root.num("scale", self.exp.scale as f64)
+                .num("seed", self.exp.seed as f64)
+                .num("iters", self.iters as f64)
+                .num("ok", u8::from(self.ok()))
+                .raw("rows", array(self.rows.iter().map(row_json)));
+        })
     }
 }
 

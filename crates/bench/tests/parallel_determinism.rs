@@ -10,9 +10,16 @@
 //!   any job count.
 
 use spp_bench::{report, BenchRun, Experiment, Harness, TraceKey};
-use spp_cpu::{simulate, CpuConfig};
-use spp_pmem::Variant;
+use spp_cpu::{CpuConfig, SimResult, Simulator};
+use spp_pmem::{Event, Variant};
 use spp_workloads::{record_trace, BenchId};
+
+fn simulate(events: &[Event], cfg: &CpuConfig) -> SimResult {
+    Simulator::new(events)
+        .config(*cfg)
+        .run()
+        .expect("cached traces must simulate cleanly")
+}
 
 fn tiny(seed: u64) -> Experiment {
     Experiment { scale: 5000, seed }

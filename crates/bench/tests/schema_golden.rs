@@ -1,0 +1,122 @@
+//! Golden-file pinning of every `specpersist/*-v1` document.
+//!
+//! Each writer renders a small, fully deterministic experiment and is
+//! byte-compared against a checked-in golden. This catches accidental
+//! wire-format drift (field order, number formatting, envelope shape)
+//! that unit tests on individual fields would miss.
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p spp-bench --test schema_golden
+//! ```
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use spp_bench::crashfuzz::{run_crashfuzz, Leg};
+use spp_bench::faultsim::run_faultsim;
+use spp_bench::journal::{CellStatus, Entry, Journal};
+use spp_bench::profile::run_profile;
+use spp_bench::soak::run_soak;
+use spp_bench::{json, schema, Experiment, Harness};
+use spp_pmem::Variant;
+use spp_workloads::BenchId;
+
+/// The one experiment every golden uses: tiny, fixed seed, fixed jobs.
+fn exp() -> Experiment {
+    Experiment {
+        scale: 2400,
+        seed: 7,
+    }
+}
+
+fn harness() -> Harness {
+    Harness::new(exp(), 2)
+}
+
+/// Byte-compares `actual` against `tests/goldens/<name>`, or rewrites
+/// the golden when `BLESS` is set in the environment.
+fn golden(name: &str, actual: &str) {
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("tests");
+    p.push("goldens");
+    p.push(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        std::fs::write(&p, actual).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&p).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with BLESS=1",
+            p.display()
+        )
+    });
+    assert_eq!(
+        actual, want,
+        "{name} diverged from its golden; if the format change is \
+         intentional, regenerate with BLESS=1"
+    );
+}
+
+/// Every golden must also pass its own schema validation — the golden
+/// pins the bytes, the validator pins the envelope.
+fn check(name: &str, doc: &str, s: schema::Schema) {
+    schema::validate(doc, s).unwrap_or_else(|e| panic!("{name}: {e}"));
+    golden(name, doc);
+}
+
+#[test]
+fn suite_document_is_stable() {
+    let runs = harness().run_suite();
+    check("suite.json", &json::suite_json(&runs), schema::SUITE);
+}
+
+#[test]
+fn crashfuzz_document_is_stable() {
+    let rep = run_crashfuzz(&harness(), Leg::Log);
+    check("crashfuzz.json", &rep.render_json(), schema::CRASHFUZZ);
+}
+
+#[test]
+fn faultsim_document_is_stable() {
+    let rep = run_faultsim(&harness());
+    check("faultsim.json", &rep.render_json(), schema::FAULTSIM);
+}
+
+#[test]
+fn soak_document_is_stable() {
+    let mut p = std::env::temp_dir();
+    p.push(format!("spp-golden-soak-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    let journal = Journal::open(&p).unwrap();
+    let rep = run_soak(&exp(), 2, 1, &journal);
+    std::fs::remove_file(&p).unwrap();
+    check("soak.json", &rep.render_json(), schema::SOAK);
+}
+
+#[test]
+fn profile_document_is_stable() {
+    let rep = run_profile(&harness(), BenchId::LinkedList, Variant::LogPSf);
+    check("profile.json", &rep.render_json(), schema::PROFILE);
+}
+
+#[test]
+fn journal_line_is_stable() {
+    let mut p = std::env::temp_dir();
+    p.push(format!("spp-golden-journal-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    let journal = Journal::open(&p).unwrap();
+    journal
+        .append(&Entry {
+            key: "golden/demo".to_string(),
+            attempt: 1,
+            status: CellStatus::Ok,
+            payload: "{\"ok\":1}".to_string(),
+        })
+        .unwrap();
+    let line = std::fs::read_to_string(&p).unwrap();
+    std::fs::remove_file(&p).unwrap();
+    // The line is itself a schema document (trailing newline aside).
+    schema::validate(line.trim_end(), schema::JOURNAL).unwrap();
+    golden("journal.jsonl", &line);
+}

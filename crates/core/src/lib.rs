@@ -62,6 +62,19 @@ pub use checkpoint::{Checkpoint, CheckpointBuffer, CheckpointId, CheckpointStats
 pub use epoch::{Epoch, EpochManager, EpochState, NoCheckpointFree};
 pub use ssb::{Ssb, SsbConfig, SsbEntry, SsbFull, SsbOp, SsbStats, SSB_DESIGN_POINTS};
 
+/// The blessed import surface: `use spp_core::prelude::*;` pulls in the
+/// five SP hardware structures, their configs/stats, and the canonical
+/// deterministic mixing utilities — everything a harness or pipeline
+/// integration typically needs, without reaching into module paths.
+pub mod prelude {
+    pub use crate::bloom::{BloomFilter, BloomStats, PAPER_FILTER_BYTES};
+    pub use crate::blt::{Blt, BltStats};
+    pub use crate::checkpoint::{Checkpoint, CheckpointBuffer, CheckpointId, CheckpointStats};
+    pub use crate::epoch::{Epoch, EpochManager, EpochState, NoCheckpointFree};
+    pub use crate::ssb::{Ssb, SsbConfig, SsbEntry, SsbFull, SsbOp, SsbStats, SSB_DESIGN_POINTS};
+    pub use crate::{hash64, splitmix64};
+}
+
 /// The workspace's shared deterministic mixing/hashing utilities.
 ///
 /// One implementation serves every crate: adversarial writeback

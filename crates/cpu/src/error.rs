@@ -9,13 +9,21 @@
 
 use std::fmt;
 
-use spp_mem::Cycle;
+use spp_mem::{Cycle, MemConfigError};
 
 use crate::uop::Uop;
 
 /// Why a simulation could not continue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimErrorKind {
+    /// The configuration was rejected before the first cycle (the
+    /// [`crate::Simulator`] builder validates up front rather than
+    /// letting a degenerate machine wedge mid-run).
+    InvalidConfig {
+        /// What the memory-system validation rejected.
+        error: MemConfigError,
+    },
     /// The forward-progress watchdog fired: no micro-op retired for more
     /// than `bound` cycles while the pipeline still held work.
     NoRetireProgress {
@@ -146,6 +154,9 @@ pub struct SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
+            SimErrorKind::InvalidConfig { error } => {
+                return write!(f, "invalid configuration: {error}");
+            }
             SimErrorKind::NoRetireProgress { bound } => {
                 write!(f, "no retirement progress within {bound} cycles (watchdog)")?;
             }
@@ -165,6 +176,7 @@ impl SimError {
     /// [`DiagnosticSnapshot::to_json`] under `snapshot`.
     pub fn to_json(&self) -> String {
         let kind = match self.kind {
+            SimErrorKind::InvalidConfig { error } => format!("invalid_config:{error}"),
             SimErrorKind::NoRetireProgress { bound } => format!("no_retire_progress:{bound}"),
             SimErrorKind::NoFutureEvent => "no_future_event".to_string(),
             SimErrorKind::BrokenInvariant { what } => format!("broken_invariant:{what}"),

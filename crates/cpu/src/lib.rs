@@ -8,7 +8,7 @@
 //! persistence* (SP) built from the `spp-core` mechanisms.
 //!
 //! ```
-//! use spp_cpu::{simulate, CpuConfig};
+//! use spp_cpu::{CpuConfig, Simulator};
 //! use spp_pmem::{PmemEnv, Variant};
 //!
 //! // Record a tiny persist-barrier trace...
@@ -20,8 +20,11 @@
 //! let trace = env.take_trace();
 //!
 //! // ...and time it with and without speculative persistence.
-//! let base = simulate(&trace.events, &CpuConfig::baseline());
-//! let sp = simulate(&trace.events, &CpuConfig::with_sp());
+//! let base = Simulator::new(&trace.events).run().expect("sound config");
+//! let sp = Simulator::new(&trace.events)
+//!     .config(CpuConfig::with_sp())
+//!     .run()
+//!     .expect("sound config");
 //! assert!(base.cpu.cycles > 0);
 //! assert_eq!(base.cpu.committed_uops, sp.cpu.committed_uops);
 //! ```
@@ -35,6 +38,7 @@ mod config;
 mod error;
 mod multi;
 mod pipeline;
+mod simulator;
 mod stats;
 mod uop;
 
@@ -44,6 +48,7 @@ pub use config::{CpuConfig, SpConfig};
 pub use error::{DiagnosticSnapshot, SimError, SimErrorKind};
 pub use multi::{MultiCore, MultiCoreError};
 pub use pipeline::Pipeline;
+pub use simulator::Simulator;
 pub use stats::{CpuStats, SimResult};
 pub use uop::{TraceCursor, Uop, UopKind};
 
@@ -52,9 +57,16 @@ pub use uop::{TraceCursor, Uop, UopKind};
 /// # Panics
 ///
 /// Panics if the simulation fails (watchdog, deadlock, or broken
-/// invariant); use [`try_simulate`] to handle the error.
+/// invariant); use [`Simulator::run`] to handle the error.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Simulator` builder: `Simulator::new(events).config(cfg).run()`"
+)]
 pub fn simulate(events: &[Event], cfg: &CpuConfig) -> SimResult {
-    Pipeline::new(events, *cfg).run()
+    match Simulator::new(events).config(*cfg).run() {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Replays `events` through the pipeline, surfacing simulation failures
@@ -64,8 +76,12 @@ pub fn simulate(events: &[Event], cfg: &CpuConfig) -> SimResult {
 /// # Errors
 ///
 /// Returns the pipeline's [`SimError`] on failure.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Simulator` builder: `Simulator::new(events).config(cfg).run()`"
+)]
 pub fn try_simulate(events: &[Event], cfg: &CpuConfig) -> Result<SimResult, SimError> {
-    Pipeline::new(events, *cfg).try_run()
+    Simulator::new(events).config(*cfg).run()
 }
 
 #[cfg(test)]
@@ -73,6 +89,12 @@ pub fn try_simulate(events: &[Event], cfg: &CpuConfig) -> Result<SimResult, SimE
 mod tests {
     use super::*;
     use spp_pmem::{PAddr, PmemEnv, Variant};
+
+    /// Test-local shorthand on the non-deprecated façade (shadows the
+    /// deprecated free function from the glob import).
+    fn simulate(events: &[Event], cfg: &CpuConfig) -> SimResult {
+        Simulator::new(events).config(*cfg).run().unwrap()
+    }
 
     fn compute(n: u32) -> Event {
         Event::Compute(n)

@@ -26,6 +26,7 @@ use crate::stats::SimResult;
 
 /// Why a [`MultiCore`] could not be constructed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MultiCoreError {
     /// No traces were supplied: there is nothing to simulate.
     NoCores,
@@ -59,22 +60,8 @@ pub struct MultiCore<'t> {
 
 impl<'t> MultiCore<'t> {
     /// Builds one pipeline per trace, all on `cfg`, with a shared
-    /// memory controller.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `traces` is empty or `cfg.mem` is invalid; use
-    /// [`MultiCore::try_new`] to handle the error instead.
-    pub fn new(traces: &[&'t [Event]], cfg: CpuConfig) -> Self {
-        match Self::try_new(traces, cfg) {
-            Ok(m) => m,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Builds one pipeline per trace, rejecting degenerate
-    /// configurations (no cores, zero memory banks, zero WPQ entries)
-    /// at construction time.
+    /// memory controller — rejecting degenerate configurations (no
+    /// cores, zero memory banks, zero WPQ entries) at construction time.
     ///
     /// Because construction validates the core set, [`MultiCore::run`]
     /// on a successfully built instance always returns at least one
@@ -88,8 +75,7 @@ impl<'t> MultiCore<'t> {
         if traces.is_empty() {
             return Err(MultiCoreError::NoCores);
         }
-        cfg.mem.validate().map_err(MultiCoreError::Mem)?;
-        let mc = shared_mem_ctrl(cfg.mem);
+        let mc = shared_mem_ctrl(cfg.mem).map_err(MultiCoreError::Mem)?;
         let cores = traces
             .iter()
             .map(|t| {
@@ -147,8 +133,11 @@ impl<'t> MultiCore<'t> {
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
-    use crate::simulate;
     use spp_pmem::PAddr;
+
+    fn simulate(events: &[Event], cfg: &CpuConfig) -> SimResult {
+        crate::Simulator::new(events).config(*cfg).run().unwrap()
+    }
 
     fn barrier_trace(n: u64, salt: u64) -> Vec<Event> {
         let mut ev = Vec::new();
@@ -172,7 +161,9 @@ mod tests {
     fn single_core_multi_matches_solo() {
         let t = barrier_trace(30, 0);
         let solo = simulate(&t, &CpuConfig::baseline());
-        let multi = MultiCore::new(&[&t], CpuConfig::baseline()).run();
+        let multi = MultiCore::try_new(&[&t], CpuConfig::baseline())
+            .unwrap()
+            .run();
         assert_eq!(multi.len(), 1);
         assert_eq!(multi[0].cpu.cycles, solo.cpu.cycles);
         assert_eq!(multi[0].cpu.committed_uops, solo.cpu.committed_uops);
@@ -182,7 +173,9 @@ mod tests {
     fn every_core_commits_its_own_trace() {
         let traces: Vec<Vec<Event>> = (0..4).map(|i| barrier_trace(20 + i * 5, i)).collect();
         let refs: Vec<&[Event]> = traces.iter().map(|t| t.as_slice()).collect();
-        let results = MultiCore::new(&refs, CpuConfig::with_sp()).run();
+        let results = MultiCore::try_new(&refs, CpuConfig::with_sp())
+            .unwrap()
+            .run();
         assert_eq!(results.len(), 4);
         for (r, t) in results.iter().zip(&traces) {
             let expect: u64 = t.iter().map(|e| e.micro_ops()).sum();
@@ -205,7 +198,7 @@ mod tests {
         let solo = simulate(&t, &cfg).cpu.cycles;
         let traces: Vec<Vec<Event>> = (0..4).map(|i| barrier_trace(40, i)).collect();
         let refs: Vec<&[Event]> = traces.iter().map(|x| x.as_slice()).collect();
-        let quad = MultiCore::new(&refs, cfg).run();
+        let quad = MultiCore::try_new(&refs, cfg).unwrap().run();
         let worst = quad.iter().map(|r| r.cpu.cycles).max().unwrap();
         assert!(
             worst > solo,
@@ -217,13 +210,15 @@ mod tests {
     fn sp_helps_under_contention_too() {
         let traces: Vec<Vec<Event>> = (0..2).map(|i| barrier_trace(40, i)).collect();
         let refs: Vec<&[Event]> = traces.iter().map(|x| x.as_slice()).collect();
-        let base: u64 = MultiCore::new(&refs, CpuConfig::baseline())
+        let base: u64 = MultiCore::try_new(&refs, CpuConfig::baseline())
+            .unwrap()
             .run()
             .iter()
             .map(|r| r.cpu.cycles)
             .max()
             .unwrap();
-        let sp: u64 = MultiCore::new(&refs, CpuConfig::with_sp())
+        let sp: u64 = MultiCore::try_new(&refs, CpuConfig::with_sp())
+            .unwrap()
             .run()
             .iter()
             .map(|r| r.cpu.cycles)
@@ -233,12 +228,6 @@ mod tests {
             sp <= base,
             "SP must not lose under contention ({sp} vs {base})"
         );
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one core")]
-    fn empty_core_set_rejected() {
-        let _ = MultiCore::new(&[], CpuConfig::baseline());
     }
 
     #[test]

@@ -24,6 +24,7 @@ use std::collections::VecDeque;
 
 use spp_core::{BloomFilter, Blt, EpochManager, Ssb, SsbEntry, SsbOp};
 use spp_mem::{AccessKind, Cycle, Fault, FaultSite, FaultState, MemorySystem, PIPE_STREAM};
+use spp_obs::{ProbeEvent, ProbeHandle, StallCause};
 use spp_pmem::{BlockId, Event, PAddr};
 
 use crate::config::{CpuConfig, SpConfig};
@@ -158,6 +159,12 @@ pub struct Pipeline<'t> {
     /// Cycle of the most recent retirement (watchdog reference point).
     last_retire: Cycle,
     stats: CpuStats,
+    /// Observability probe (disabled by default — one dead branch per
+    /// emission site). Never influences timing or architectural state.
+    probe: ProbeHandle,
+    /// Cycle the current fence-stall episode opened at, if one is open
+    /// (probe bookkeeping only).
+    fence_stall_open: Option<Cycle>,
 }
 
 impl<'t> Pipeline<'t> {
@@ -189,8 +196,19 @@ impl<'t> Pipeline<'t> {
             faults: cfg.mem.fault.map(|spec| FaultState::new(spec, PIPE_STREAM)),
             last_retire: 0,
             stats: CpuStats::default(),
+            probe: ProbeHandle::disabled(),
+            fence_stall_open: None,
             cfg,
         }
+    }
+
+    /// Attaches an observability probe to the pipeline and its memory
+    /// system. Probes observe epoch lifecycle, pcommit latency, fence
+    /// stalls, and buffer occupancy; they never change simulated timing
+    /// or architectural state (pinned by the probe-neutrality tests).
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        self.mem.set_probe(probe.clone());
+        self.probe = probe;
     }
 
     /// Current simulated cycle.
@@ -235,6 +253,12 @@ impl<'t> Pipeline<'t> {
         while !self.is_done() {
             self.step()?;
         }
+        if let Some(opened) = self.fence_stall_open.take() {
+            self.probe.emit(ProbeEvent::FenceStallEnd {
+                now: self.now,
+                stalled: self.now.saturating_sub(opened),
+            });
+        }
         Ok(self.result())
     }
 
@@ -262,6 +286,68 @@ impl<'t> Pipeline<'t> {
     }
 
     fn step_inner(&mut self) -> Result<(), StepErr> {
+        if !self.probe.is_enabled() {
+            return self.step_body();
+        }
+        // Instrumented path: attribute this step's retirement-stall
+        // cycles by diffing the four stall counters around the body, so
+        // probe attribution is identical to `CpuStats` by construction.
+        let at = self.now;
+        let before = self.stats;
+        let out = self.step_body();
+        self.emit_stall_probes(at, &before);
+        out
+    }
+
+    /// Emits `RetireStall` deltas and fence-stall episode transitions for
+    /// one step that started at cycle `at` with counters `before`.
+    fn emit_stall_probes(&mut self, at: Cycle, before: &CpuStats) {
+        let s = self.stats;
+        let deltas = [
+            (
+                s.fetch_stall_cycles - before.fetch_stall_cycles,
+                StallCause::Backend,
+            ),
+            (
+                s.fence_stall_cycles - before.fence_stall_cycles,
+                StallCause::Fence,
+            ),
+            (
+                s.ssb_full_stall_cycles - before.ssb_full_stall_cycles,
+                StallCause::SsbFull,
+            ),
+            (
+                s.checkpoint_stall_cycles - before.checkpoint_stall_cycles,
+                StallCause::CheckpointFull,
+            ),
+        ];
+        for (cycles, cause) in deltas {
+            if cycles > 0 {
+                self.probe.emit(ProbeEvent::RetireStall {
+                    now: at,
+                    cause,
+                    cycles,
+                });
+            }
+        }
+        let fence_stalling = s.fence_stall_cycles > before.fence_stall_cycles;
+        match (self.fence_stall_open, fence_stalling) {
+            (None, true) => {
+                self.fence_stall_open = Some(at);
+                self.probe.emit(ProbeEvent::FenceStallBegin { now: at });
+            }
+            (Some(opened), false) => {
+                self.fence_stall_open = None;
+                self.probe.emit(ProbeEvent::FenceStallEnd {
+                    now: at,
+                    stalled: at.saturating_sub(opened),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    fn step_body(&mut self) -> Result<(), StepErr> {
         let mut progressed = false;
         progressed |= self.commit_drain()?;
         let retire_block = self.retire()?;
@@ -416,6 +502,20 @@ impl<'t> Pipeline<'t> {
         self.stats.squashed_uops += squashed;
         self.stats.committed_uops = self.stats.committed_uops.saturating_sub(squashed);
         self.stats.rollbacks += 1;
+        self.probe.emit(ProbeEvent::EpochRollback {
+            now: self.now,
+            squashed_uops: squashed,
+        });
+        self.probe.emit(ProbeEvent::CheckpointOccupancy {
+            now: self.now,
+            live: sp.epochs.checkpoints_live(),
+            capacity: sp.epochs.checkpoint_capacity(),
+        });
+        self.probe.emit(ProbeEvent::SsbOccupancy {
+            now: self.now,
+            occupancy: sp.ssb.len(),
+            capacity: sp.cfg.ssb.entries,
+        });
         self.fetchq.clear();
         self.rob.clear();
         self.seq_base = self.next_seq;
@@ -749,7 +849,7 @@ impl<'t> Pipeline<'t> {
             // Post-exit tail: ordered behind the already-committed drain.
             sp.committed_frontier.unwrap_or(0)
         };
-        if let SsbOp::Store { addr } = op {
+        let pushed = if let SsbOp::Store { addr } = op {
             if sp.ssb.push(SsbEntry { op, epoch }).is_err() {
                 return Ok(false);
             }
@@ -758,10 +858,18 @@ impl<'t> Pipeline<'t> {
             if sp.speculating {
                 sp.blt.record(addr.block());
             }
-            Ok(true)
+            true
         } else {
-            Ok(sp.ssb.push(SsbEntry { op, epoch }).is_ok())
+            sp.ssb.push(SsbEntry { op, epoch }).is_ok()
+        };
+        if pushed {
+            self.probe.emit(ProbeEvent::SsbOccupancy {
+                now: self.now,
+                occupancy: sp.ssb.len(),
+                capacity: sp.cfg.ssb.entries,
+            });
         }
+        Ok(pushed)
     }
 
     fn retire_store(&mut self, addr: PAddr, block: &mut RetireBlock) -> Result<bool, StepErr> {
@@ -891,6 +999,11 @@ impl<'t> Pipeline<'t> {
             {
                 return Err(StepErr::Broken("SSB push failed after free-space check"));
             }
+            self.probe.emit(ProbeEvent::SsbOccupancy {
+                now: self.now,
+                occupancy: sp.ssb.len(),
+                capacity: sp.cfg.ssb.entries,
+            });
             let Ok(child) = sp.epochs.begin(resume_idx, self.now) else {
                 return Err(StepErr::Broken("checkpoint begin failed after can_begin"));
             };
@@ -900,6 +1013,15 @@ impl<'t> Pipeline<'t> {
                 needs_prior_drain: false,
             });
             sp.retired_per_epoch.push_back((child, 0));
+            self.probe.emit(ProbeEvent::EpochBegin {
+                now: self.now,
+                epoch: child,
+            });
+            self.probe.emit(ProbeEvent::CheckpointOccupancy {
+                now: self.now,
+                live: sp.epochs.checkpoints_live(),
+                capacity: sp.epochs.checkpoint_capacity(),
+            });
         }
         self.stats.epochs += 1;
         // Retire the consumed micro-ops (leading sfence if present,
@@ -981,6 +1103,15 @@ impl<'t> Pipeline<'t> {
                     needs_prior_drain: true,
                 });
                 sp.retired_per_epoch.push_back((child, 0));
+                self.probe.emit(ProbeEvent::EpochBegin {
+                    now: self.now,
+                    epoch: child,
+                });
+                self.probe.emit(ProbeEvent::CheckpointOccupancy {
+                    now: self.now,
+                    live: sp.epochs.checkpoints_live(),
+                    capacity: sp.epochs.checkpoint_capacity(),
+                });
             }
             self.stats.epochs += 1;
             self.pop_retired(|s| s.fences += 1)?;
@@ -1042,6 +1173,12 @@ impl<'t> Pipeline<'t> {
             });
             sp.retired_per_epoch.push_back((e0, 0));
             sp.speculating = true;
+            self.probe.emit(ProbeEvent::EpochBegin { now, epoch: e0 });
+            self.probe.emit(ProbeEvent::CheckpointOccupancy {
+                now,
+                live: sp.epochs.checkpoints_live(),
+                capacity: sp.epochs.checkpoint_capacity(),
+            });
             self.stats.epochs += 1;
             self.pending_flushes.clear();
             self.pending_pcommits.clear();
@@ -1100,6 +1237,16 @@ impl<'t> Pipeline<'t> {
             sp.gates.pop_front();
             sp.retired_per_epoch.pop_front();
             sp.committed_frontier = Some(oldest.id);
+            self.probe.emit(ProbeEvent::EpochCommit {
+                now,
+                epoch: oldest.id,
+                began_at: oldest.checkpoint.taken_at,
+            });
+            self.probe.emit(ProbeEvent::CheckpointOccupancy {
+                now,
+                live: sp.epochs.checkpoints_live(),
+                capacity: sp.epochs.checkpoint_capacity(),
+            });
             if sp.epochs.is_empty() {
                 // Exiting speculation; the SSB drains in the background.
                 sp.speculating = false;
@@ -1171,6 +1318,11 @@ impl<'t> Pipeline<'t> {
                     sp.drain_busy = issue + 1;
                 }
             }
+            self.probe.emit(ProbeEvent::SsbOccupancy {
+                now,
+                occupancy: sp.ssb.len(),
+                capacity: sp.cfg.ssb.entries,
+            });
             progressed = true;
         }
 
@@ -1361,8 +1513,11 @@ mod tests {
 
     // ---- fault injection & forward progress -----------------------------
 
-    use crate::simulate;
     use spp_mem::{FaultSpec, MemConfig};
+
+    fn simulate(events: &[Event], cfg: &CpuConfig) -> SimResult {
+        crate::Simulator::new(events).config(*cfg).run().unwrap()
+    }
 
     fn with_plan(base: CpuConfig, plan: FaultSpec) -> CpuConfig {
         CpuConfig {

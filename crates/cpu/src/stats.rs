@@ -4,7 +4,7 @@ use spp_core::{BloomStats, BltStats, CheckpointStats, SsbStats};
 use spp_mem::{Cycle, FaultStats, McStats, MemStats};
 
 /// Everything a simulation run measures.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CpuStats {
     /// Total execution cycles (Fig. 8 numerator).
     pub cycles: Cycle,
@@ -49,7 +49,11 @@ pub struct CpuStats {
 }
 
 /// Aggregated result of a simulation.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Derives `PartialEq`/`Eq` so probe-neutrality tests can assert that an
+/// instrumented run commits byte-identical state and cycles to an
+/// uninstrumented one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimResult {
     /// Core counters.
     pub cpu: CpuStats,

@@ -4,8 +4,15 @@
 //! without speculative persistence.
 
 use proptest::prelude::*;
-use spp_cpu::{simulate, CpuConfig, Pipeline, SpConfig};
+use spp_cpu::{CpuConfig, Pipeline, SimResult, Simulator, SpConfig};
 use spp_pmem::{Event, PAddr};
+
+fn simulate(events: &[Event], cfg: &CpuConfig) -> SimResult {
+    Simulator::new(events)
+        .config(*cfg)
+        .run()
+        .expect("property traces must simulate cleanly")
+}
 
 /// Strategy: one arbitrary trace event over a small block universe.
 fn arb_event() -> impl Strategy<Value = Event> {

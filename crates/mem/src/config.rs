@@ -8,6 +8,7 @@ pub type Cycle = u64;
 /// A structurally invalid [`MemConfig`], rejected at construction time
 /// (rather than silently clamped or left to panic mid-simulation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MemConfigError {
     /// `nvmm_banks` was zero: no bank could ever drain a write.
     ZeroBanks,
@@ -124,6 +125,20 @@ impl MemConfig {
         }
     }
 
+    /// Validating constructor: returns the configuration unchanged if it
+    /// is structurally sound (the workspace-wide `try_new` idiom — see
+    /// also `MemCtrl::try_new`, `MemorySystem::try_new`,
+    /// `MultiCore::try_new`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MemConfigError`] found by
+    /// [`MemConfig::validate`].
+    pub fn try_new(cfg: MemConfig) -> Result<MemConfig, MemConfigError> {
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
     /// Latency of walking all three tag arrays (a full-hierarchy probe,
     /// e.g. for a `clwb` of a block whose location is unknown).
     pub fn full_probe_latency(&self) -> Cycle {
@@ -172,6 +187,19 @@ mod tests {
         let c = MemConfig::paper();
         assert_eq!(c.nvmm_read, 105); // 50 ns * 2.1 GHz
         assert_eq!(c.nvmm_write, 315); // 150 ns * 2.1 GHz
+    }
+
+    #[test]
+    fn try_new_accepts_sound_and_rejects_degenerate_configs() {
+        assert_eq!(
+            MemConfig::try_new(MemConfig::paper()),
+            Ok(MemConfig::paper())
+        );
+        let bad = MemConfig {
+            nvmm_banks: 0,
+            ..MemConfig::paper()
+        };
+        assert_eq!(MemConfig::try_new(bad), Err(MemConfigError::ZeroBanks));
     }
 
     #[test]

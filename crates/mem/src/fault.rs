@@ -226,7 +226,61 @@ impl FaultSpec {
     pub fn denies_resources(&self) -> bool {
         self.ssb_pressure_pm > 0 || self.checkpoint_pressure_pm > 0
     }
+
+    /// Validating constructor (the workspace-wide `try_new` idiom):
+    /// returns the plan unchanged if every rate is a legal per-mille
+    /// value. The presets ([`FaultSpec::none`], [`FaultSpec::quiet`],
+    /// [`FaultSpec::storm`], [`FaultSpec::wedge`]) are valid by
+    /// construction; hand-built plans should pass through here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSpecError::RateOutOfRange`] naming the first field
+    /// whose rate exceeds 1000 per-mille.
+    pub fn try_new(spec: FaultSpec) -> Result<FaultSpec, FaultSpecError> {
+        let rates = [
+            ("read_spike_pm", spec.read_spike_pm),
+            ("write_spike_pm", spec.write_spike_pm),
+            ("wpq_pressure_pm", spec.wpq_pressure_pm),
+            ("bank_stall_pm", spec.bank_stall_pm),
+            ("ack_delay_pm", spec.ack_delay_pm),
+            ("ack_duplicate_pm", spec.ack_duplicate_pm),
+            ("ssb_pressure_pm", spec.ssb_pressure_pm),
+            ("checkpoint_pressure_pm", spec.checkpoint_pressure_pm),
+        ];
+        for (field, pm) in rates {
+            if pm > 1000 {
+                return Err(FaultSpecError::RateOutOfRange { field, pm });
+            }
+        }
+        Ok(spec)
+    }
 }
+
+/// A structurally invalid [`FaultSpec`], rejected at construction time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultSpecError {
+    /// A per-mille rate exceeded 1000 (more than "every opportunity").
+    RateOutOfRange {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value.
+        pm: u16,
+    },
+}
+
+impl core::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultSpecError::RateOutOfRange { field, pm } => {
+                write!(f, "{field} is per-mille (0..=1000), got {pm}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
 
 /// Counts of injected faults (and the cycles they directly added).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -433,6 +487,31 @@ impl FaultState {
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_new_accepts_presets_and_rejects_illegal_rates() {
+        for spec in [
+            FaultSpec::none(1),
+            FaultSpec::quiet(1),
+            FaultSpec::storm(1),
+            FaultSpec::wedge(1),
+        ] {
+            assert_eq!(FaultSpec::try_new(spec), Ok(spec));
+        }
+        let bad = FaultSpec {
+            ack_delay_pm: 1001,
+            ..FaultSpec::none(1)
+        };
+        let err = FaultSpec::try_new(bad).unwrap_err();
+        assert_eq!(
+            err,
+            FaultSpecError::RateOutOfRange {
+                field: "ack_delay_pm",
+                pm: 1001
+            }
+        );
+        assert!(err.to_string().contains("ack_delay_pm"));
+    }
 
     #[test]
     fn streams_are_deterministic_and_independent() {

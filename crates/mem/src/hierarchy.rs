@@ -3,10 +3,11 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use spp_obs::ProbeHandle;
 use spp_pmem::BlockId;
 
 use crate::cache::Cache;
-use crate::config::{Cycle, MemConfig};
+use crate::config::{Cycle, MemConfig, MemConfigError};
 use crate::memctrl::{McStats, MemCtrl};
 
 /// A memory controller shared by several cores' memory systems (the
@@ -14,8 +15,13 @@ use crate::memctrl::{McStats, MemCtrl};
 pub type SharedMemCtrl = Rc<RefCell<MemCtrl>>;
 
 /// Creates a controller for sharing across [`MemorySystem`]s.
-pub fn shared_mem_ctrl(cfg: MemConfig) -> SharedMemCtrl {
-    Rc::new(RefCell::new(MemCtrl::new(cfg)))
+///
+/// # Errors
+///
+/// Returns the first [`MemConfigError`] found by
+/// [`MemConfig::validate`].
+pub fn shared_mem_ctrl(cfg: MemConfig) -> Result<SharedMemCtrl, MemConfigError> {
+    Ok(Rc::new(RefCell::new(MemCtrl::try_new(cfg)?)))
 }
 
 /// What kind of demand access is being performed.
@@ -52,7 +58,7 @@ pub struct FlushOutcome {
 }
 
 /// Hierarchy + memory-controller statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Demand accesses satisfied per level.
     pub hits_l1: u64,
@@ -86,8 +92,27 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Builds the memory system for `cfg` with its own private memory
     /// controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is structurally invalid; use
+    /// [`MemorySystem::try_new`] to handle the error instead.
     pub fn new(cfg: MemConfig) -> Self {
-        Self::with_shared_mc(cfg, shared_mem_ctrl(cfg))
+        match Self::try_new(cfg) {
+            Ok(m) => m,
+            Err(e) => panic!("invalid memory configuration: {e}"),
+        }
+    }
+
+    /// Builds the memory system for `cfg`, rejecting structurally
+    /// invalid configurations up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MemConfigError`] found by
+    /// [`MemConfig::validate`].
+    pub fn try_new(cfg: MemConfig) -> Result<Self, MemConfigError> {
+        Ok(Self::with_shared_mc(cfg, shared_mem_ctrl(cfg)?))
     }
 
     /// Builds a memory system whose caches are private but whose memory
@@ -107,6 +132,13 @@ impl MemorySystem {
     /// The configuration in use.
     pub fn config(&self) -> &MemConfig {
         &self.cfg
+    }
+
+    /// Attaches an observability probe to the memory controller (WPQ
+    /// occupancy, `pcommit` issue/ack). With a shared controller, the
+    /// last probe attached wins for the shared sites.
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        self.mc.borrow_mut().set_probe(probe);
     }
 
     /// Performs a demand access to `block` at cycle `now`; returns the

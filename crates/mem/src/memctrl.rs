@@ -9,6 +9,8 @@
 
 use std::collections::VecDeque;
 
+use spp_obs::{ProbeEvent, ProbeHandle};
+
 use crate::config::{Cycle, MemConfig, MemConfigError};
 use crate::fault::{Fault, FaultSite, FaultState, FaultStats, MEM_STREAM};
 
@@ -51,23 +53,13 @@ pub struct MemCtrl {
     last_seen: Cycle,
     /// Seeded fault injection (memory-side sites), when configured.
     faults: Option<FaultState>,
+    /// Observability sink; disabled by default (one dead branch per
+    /// emission site).
+    probe: ProbeHandle,
     stats: McStats,
 }
 
 impl MemCtrl {
-    /// Creates a controller for the given configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is structurally invalid; use
-    /// [`MemCtrl::try_new`] to handle the error instead.
-    pub fn new(cfg: MemConfig) -> Self {
-        match Self::try_new(cfg) {
-            Ok(mc) => mc,
-            Err(e) => panic!("invalid memory configuration: {e}"),
-        }
-    }
-
     /// Creates a controller, rejecting structurally invalid
     /// configurations (zero banks, zero WPQ entries) up front instead
     /// of clamping them silently or failing mid-simulation.
@@ -83,9 +75,16 @@ impl MemCtrl {
             bank_free: vec![0; cfg.nvmm_banks],
             last_seen: 0,
             faults: cfg.fault.map(|spec| FaultState::new(spec, MEM_STREAM)),
+            probe: ProbeHandle::disabled(),
             cfg,
             stats: McStats::default(),
         })
+    }
+
+    /// Attaches an observability probe. Probes observe timing; they can
+    /// never change it (see `spp-obs`).
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 
     fn clamp_time(&mut self, t: Cycle) -> Cycle {
@@ -155,6 +154,11 @@ impl MemCtrl {
         debug_assert!(self.inflight.back().is_none_or(|&b| b <= done));
         self.inflight.push_back(done);
         self.stats.nvmm_writes += 1;
+        self.probe.emit(ProbeEvent::WpqOccupancy {
+            now: admitted,
+            occupancy: self.inflight.len(),
+            capacity: self.cfg.wpq_entries,
+        });
         (admitted, done)
     }
 
@@ -174,6 +178,10 @@ impl MemCtrl {
         let lat = done - arrival;
         self.stats.pcommit_latency_total += lat;
         self.stats.pcommit_latency_max = self.stats.pcommit_latency_max.max(lat);
+        self.probe.emit(ProbeEvent::PcommitIssue {
+            now: arrival,
+            ack_at: done,
+        });
         done
     }
 
@@ -220,7 +228,7 @@ mod tests {
             wpq_entries: wpq,
             ..MemConfig::paper()
         };
-        MemCtrl::new(cfg)
+        MemCtrl::try_new(cfg).unwrap()
     }
 
     #[test]
@@ -328,13 +336,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "nvmm_banks must be at least 1")]
-    fn zero_bank_new_panics_with_reason() {
-        let cfg = MemConfig {
-            nvmm_banks: 0,
-            ..MemConfig::paper()
-        };
-        let _ = MemCtrl::new(cfg);
+    fn probe_observes_pcommit_and_wpq_without_changing_timing() {
+        use spp_obs::{Collector, ProbeHandle};
+
+        let mut plain = mc(1, 8);
+        let mut probed = mc(1, 8);
+        let collector = Collector::shared();
+        probed.set_probe(ProbeHandle::new(collector.clone()));
+        for i in 0..20u64 {
+            assert_eq!(plain.write_back(i * 10), probed.write_back(i * 10));
+        }
+        assert_eq!(plain.pcommit(5), probed.pcommit(5));
+        assert_eq!(plain.stats(), probed.stats());
+        let s = collector.borrow().summary();
+        assert_eq!(s.pcommits, 1);
+        assert_eq!(s.wpq.transitions, 20);
+        assert_eq!(s.wpq.capacity, 8);
+        assert!(s.pcommit_latency.max > 0);
     }
 
     #[test]
@@ -343,7 +361,7 @@ mod tests {
             fault: Some(crate::FaultSpec::storm(5)),
             ..MemConfig::paper()
         };
-        let mut faulty = MemCtrl::new(cfg);
+        let mut faulty = MemCtrl::try_new(cfg).unwrap();
         let mut clean = mc(32, 128);
         let mut prev = 0;
         let mut diverged = false;
@@ -371,8 +389,8 @@ mod tests {
             fault: Some(crate::FaultSpec::storm(11)),
             ..MemConfig::paper()
         };
-        let mut a = MemCtrl::new(cfg);
-        let mut b = MemCtrl::new(cfg);
+        let mut a = MemCtrl::try_new(cfg).unwrap();
+        let mut b = MemCtrl::try_new(cfg).unwrap();
         for i in 0..300u64 {
             assert_eq!(a.write_back(i * 2), b.write_back(i * 2));
             assert_eq!(a.pcommit(i * 2 + 1), b.pcommit(i * 2 + 1));

@@ -157,7 +157,7 @@ proptest! {
         pcommit_at in prop::collection::vec(any::<prop::sample::Index>(), 1..8),
     ) {
         let cfg = MemConfig { nvmm_banks: 2, wpq_entries: 8, ..MemConfig::paper() };
-        let mut mc = MemCtrl::new(cfg);
+        let mut mc = MemCtrl::try_new(cfg).unwrap();
         let mut now = 0u64;
         let mut dones: Vec<u64> = Vec::new();
         let commit_points: Vec<usize> =
@@ -194,7 +194,7 @@ proptest! {
         reqs in prop::collection::vec((0u64..3, 0u64..2000), 1..100),
     ) {
         let cfg = MemConfig { nvmm_banks: 2, wpq_entries: 8, ..MemConfig::paper() };
-        let mut mc = MemCtrl::new(cfg);
+        let mut mc = MemCtrl::try_new(cfg).unwrap();
         let mut high_water = 0u64;
         for (kind, t) in reqs {
             let completed = match kind {

@@ -1,0 +1,181 @@
+//! Chrome `trace_event` export (the JSON Array/Object format consumed
+//! by Perfetto and `chrome://tracing`).
+//!
+//! Cycles are rendered as microseconds 1:1 — the absolute unit is
+//! meaningless for a simulated machine; what matters is that epoch,
+//! pcommit and fence-stall spans line up on a common axis. Spans are
+//! "X" (complete) events; one "M" (metadata) event names each row.
+
+use crate::Cycle;
+
+/// One complete span on the trace timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Row (thread id) the span renders on: 0 = epochs, 1 = pcommits,
+    /// 2 = fence stalls.
+    pub tid: u32,
+    /// Start cycle.
+    pub start: Cycle,
+    /// Duration in cycles (zero-length spans are widened to 1 so they
+    /// stay visible).
+    pub dur: Cycle,
+    /// Static span name.
+    pub name: &'static str,
+    /// Numeric qualifier rendered into the name (epoch id, latency).
+    pub arg: u64,
+}
+
+/// Row names for the `tid` values used by [`crate::Collector`].
+pub const ROW_NAMES: [(u32, &str); 3] = [(0, "epochs"), (1, "pcommits"), (2, "fence stalls")];
+
+/// Renders spans as a Chrome `trace_event` JSON document.
+///
+/// `pid` groups the spans into one named process (Perfetto renders one
+/// track group per process), so two configurations can be merged into
+/// one file by concatenating their span lists under different `pid`s —
+/// see [`merge_chrome_traces`].
+pub fn chrome_trace_json(process: &str, pid: u32, spans: &[TraceSpan]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    push_metadata(&mut out, process, pid);
+    for s in spans {
+        push_span(&mut out, pid, s);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Merges several `(process_name, spans)` groups into one document,
+/// assigning `pid`s in order (1-based).
+pub fn merge_chrome_traces(groups: &[(&str, &[TraceSpan])]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, (process, spans)) in groups.iter().enumerate() {
+        let pid = i as u32 + 1;
+        push_metadata(&mut out, process, pid);
+        for s in spans.iter() {
+            push_span(&mut out, pid, s);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn push_comma(out: &mut String) {
+    if !out.ends_with('[') {
+        out.push(',');
+    }
+}
+
+fn push_metadata(out: &mut String, process: &str, pid: u32) {
+    use std::fmt::Write;
+    push_comma(out);
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape(process)
+    );
+    for (tid, name) in ROW_NAMES {
+        push_comma(out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        );
+    }
+}
+
+fn push_span(out: &mut String, pid: u32, s: &TraceSpan) {
+    use std::fmt::Write;
+    push_comma(out);
+    let _ = write!(
+        out,
+        "{{\"name\":\"{} {}\",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+         \"pid\":{pid},\"tid\":{}}}",
+        s.name,
+        s.arg,
+        s.start,
+        s.dur.max(1),
+        s.tid
+    );
+}
+
+fn escape(s: &str) -> String {
+    let mut e = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => e.push_str("\\\""),
+            '\\' => e.push_str("\\\\"),
+            '\n' => e.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(e, "\\u{:04x}", c as u32);
+            }
+            c => e.push(c),
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_trace_event_envelope() {
+        let spans = [
+            TraceSpan {
+                tid: 0,
+                start: 10,
+                dur: 90,
+                name: "epoch",
+                arg: 0,
+            },
+            TraceSpan {
+                tid: 1,
+                start: 20,
+                dur: 0,
+                name: "pcommit",
+                arg: 315,
+            },
+        ];
+        let j = chrome_trace_json("sp256", 1, &spans);
+        assert!(j.starts_with("{\"traceEvents\":["));
+        assert!(j.ends_with("]}"));
+        assert!(j.contains("\"ph\":\"M\""));
+        assert!(j.contains("\"name\":\"epoch 0\""));
+        assert!(j.contains("\"ts\":10"));
+        // Zero-duration spans are widened so they render.
+        assert!(j.contains("\"dur\":1"));
+        assert!(j.contains("\"args\":{\"name\":\"sp256\"}"));
+    }
+
+    #[test]
+    fn merge_assigns_distinct_pids() {
+        let a = [TraceSpan {
+            tid: 0,
+            start: 0,
+            dur: 5,
+            name: "epoch",
+            arg: 1,
+        }];
+        let j = merge_chrome_traces(&[("baseline", &a[..]), ("sp256", &a[..])]);
+        assert!(j.contains("\"pid\":1"));
+        assert!(j.contains("\"pid\":2"));
+        assert!(j.contains("baseline"));
+        assert!(j.contains("sp256"));
+    }
+
+    #[test]
+    fn escapes_process_names() {
+        let j = chrome_trace_json("a\"b\\c", 1, &[]);
+        assert!(j.contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn empty_trace_is_still_loadable() {
+        let j = merge_chrome_traces(&[]);
+        assert_eq!(j, "{\"traceEvents\":[]}");
+    }
+}

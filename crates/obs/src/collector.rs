@@ -1,0 +1,489 @@
+//! The built-in consumer: stall attribution, latency/occupancy
+//! distributions, and Chrome trace spans — everything `repro profile`
+//! reports.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::chrome::{chrome_trace_json, TraceSpan};
+use crate::probe::{Probe, ProbeEvent, StallCause};
+use crate::reservoir::Reservoir;
+use crate::Cycle;
+
+/// Retained samples per distribution.
+const RESERVOIR_CAP: usize = 4096;
+/// Retained Chrome spans before the exporter starts dropping (keeps
+/// worst-case memory bounded on long runs; drops are counted).
+const SPAN_CAP: usize = 200_000;
+
+/// Retirement-stall cycles attributed per cause. The four buckets
+/// partition exactly the pipeline's stall counters, so their total
+/// equals the machine's total stall cycles by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallProfile {
+    /// Cycles stalled at a persist barrier.
+    pub fence: Cycle,
+    /// Cycles stalled because the SSB was full.
+    pub ssb_full: Cycle,
+    /// Cycles stalled because no checkpoint was free.
+    pub checkpoint_full: Cycle,
+    /// Backend/memory stall cycles.
+    pub backend: Cycle,
+}
+
+impl StallProfile {
+    /// Total attributed stall cycles.
+    pub fn total(&self) -> Cycle {
+        self.fence + self.ssb_full + self.checkpoint_full + self.backend
+    }
+
+    /// The bucket for `cause`, by value.
+    pub fn get(&self, cause: StallCause) -> Cycle {
+        match cause {
+            StallCause::Fence => self.fence,
+            StallCause::SsbFull => self.ssb_full,
+            StallCause::CheckpointFull => self.checkpoint_full,
+            StallCause::Backend => self.backend,
+        }
+    }
+
+    fn add(&mut self, cause: StallCause, cycles: Cycle) {
+        match cause {
+            StallCause::Fence => self.fence += cycles,
+            StallCause::SsbFull => self.ssb_full += cycles,
+            StallCause::CheckpointFull => self.checkpoint_full += cycles,
+            StallCause::Backend => self.backend += cycles,
+        }
+    }
+}
+
+/// Distribution summary of a latency-like quantity (cycles).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Observations (exact).
+    pub count: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Median of the retained reservoir sample.
+    pub p50: u64,
+    /// 95th percentile of the retained sample.
+    pub p95: u64,
+    /// 99th percentile of the retained sample.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    fn of(r: &Reservoir) -> Self {
+        LatencySummary {
+            count: r.count(),
+            mean: r.mean(),
+            p50: r.percentile(0.50),
+            p95: r.percentile(0.95),
+            p99: r.percentile(0.99),
+            max: r.max(),
+        }
+    }
+}
+
+/// Time-weighted occupancy summary of a bounded structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OccupancySummary {
+    /// Occupancy transitions observed.
+    pub transitions: u64,
+    /// Time-weighted mean occupancy over the observed interval.
+    pub mean: f64,
+    /// Highest occupancy observed.
+    pub high_water: usize,
+    /// Configured capacity (0 if the structure never reported).
+    pub capacity: usize,
+}
+
+/// Tracks one structure's occupancy over time.
+#[derive(Debug, Clone)]
+struct OccupancyTrack {
+    transitions: u64,
+    high_water: usize,
+    capacity: usize,
+    last_now: Cycle,
+    last_occ: usize,
+    /// Sum of occupancy × dwell-cycles.
+    area: u128,
+    first_now: Option<Cycle>,
+    samples: Reservoir,
+}
+
+impl OccupancyTrack {
+    fn new() -> Self {
+        OccupancyTrack {
+            transitions: 0,
+            high_water: 0,
+            capacity: 0,
+            last_now: 0,
+            last_occ: 0,
+            area: 0,
+            first_now: None,
+            samples: Reservoir::new(RESERVOIR_CAP),
+        }
+    }
+
+    fn observe(&mut self, now: Cycle, occupancy: usize, capacity: usize) {
+        if self.first_now.is_none() {
+            self.first_now = Some(now);
+        } else {
+            let dwell = now.saturating_sub(self.last_now);
+            self.area += u128::from(dwell) * self.last_occ as u128;
+        }
+        self.transitions += 1;
+        self.high_water = self.high_water.max(occupancy);
+        self.capacity = self.capacity.max(capacity);
+        self.last_now = now;
+        self.last_occ = occupancy;
+        self.samples.offer(occupancy as u64);
+    }
+
+    fn summary(&self) -> OccupancySummary {
+        let span = self
+            .first_now
+            .map(|f| self.last_now.saturating_sub(f))
+            .unwrap_or(0);
+        OccupancySummary {
+            transitions: self.transitions,
+            mean: if span == 0 {
+                self.last_occ as f64 * f64::from(u8::from(self.transitions > 0))
+            } else {
+                self.area as f64 / span as f64
+            },
+            high_water: self.high_water,
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// Plain-data snapshot of everything a [`Collector`] measured. `Send`
+/// and probe-free, so worker threads can return it across the
+/// deterministic executor boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProfileSummary {
+    /// Retirement-stall attribution.
+    pub stalls: StallProfile,
+    /// `pcommit` issue-to-ack latency distribution.
+    pub pcommit_latency: LatencySummary,
+    /// Committed-epoch duration distribution (begin to commit).
+    pub epoch_duration: LatencySummary,
+    /// Fence-stall episode length distribution.
+    pub fence_episode: LatencySummary,
+    /// SSB occupancy over time.
+    pub ssb: OccupancySummary,
+    /// WPQ occupancy at admissions.
+    pub wpq: OccupancySummary,
+    /// Checkpoint-buffer occupancy over time.
+    pub checkpoints: OccupancySummary,
+    /// Epochs begun.
+    pub epochs_begun: u64,
+    /// Epochs committed.
+    pub epochs_committed: u64,
+    /// Rollbacks observed.
+    pub rollbacks: u64,
+    /// `pcommit`s issued.
+    pub pcommits: u64,
+    /// Chrome spans dropped once the exporter cap was reached.
+    pub spans_dropped: u64,
+}
+
+/// The built-in metrics consumer: feed it the event stream, then read
+/// [`Collector::summary`] and [`Collector::chrome_trace`].
+///
+/// Every structure inside is deterministic (stride reservoirs, no RNG,
+/// no wall clock), so identical event streams produce identical
+/// summaries and traces.
+#[derive(Debug)]
+pub struct Collector {
+    stalls: StallProfile,
+    pcommit_latency: Reservoir,
+    epoch_duration: Reservoir,
+    fence_episode: Reservoir,
+    ssb: OccupancyTrack,
+    wpq: OccupancyTrack,
+    checkpoints: OccupancyTrack,
+    epochs_begun: u64,
+    epochs_committed: u64,
+    rollbacks: u64,
+    pcommits: u64,
+    spans: Vec<TraceSpan>,
+    spans_dropped: u64,
+    open_fence: Option<Cycle>,
+}
+
+/// A collector shared between the caller and the probe handle.
+pub type SharedCollector = Rc<RefCell<Collector>>;
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Collector {
+            stalls: StallProfile::default(),
+            pcommit_latency: Reservoir::new(RESERVOIR_CAP),
+            epoch_duration: Reservoir::new(RESERVOIR_CAP),
+            fence_episode: Reservoir::new(RESERVOIR_CAP),
+            ssb: OccupancyTrack::new(),
+            wpq: OccupancyTrack::new(),
+            checkpoints: OccupancyTrack::new(),
+            epochs_begun: 0,
+            epochs_committed: 0,
+            rollbacks: 0,
+            pcommits: 0,
+            spans: Vec::new(),
+            spans_dropped: 0,
+            open_fence: None,
+        }
+    }
+
+    /// A collector wrapped for sharing: pass a clone to
+    /// `ProbeHandle::new`, keep the other to read results after the run.
+    pub fn shared() -> SharedCollector {
+        Rc::new(RefCell::new(Collector::new()))
+    }
+
+    fn push_span(&mut self, span: TraceSpan) {
+        if self.spans.len() < SPAN_CAP {
+            self.spans.push(span);
+        } else {
+            self.spans_dropped += 1;
+        }
+    }
+
+    /// Everything measured, as plain data.
+    pub fn summary(&self) -> ProfileSummary {
+        ProfileSummary {
+            stalls: self.stalls,
+            pcommit_latency: LatencySummary::of(&self.pcommit_latency),
+            epoch_duration: LatencySummary::of(&self.epoch_duration),
+            fence_episode: LatencySummary::of(&self.fence_episode),
+            ssb: self.ssb.summary(),
+            wpq: self.wpq.summary(),
+            checkpoints: self.checkpoints.summary(),
+            epochs_begun: self.epochs_begun,
+            epochs_committed: self.epochs_committed,
+            rollbacks: self.rollbacks,
+            pcommits: self.pcommits,
+            spans_dropped: self.spans_dropped,
+        }
+    }
+
+    /// The collected spans (epochs, pcommits, fence stalls).
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// Renders the spans as a standalone Chrome `trace_event` document.
+    pub fn chrome_trace(&self, process: &str) -> String {
+        chrome_trace_json(process, 1, &self.spans)
+    }
+}
+
+impl Probe for Collector {
+    fn on(&mut self, ev: &ProbeEvent) {
+        match *ev {
+            ProbeEvent::EpochBegin { .. } => {
+                self.epochs_begun += 1;
+            }
+            ProbeEvent::EpochCommit {
+                now,
+                epoch,
+                began_at,
+            } => {
+                self.epochs_committed += 1;
+                self.epoch_duration.offer(now.saturating_sub(began_at));
+                self.push_span(TraceSpan {
+                    tid: 0,
+                    start: began_at,
+                    dur: now.saturating_sub(began_at),
+                    name: "epoch",
+                    arg: epoch,
+                });
+            }
+            ProbeEvent::EpochRollback { .. } => {
+                self.rollbacks += 1;
+            }
+            ProbeEvent::PcommitIssue { now, ack_at } => {
+                self.pcommits += 1;
+                let lat = ack_at.saturating_sub(now);
+                self.pcommit_latency.offer(lat);
+                self.push_span(TraceSpan {
+                    tid: 1,
+                    start: now,
+                    dur: lat,
+                    name: "pcommit",
+                    arg: lat,
+                });
+            }
+            ProbeEvent::FenceStallBegin { now } => {
+                self.open_fence = Some(now);
+            }
+            ProbeEvent::FenceStallEnd { now, stalled } => {
+                self.fence_episode.offer(stalled);
+                let start = self
+                    .open_fence
+                    .take()
+                    .unwrap_or(now.saturating_sub(stalled));
+                self.push_span(TraceSpan {
+                    tid: 2,
+                    start,
+                    dur: stalled,
+                    name: "fence stall",
+                    arg: stalled,
+                });
+            }
+            ProbeEvent::SsbOccupancy {
+                now,
+                occupancy,
+                capacity,
+            } => self.ssb.observe(now, occupancy, capacity),
+            ProbeEvent::WpqOccupancy {
+                now,
+                occupancy,
+                capacity,
+            } => self.wpq.observe(now, occupancy, capacity),
+            ProbeEvent::CheckpointOccupancy {
+                now,
+                live,
+                capacity,
+            } => self.checkpoints.observe(now, live, capacity),
+            ProbeEvent::RetireStall { cause, cycles, .. } => {
+                self.stalls.add(cause, cycles);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_buckets_partition_the_attribution() {
+        let mut c = Collector::new();
+        for (cause, cycles) in [
+            (StallCause::Fence, 10),
+            (StallCause::SsbFull, 5),
+            (StallCause::CheckpointFull, 3),
+            (StallCause::Backend, 7),
+            (StallCause::Fence, 2),
+        ] {
+            c.on(&ProbeEvent::RetireStall {
+                now: 0,
+                cause,
+                cycles,
+            });
+        }
+        let s = c.summary().stalls;
+        assert_eq!(
+            (s.fence, s.ssb_full, s.checkpoint_full, s.backend),
+            (12, 5, 3, 7)
+        );
+        assert_eq!(s.total(), 27);
+        assert_eq!(s.get(StallCause::Fence), 12);
+    }
+
+    #[test]
+    fn epoch_lifecycle_feeds_durations_and_spans() {
+        let mut c = Collector::new();
+        c.on(&ProbeEvent::EpochBegin { now: 100, epoch: 0 });
+        c.on(&ProbeEvent::EpochCommit {
+            now: 400,
+            epoch: 0,
+            began_at: 100,
+        });
+        c.on(&ProbeEvent::EpochBegin { now: 150, epoch: 1 });
+        c.on(&ProbeEvent::EpochRollback {
+            now: 500,
+            squashed_uops: 8,
+        });
+        let s = c.summary();
+        assert_eq!(s.epochs_begun, 2);
+        assert_eq!(s.epochs_committed, 1);
+        assert_eq!(s.rollbacks, 1);
+        assert_eq!(s.epoch_duration.count, 1);
+        assert_eq!(s.epoch_duration.max, 300);
+        assert_eq!(c.spans().len(), 1);
+        assert_eq!(c.spans()[0].dur, 300);
+    }
+
+    #[test]
+    fn pcommit_latency_distribution_is_exact_for_small_streams() {
+        let mut c = Collector::new();
+        for lat in [100u64, 200, 300] {
+            c.on(&ProbeEvent::PcommitIssue {
+                now: 1000,
+                ack_at: 1000 + lat,
+            });
+        }
+        let s = c.summary().pcommit_latency;
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, 300);
+        assert!((s.mean - 200.0).abs() < 1e-9);
+        assert_eq!(s.p50, 200);
+    }
+
+    #[test]
+    fn occupancy_mean_is_time_weighted() {
+        let mut c = Collector::new();
+        // Occupancy 2 for 10 cycles, then 4 for 30 cycles.
+        c.on(&ProbeEvent::SsbOccupancy {
+            now: 0,
+            occupancy: 2,
+            capacity: 256,
+        });
+        c.on(&ProbeEvent::SsbOccupancy {
+            now: 10,
+            occupancy: 4,
+            capacity: 256,
+        });
+        c.on(&ProbeEvent::SsbOccupancy {
+            now: 40,
+            occupancy: 0,
+            capacity: 256,
+        });
+        let s = c.summary().ssb;
+        assert_eq!(s.high_water, 4);
+        assert_eq!(s.capacity, 256);
+        // (2*10 + 4*30) / 40 = 3.5
+        assert!((s.mean - 3.5).abs() < 1e-9, "mean={}", s.mean);
+    }
+
+    #[test]
+    fn fence_episodes_become_spans() {
+        let mut c = Collector::new();
+        c.on(&ProbeEvent::FenceStallBegin { now: 50 });
+        c.on(&ProbeEvent::FenceStallEnd {
+            now: 80,
+            stalled: 30,
+        });
+        assert_eq!(c.summary().fence_episode.count, 1);
+        assert_eq!(c.spans()[0].start, 50);
+        assert_eq!(c.spans()[0].dur, 30);
+        let trace = c.chrome_trace("test");
+        assert!(trace.contains("fence stall"));
+    }
+
+    #[test]
+    fn chrome_trace_renders_loadable_json() {
+        let mut c = Collector::new();
+        c.on(&ProbeEvent::PcommitIssue {
+            now: 10,
+            ack_at: 325,
+        });
+        let t = c.chrome_trace("sp256");
+        assert!(t.starts_with("{\"traceEvents\":["));
+        assert!(t.ends_with("]}"));
+    }
+}

@@ -1,0 +1,52 @@
+//! # spp-obs — cycle-resolved observability
+//!
+//! A zero-cost-when-disabled tracing/metrics layer for the speculative
+//! persistence simulator. The pipeline, memory controller and SP
+//! structures emit [`ProbeEvent`]s through a [`ProbeHandle`]; consumers
+//! implement [`Probe`] and turn the event stream into profiles.
+//!
+//! Three guarantees define the design:
+//!
+//! * **Zero cost when disabled.** A disabled handle
+//!   ([`ProbeHandle::disabled`]) is a `None` — every emission site is
+//!   one branch and no event is ever constructed into a consumer.
+//!   [`NullProbe`] exists for the instrumented-but-inert configuration;
+//!   both are pinned by determinism tests.
+//! * **Probes never change the simulation.** Events carry copies of
+//!   state; consumers cannot reach back into the machine. A panicking
+//!   consumer is caught at the emission boundary and the handle is
+//!   poisoned (delivery stops, the run continues) — asserted by the
+//!   probe-neutrality property tests in `spp-cpu`.
+//! * **Deterministic consumers.** The built-in [`Collector`] uses a
+//!   stride-decimating [`Reservoir`] (no RNG, no clocks), so two runs
+//!   of the same trace produce byte-identical profiles at any `--jobs`
+//!   count.
+//!
+//! Built-in consumers: a stall-attribution profile
+//! ([`StallProfile`]), bounded-reservoir latency/occupancy
+//! distributions ([`Collector::summary`]), and a Chrome `trace_event`
+//! JSON exporter ([`Collector::chrome_trace`]) loadable in Perfetto.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Simulation code must degrade to typed errors, never abort mid-run:
+// `.unwrap()`/`.expect()` are banned outside tests (CI runs clippy with
+// `-D warnings`, making these hard errors there).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+mod chrome;
+mod collector;
+mod probe;
+mod reservoir;
+
+pub use chrome::{chrome_trace_json, merge_chrome_traces, TraceSpan};
+pub use collector::{
+    Collector, LatencySummary, OccupancySummary, ProfileSummary, SharedCollector, StallProfile,
+};
+pub use probe::{NullProbe, Probe, ProbeEvent, ProbeHandle, StallCause};
+pub use reservoir::Reservoir;
+
+/// A cycle count or timestamp at the simulated core clock (mirrors
+/// `spp_mem::Cycle`; this crate sits below the rest of the workspace and
+/// depends on nothing).
+pub type Cycle = u64;

@@ -1,0 +1,327 @@
+//! The probe trait, the event vocabulary, and the panic-safe handle.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+use crate::Cycle;
+
+/// Why retirement made no progress this cycle (the paper's stall
+/// taxonomy: persist barriers vs. the structures SP adds vs. everything
+/// the baseline machine already suffered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum StallCause {
+    /// An `sfence` (or combined barrier) at the head of the ROB is
+    /// waiting on persistence.
+    Fence,
+    /// The speculative store buffer is full.
+    SsbFull,
+    /// No register checkpoint is free to open a new epoch.
+    CheckpointFull,
+    /// Backend/memory stall: the head micro-op's result is not ready
+    /// (cache misses, WPQ drains, structural hazards).
+    Backend,
+}
+
+impl StallCause {
+    /// All causes, in report order.
+    pub const ALL: [StallCause; 4] = [
+        StallCause::Fence,
+        StallCause::SsbFull,
+        StallCause::CheckpointFull,
+        StallCause::Backend,
+    ];
+
+    /// Stable lower-case label used in JSON payloads and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::Fence => "fence",
+            StallCause::SsbFull => "ssb_full",
+            StallCause::CheckpointFull => "checkpoint_full",
+            StallCause::Backend => "backend",
+        }
+    }
+}
+
+/// One observation emitted by an instrumented component.
+///
+/// Events carry copies of state (cycle stamps, ids, occupancies) — a
+/// consumer can never reach back into the machine, which is what makes
+/// the probe-neutrality guarantee enforceable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProbeEvent {
+    /// A speculative epoch opened (a checkpoint was taken).
+    EpochBegin {
+        /// Current cycle.
+        now: Cycle,
+        /// Epoch id (monotone per run).
+        epoch: u64,
+    },
+    /// The oldest epoch committed (its pcommit acknowledged and its SSB
+    /// entries drained).
+    EpochCommit {
+        /// Current cycle.
+        now: Cycle,
+        /// Epoch id.
+        epoch: u64,
+        /// Cycle the epoch's checkpoint was taken.
+        began_at: Cycle,
+    },
+    /// Speculation rolled back to the oldest checkpoint (external
+    /// coherence conflict).
+    EpochRollback {
+        /// Current cycle.
+        now: Cycle,
+        /// Micro-ops squashed from the pipeline.
+        squashed_uops: u64,
+    },
+    /// A `pcommit` was issued to the memory controller.
+    PcommitIssue {
+        /// Issue cycle (as seen by the controller).
+        now: Cycle,
+        /// Cycle the acknowledgement returns (every prior WPQ write
+        /// drained).
+        ack_at: Cycle,
+    },
+    /// Retirement began stalling on a persist barrier.
+    FenceStallBegin {
+        /// Current cycle.
+        now: Cycle,
+    },
+    /// The persist-barrier stall ended.
+    FenceStallEnd {
+        /// Current cycle.
+        now: Cycle,
+        /// Cycles spent stalled in this episode.
+        stalled: Cycle,
+    },
+    /// SSB occupancy changed.
+    SsbOccupancy {
+        /// Current cycle.
+        now: Cycle,
+        /// Entries live.
+        occupancy: usize,
+        /// Configured capacity.
+        capacity: usize,
+    },
+    /// Write-pending-queue occupancy observed at an admission.
+    WpqOccupancy {
+        /// Current cycle (admission time).
+        now: Cycle,
+        /// Writes admitted but not yet drained.
+        occupancy: usize,
+        /// Configured capacity.
+        capacity: usize,
+    },
+    /// Checkpoint-buffer occupancy changed.
+    CheckpointOccupancy {
+        /// Current cycle.
+        now: Cycle,
+        /// Live checkpoints.
+        live: usize,
+        /// Configured capacity.
+        capacity: usize,
+    },
+    /// Retirement stalled for `cycles` attributed to `cause`.
+    RetireStall {
+        /// Cycle at the end of the stalled step.
+        now: Cycle,
+        /// Attribution bucket.
+        cause: StallCause,
+        /// Stalled cycles charged to the bucket this step.
+        cycles: Cycle,
+    },
+}
+
+/// A consumer of [`ProbeEvent`]s.
+///
+/// Implementations must be deterministic functions of the event stream
+/// if they feed reports that are compared across `--jobs` counts.
+pub trait Probe {
+    /// Receives one event. Panics are caught at the emission boundary
+    /// (the handle is poisoned and the simulation continues).
+    fn on(&mut self, ev: &ProbeEvent);
+}
+
+/// The inert consumer: receives every event and does nothing. Pinned by
+/// the determinism tests as behaviourally identical to a disabled
+/// handle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    #[inline]
+    fn on(&mut self, _ev: &ProbeEvent) {}
+}
+
+/// A shared consumer: lets the caller keep a handle to the collector
+/// while the simulator owns the probe.
+impl<P: Probe> Probe for Rc<RefCell<P>> {
+    fn on(&mut self, ev: &ProbeEvent) {
+        // A re-entrant borrow (a probe that emits into itself) is
+        // impossible by construction; a concurrently held user borrow
+        // simply skips the event rather than aborting the simulation.
+        if let Ok(mut p) = self.try_borrow_mut() {
+            p.on(ev);
+        }
+    }
+}
+
+struct ProbeCell {
+    probe: RefCell<Box<dyn Probe>>,
+    poisoned: Cell<bool>,
+}
+
+/// A cheap, cloneable handle instrumented components emit through.
+///
+/// `ProbeHandle::disabled()` (also `Default`) is a `None` inside: the
+/// fast path is a single branch, so uninstrumented simulation pays
+/// nothing. The handle is deliberately `!Send` (`Rc`-based) — construct
+/// one per simulation inside each worker.
+#[derive(Clone, Default)]
+pub struct ProbeHandle {
+    cell: Option<Rc<ProbeCell>>,
+}
+
+impl fmt::Debug for ProbeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.cell {
+            None => f.write_str("ProbeHandle(disabled)"),
+            Some(c) if c.poisoned.get() => f.write_str("ProbeHandle(poisoned)"),
+            Some(_) => f.write_str("ProbeHandle(enabled)"),
+        }
+    }
+}
+
+impl ProbeHandle {
+    /// The disabled handle: every emission is a no-op branch.
+    pub fn disabled() -> Self {
+        ProbeHandle { cell: None }
+    }
+
+    /// A handle delivering events to `probe`.
+    pub fn new(probe: impl Probe + 'static) -> Self {
+        ProbeHandle {
+            cell: Some(Rc::new(ProbeCell {
+                probe: RefCell::new(Box::new(probe)),
+                poisoned: Cell::new(false),
+            })),
+        }
+    }
+
+    /// Is a consumer attached (poisoned or not)?
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// Did a consumer panic? (Delivery has stopped; the simulation was
+    /// unaffected.)
+    pub fn is_poisoned(&self) -> bool {
+        self.cell.as_ref().is_some_and(|c| c.poisoned.get())
+    }
+
+    /// Delivers `ev` to the consumer, if one is attached and healthy.
+    ///
+    /// This is the probe-neutrality boundary: a panic inside the
+    /// consumer is caught here, poisons the handle, and the caller
+    /// carries on — the consumer can observe the machine but never
+    /// perturb it.
+    #[inline]
+    pub fn emit(&self, ev: ProbeEvent) {
+        let Some(cell) = &self.cell else { return };
+        if cell.poisoned.get() {
+            return;
+        }
+        let delivered = catch_unwind(AssertUnwindSafe(|| {
+            if let Ok(mut p) = cell.probe.try_borrow_mut() {
+                p.on(&ev);
+            }
+        }));
+        if delivered.is_err() {
+            cell.poisoned.set(true);
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    struct Counter(Rc<Cell<u64>>);
+    impl Probe for Counter {
+        fn on(&mut self, _ev: &ProbeEvent) {
+            self.0.set(self.0.get() + 1);
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = ProbeHandle::disabled();
+        assert!(!h.is_enabled());
+        h.emit(ProbeEvent::FenceStallBegin { now: 1 });
+        assert!(!h.is_poisoned());
+    }
+
+    #[test]
+    fn events_reach_the_consumer() {
+        let n = Rc::new(Cell::new(0));
+        let h = ProbeHandle::new(Counter(n.clone()));
+        for i in 0..5 {
+            h.emit(ProbeEvent::FenceStallBegin { now: i });
+        }
+        assert_eq!(n.get(), 5);
+        assert!(h.is_enabled());
+        assert!(!h.is_poisoned());
+    }
+
+    #[test]
+    fn panicking_consumer_poisons_but_does_not_propagate() {
+        struct Bomb;
+        impl Probe for Bomb {
+            fn on(&mut self, _ev: &ProbeEvent) {
+                panic!("consumer bug");
+            }
+        }
+        // Silence the default hook's backtrace spew for the expected
+        // panic; restore it afterwards.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let h = ProbeHandle::new(Bomb);
+        h.emit(ProbeEvent::FenceStallBegin { now: 0 });
+        std::panic::set_hook(hook);
+        assert!(h.is_poisoned());
+        // Later emissions are dropped silently.
+        h.emit(ProbeEvent::FenceStallEnd { now: 1, stalled: 1 });
+        assert!(h.is_poisoned());
+    }
+
+    #[test]
+    fn shared_collector_pattern_keeps_caller_access() {
+        let shared = Rc::new(RefCell::new(Counter(Rc::new(Cell::new(0)))));
+        let inner = shared.borrow().0.clone();
+        let h = ProbeHandle::new(shared);
+        h.emit(ProbeEvent::FenceStallBegin { now: 0 });
+        h.emit(ProbeEvent::FenceStallBegin { now: 1 });
+        assert_eq!(inner.get(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_same_consumer() {
+        let n = Rc::new(Cell::new(0));
+        let h = ProbeHandle::new(Counter(n.clone()));
+        let h2 = h.clone();
+        h.emit(ProbeEvent::FenceStallBegin { now: 0 });
+        h2.emit(ProbeEvent::FenceStallBegin { now: 1 });
+        assert_eq!(n.get(), 2);
+    }
+
+    #[test]
+    fn stall_cause_labels_are_stable() {
+        let labels: Vec<_> = StallCause::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, ["fence", "ssb_full", "checkpoint_full", "backend"]);
+    }
+}

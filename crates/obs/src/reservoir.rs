@@ -1,0 +1,165 @@
+//! A deterministic bounded reservoir for time-series samples.
+//!
+//! Classic reservoir sampling draws random replacement indices; that
+//! would make profiles depend on an RNG stream and complicate the
+//! `--jobs` byte-identity guarantee for no benefit. This reservoir is
+//! instead *stride-decimating*: it keeps every `stride`-th offered
+//! sample, and whenever the buffer fills it drops every second retained
+//! sample and doubles the stride. The retained set is a uniform
+//! systematic sample of the stream — a pure function of the offered
+//! sequence, so identical runs keep identical samples.
+
+/// A bounded, deterministic sample reservoir over `u64` observations.
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    cap: usize,
+    stride: u64,
+    /// Offered-sample counter used for stride selection.
+    offered: u64,
+    samples: Vec<u64>,
+    sum: u128,
+    max: u64,
+}
+
+impl Reservoir {
+    /// A reservoir retaining at most `cap` samples (`cap` is clamped to
+    /// at least 2 so decimation always makes progress).
+    pub fn new(cap: usize) -> Self {
+        Reservoir {
+            cap: cap.max(2),
+            stride: 1,
+            offered: 0,
+            samples: Vec::new(),
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Offers one observation. Sum/count/max are exact over *all*
+    /// offered samples; the retained set feeds the percentiles.
+    pub fn offer(&mut self, v: u64) {
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+        if self.offered.is_multiple_of(self.stride) {
+            if self.samples.len() == self.cap {
+                // Keep every second sample (even indices), double the
+                // stride: the retained set stays systematic.
+                let mut i = 0;
+                self.samples.retain(|_| {
+                    let keep = i % 2 == 0;
+                    i += 1;
+                    keep
+                });
+                self.stride *= 2;
+                // The current offer is retained only if it still lands
+                // on the coarser stride.
+                if self.offered.is_multiple_of(self.stride) {
+                    self.samples.push(v);
+                }
+            } else {
+                self.samples.push(v);
+            }
+        }
+        self.offered += 1;
+    }
+
+    /// Observations offered (exact).
+    pub fn count(&self) -> u64 {
+        self.offered
+    }
+
+    /// Exact mean over every offered observation; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.offered as f64
+        }
+    }
+
+    /// Exact maximum over every offered observation; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `p`-th percentile (0.0..=1.0) of the retained sample, by
+    /// nearest-rank on the sorted retained set; 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = (p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Samples currently retained.
+    pub fn retained(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_stats_survive_decimation() {
+        let mut r = Reservoir::new(16);
+        for v in 1..=1000u64 {
+            r.offer(v);
+        }
+        assert_eq!(r.count(), 1000);
+        assert_eq!(r.max(), 1000);
+        assert!((r.mean() - 500.5).abs() < 1e-9);
+        assert!(r.retained() <= 16);
+    }
+
+    #[test]
+    fn percentiles_track_a_uniform_ramp() {
+        let mut r = Reservoir::new(64);
+        for v in 0..10_000u64 {
+            r.offer(v);
+        }
+        let p50 = r.percentile(0.50);
+        let p99 = r.percentile(0.99);
+        // Systematic sampling of a ramp keeps quantiles within a couple
+        // of strides of truth.
+        assert!((4000..=6000).contains(&p50), "p50={p50}");
+        assert!(p99 >= 9000, "p99={p99}");
+        assert!(r.percentile(0.0) <= r.percentile(1.0));
+    }
+
+    #[test]
+    fn deterministic_across_identical_streams() {
+        let mut a = Reservoir::new(8);
+        let mut b = Reservoir::new(8);
+        for v in 0..5000u64 {
+            a.offer(v * 37 % 997);
+            b.offer(v * 37 % 997);
+        }
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.percentile(0.95), b.percentile(0.95));
+    }
+
+    #[test]
+    fn empty_reservoir_is_all_zeros() {
+        let r = Reservoir::new(8);
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.max(), 0);
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn tiny_cap_is_clamped_and_progresses() {
+        let mut r = Reservoir::new(0);
+        for v in 0..100u64 {
+            r.offer(v);
+        }
+        assert!(r.retained() >= 1);
+        assert_eq!(r.count(), 100);
+    }
+}

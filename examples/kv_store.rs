@@ -12,7 +12,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use specpersist::cpu::{simulate, CpuConfig};
+use specpersist::cpu::{CpuConfig, Simulator};
 use specpersist::pmem::{recover, CrashSim, PmemEnv, Variant};
 use specpersist::workloads::{
     make_workload, run_benchmark, BenchId, BenchSpec, OpOutcome, RunConfig,
@@ -37,8 +37,14 @@ fn main() {
             seed: 7,
             capture_base: false,
         });
-        let plain = simulate(&out.trace.events, &CpuConfig::baseline());
-        let sp = simulate(&out.trace.events, &CpuConfig::with_sp());
+        let plain = Simulator::new(&out.trace.events)
+            .config(CpuConfig::baseline())
+            .run()
+            .expect("sound config");
+        let sp = Simulator::new(&out.trace.events)
+            .config(CpuConfig::with_sp())
+            .run()
+            .expect("sound config");
         if variant == Variant::Base {
             base_cycles = plain.cpu.cycles;
         }

@@ -19,7 +19,7 @@
 //! cargo run --release --example persistency_models
 //! ```
 
-use specpersist::cpu::{simulate, CpuConfig};
+use specpersist::cpu::{CpuConfig, Simulator};
 use specpersist::pmem::{PmemEnv, Variant};
 
 const RECORDS: u64 = 200;
@@ -106,8 +106,14 @@ fn main() {
         ("epoch", epoch()),
         ("transactional", transactional()),
     ] {
-        let base = simulate(&trace.events, &CpuConfig::baseline());
-        let sp = simulate(&trace.events, &CpuConfig::with_sp());
+        let base = Simulator::new(&trace.events)
+            .config(CpuConfig::baseline())
+            .run()
+            .expect("sound config");
+        let sp = Simulator::new(&trace.events)
+            .config(CpuConfig::with_sp())
+            .run()
+            .expect("sound config");
         println!(
             "{:<16} {:>9} {:>9} {:>10} {:>12} {:>11.0}%",
             name,

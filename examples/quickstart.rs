@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use specpersist::cpu::{simulate, CpuConfig};
+use specpersist::cpu::{CpuConfig, Simulator};
 use specpersist::pmem::Variant;
 use specpersist::workloads::{run_benchmark, BenchId, BenchSpec, RunConfig};
 
@@ -27,7 +27,10 @@ fn main() {
             seed: 42,
             capture_base: false,
         });
-        let sim = simulate(&out.trace.events, &CpuConfig::baseline());
+        let sim = Simulator::new(&out.trace.events)
+            .config(CpuConfig::baseline())
+            .run()
+            .expect("sound config");
         println!(
             "{:<10} {:>9} uops  {:>9} cycles  ({} pcommits, {} sfences)",
             variant.label(),
@@ -42,7 +45,10 @@ fn main() {
     // 2. Replay the failure-safe build on the speculative-persistence
     //    core: the sfence stalls vanish.
     let (_, logpsf_out, logpsf_sim) = &cycles[3];
-    let sp = simulate(&logpsf_out.trace.events, &CpuConfig::with_sp());
+    let sp = Simulator::new(&logpsf_out.trace.events)
+        .config(CpuConfig::with_sp())
+        .run()
+        .expect("sound config");
     println!(
         "{:<10} {:>9} uops  {:>9} cycles  ({} speculative epochs, {} SSB stores)",
         "SP256",

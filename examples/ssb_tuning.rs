@@ -7,7 +7,7 @@
 //! ```
 
 use specpersist::core::SSB_DESIGN_POINTS;
-use specpersist::cpu::{simulate, CpuConfig, SpConfig};
+use specpersist::cpu::{CpuConfig, Simulator, SpConfig};
 use specpersist::pmem::Variant;
 use specpersist::workloads::{run_benchmark, BenchId, BenchSpec, RunConfig};
 
@@ -29,10 +29,16 @@ fn main() {
         seed,
         capture_base: false,
     });
-    let base_cycles = simulate(&base.trace.events, &CpuConfig::baseline())
+    let base_cycles = Simulator::new(&base.trace.events)
+        .config(CpuConfig::baseline())
+        .run()
+        .expect("sound config")
         .cpu
         .cycles;
-    let nosp = simulate(&logpsf.trace.events, &CpuConfig::baseline())
+    let nosp = Simulator::new(&logpsf.trace.events)
+        .config(CpuConfig::baseline())
+        .run()
+        .expect("sound config")
         .cpu
         .cycles;
 
@@ -45,7 +51,10 @@ fn main() {
             sp: Some(SpConfig::with_ssb_entries(entries)),
             ..CpuConfig::baseline()
         };
-        let r = simulate(&logpsf.trace.events, &cfg);
+        let r = Simulator::new(&logpsf.trace.events)
+            .config(cfg)
+            .run()
+            .expect("sound config");
         println!(
             "{:>8} {:>8} {:>12} {:>13.1}% {:>12} {:>10}",
             entries,

@@ -21,7 +21,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use specpersist::cpu::{simulate, CpuConfig};
+//! use specpersist::cpu::{CpuConfig, Simulator};
 //! use specpersist::pmem::Variant;
 //! use specpersist::workloads::{run_benchmark, BenchId, BenchSpec, RunConfig};
 //!
@@ -33,8 +33,11 @@
 //!     seed: 1,
 //!     capture_base: false,
 //! });
-//! let baseline = simulate(&out.trace.events, &CpuConfig::baseline());
-//! let sp = simulate(&out.trace.events, &CpuConfig::with_sp());
+//! let baseline = Simulator::new(&out.trace.events).run().expect("sound config");
+//! let sp = Simulator::new(&out.trace.events)
+//!     .config(CpuConfig::with_sp())
+//!     .run()
+//!     .expect("sound config");
 //! assert!(sp.cpu.cycles <= baseline.cpu.cycles);
 //! ```
 

@@ -1,9 +1,16 @@
 //! Cross-crate integration tests: full benchmark traces through the
 //! full pipeline, with and without speculative persistence.
 
-use specpersist::cpu::{simulate, CpuConfig, Pipeline, SpConfig};
-use specpersist::pmem::Variant;
+use specpersist::cpu::{CpuConfig, Pipeline, SimResult, Simulator, SpConfig};
+use specpersist::pmem::{Event, Variant};
 use specpersist::workloads::{run_benchmark, BenchId, BenchSpec, RunConfig};
+
+fn simulate(events: &[Event], cfg: &CpuConfig) -> SimResult {
+    Simulator::new(events)
+        .config(*cfg)
+        .run()
+        .expect("benchmark traces must simulate cleanly")
+}
 
 fn tiny(id: BenchId) -> BenchSpec {
     BenchSpec::scaled(id, 2500)
@@ -239,7 +246,9 @@ fn multicore_runs_real_workloads() {
         traces.iter().map(|t| t.events.as_slice()).collect();
     for cfg in [CpuConfig::baseline(), CpuConfig::with_sp()] {
         let solo: Vec<u64> = refs.iter().map(|t| simulate(t, &cfg).cpu.cycles).collect();
-        let shared = MultiCore::new(&refs, cfg).run();
+        let shared = MultiCore::try_new(&refs, cfg)
+            .expect("validated multicore config")
+            .run();
         for (i, (r, t)) in shared.iter().zip(&traces).enumerate() {
             assert_eq!(r.cpu.committed_uops, t.counts.total(), "core {i}");
             assert!(
