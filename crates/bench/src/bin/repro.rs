@@ -31,7 +31,7 @@
 //!   profile <BENCH> <VARIANT>  cycle-resolved observability: replay
 //!              one trace on the baseline and SP256 cores with the
 //!              spp-obs probe attached, print the stall-attribution
-//!              table plus one `specpersist/profile-v1` JSON line, and
+//!              table plus one `specpersist/profile-v2` JSON line, and
 //!              optionally export a Chrome trace (--trace-out); exits
 //!              non-zero if the probe's attribution diverges from the
 //!              machine's own stall counters
@@ -51,6 +51,11 @@
 //!   --trace-out PATH  (profile) write the merged Chrome trace_event
 //!              document to PATH (loadable in Perfetto or
 //!              chrome://tracing)
+//!   --bench-out PATH  (all/profile) where to write the
+//!              `specpersist/perfbench-v1` perf-trajectory record
+//!              (default `BENCH_6.json`): simulated-cycles-per-second
+//!              per bench x variant, wall time, peak RSS; file + stderr
+//!              only, never stdout
 //!
 //! Invalid input (a malformed or zero --scale/--jobs, an unknown
 //! command, benchmark, variant, or leg, or contradictory journal
@@ -71,7 +76,7 @@ use std::time::Instant;
 use spp_bench::report;
 use spp_bench::{Experiment, Harness};
 
-const USAGE: &str = "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore|crashfuzz|faultsim|soak|profile> [--scale N] [--seed S] [--jobs J] [--journal [PATH] [--resume]] [--iters N] [--trace-out PATH]";
+const USAGE: &str = "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore|crashfuzz|faultsim|soak|profile> [--scale N] [--seed S] [--jobs J] [--journal [PATH] [--resume]] [--iters N] [--trace-out PATH] [--bench-out PATH]";
 
 /// A rejected invocation: every variant renders as one line, and every
 /// variant exits non-zero. Parsing never panics on user input.
@@ -138,7 +143,7 @@ impl fmt::Display for CliError {
                 write!(f, "unknown crashfuzz leg {l:?} (want all|log|logp|logpsf)")
             }
             CliError::FlagUnsupported { flag, cmd } => {
-                write!(f, "{flag} is not supported by {cmd:?} (journaled commands: faultsim, soak, profile; --iters: soak; --trace-out: profile)")
+                write!(f, "{flag} is not supported by {cmd:?} (journaled commands: faultsim, soak, profile; --iters: soak; --trace-out: profile; --bench-out: all, profile)")
             }
             CliError::ResumeNeedsJournal => f.write_str("--resume requires --journal <path>"),
             CliError::ResumeMissingJournal(p) => {
@@ -165,6 +170,7 @@ struct Cli {
     resume: bool,
     iters: Option<u64>,
     trace_out: Option<String>,
+    bench_out: Option<String>,
     positional: Vec<String>,
 }
 
@@ -180,6 +186,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let mut resume = false;
     let mut iters: Option<u64> = None;
     let mut trace_out: Option<String> = None;
+    let mut bench_out: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 1;
     fn flag_value(
@@ -248,6 +255,19 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     })
                 }
             },
+            "--bench-out" => match args.get(i + 1) {
+                Some(next) if !next.is_empty() && !next.starts_with("--") => {
+                    bench_out = Some(next.clone());
+                    i += 2;
+                }
+                _ => {
+                    return Err(CliError::BadValue {
+                        flag: "--bench-out",
+                        given: args.get(i + 1).cloned().unwrap_or_default(),
+                        want: "a file path",
+                    })
+                }
+            },
             "--iters" => {
                 iters = Some(flag_value(
                     "--iters",
@@ -272,6 +292,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         resume,
         iters,
         trace_out,
+        bench_out,
         positional,
     })
 }
@@ -304,6 +325,12 @@ fn check_flag_scope(cli: &Cli) -> Result<(), CliError> {
             cmd: cli.cmd.clone(),
         });
     }
+    if cli.bench_out.is_some() && !matches!(cli.cmd.as_str(), "all" | "profile") {
+        return Err(CliError::FlagUnsupported {
+            flag: "--bench-out",
+            cmd: cli.cmd.clone(),
+        });
+    }
     if cli.resume && cli.journal.is_none() {
         return Err(CliError::ResumeNeedsJournal);
     }
@@ -326,6 +353,43 @@ fn open_journal(path: &std::path::Path, resume: bool) -> Result<spp_bench::Journ
         return Err(CliError::JournalNeedsResume(display));
     }
     spp_bench::Journal::open(path).map_err(|e| CliError::Journal(e.to_string()))
+}
+
+/// Where the perf-trajectory record lands unless `--bench-out` says
+/// otherwise. The `6` is the trajectory point's sequence number, not a
+/// schema version (the document's envelope carries that).
+const DEFAULT_BENCH_OUT: &str = "BENCH_6.json";
+
+/// Writes the `specpersist/perfbench-v1` trajectory record for this
+/// invocation: per bench x variant simulation throughput, end-to-end
+/// wall time, and peak RSS. Wall numbers are machine-dependent, so the
+/// record goes to a file and the announcement to stderr — stdout stays
+/// byte-identical across `--jobs`. A run whose simulations were all
+/// replayed from a journal has nothing to report and writes nothing.
+fn write_perfbench(harness: &Harness, jobs: usize, wall_secs: f64, path: &str) {
+    let rep = spp_bench::PerfReport {
+        scale: harness.exp.scale,
+        seed: harness.exp.seed,
+        jobs,
+        wall_secs,
+        peak_rss_kb: spp_bench::perfbench::peak_rss_kb(),
+        cells: harness.perf_cells(),
+    };
+    if rep.cells.is_empty() {
+        eprintln!("# perfbench: no simulations ran; {path} not written");
+        return;
+    }
+    let mut doc = rep.render_json();
+    doc.push('\n');
+    match std::fs::write(path, doc) {
+        Ok(()) => eprintln!(
+            "# perfbench: {} cells, {:.2}s wall, peak rss {} KiB -> {path}",
+            rep.cells.len(),
+            wall_secs,
+            rep.peak_rss_kb
+        ),
+        Err(e) => eprintln!("repro: --bench-out {path:?}: {e}"),
+    }
 }
 
 /// Runs one evaluation stage, reporting wall time and throughput on
@@ -368,6 +432,7 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
         resume,
         iters,
         trace_out,
+        bench_out,
         positional,
     } = cli;
     let harness = Harness::new(exp, jobs);
@@ -431,6 +496,12 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
                 t0.elapsed().as_secs_f64(),
                 jobs
             );
+            write_perfbench(
+                &harness,
+                jobs,
+                t0.elapsed().as_secs_f64(),
+                bench_out.as_deref().unwrap_or(DEFAULT_BENCH_OUT),
+            );
         }
         "table1" => print!("{}", report::table1(&exp)),
         "table2" => print!("{}", report::table2()),
@@ -468,13 +539,20 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
         "faultsim" => return faultsim_cmd(&harness, journal.as_deref(), resume),
         "soak" => return soak_cmd(&exp, jobs, iters, journal.as_deref(), resume),
         "profile" => {
-            return profile_cmd(
+            let code = profile_cmd(
                 &harness,
                 &positional,
                 journal.as_deref(),
                 resume,
                 trace_out.as_deref(),
-            )
+            )?;
+            write_perfbench(
+                &harness,
+                jobs,
+                t0.elapsed().as_secs_f64(),
+                bench_out.as_deref().unwrap_or(DEFAULT_BENCH_OUT),
+            );
+            return Ok(code);
         }
         _ => return Err(CliError::UnknownCommand(cmd)),
     }
@@ -594,7 +672,7 @@ fn soak_cmd(
 /// `repro profile <BENCH> <VARIANT> [--trace-out PATH] [--journal PATH
 /// [--resume]]`: replay one trace on the baseline and SP256 cores with
 /// the spp-obs probe attached, print the stall-attribution table and
-/// one `specpersist/profile-v1` JSON line, and optionally write the
+/// one `specpersist/profile-v2` JSON line, and optionally write the
 /// merged Chrome trace. With a journal the completed cell is recorded
 /// (text, JSON and trace all in the payload) and `--resume` replays it
 /// byte-identically. Exits non-zero if the probe's attribution diverges

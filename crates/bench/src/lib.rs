@@ -37,6 +37,7 @@ pub mod faultsim;
 pub mod journal;
 pub mod json;
 pub mod parallel;
+pub mod perfbench;
 pub mod profile;
 pub mod report;
 pub mod schema;
@@ -46,6 +47,7 @@ pub mod supervisor;
 pub use cache::{CacheStats, TraceCache, TraceKey};
 pub use journal::{Journal, JournalError};
 pub use parallel::run_indexed;
+pub use perfbench::{PerfCell, PerfRecorder, PerfReport};
 pub use supervisor::{CellFailure, CellOutcome, Supervisor};
 
 use spp_cpu::{CpuConfig, SimResult, Simulator, SpConfig};
@@ -175,6 +177,7 @@ pub struct Harness {
     /// serial, on the caller's thread).
     pub jobs: usize,
     cache: TraceCache,
+    perf: PerfRecorder,
 }
 
 impl Harness {
@@ -184,6 +187,7 @@ impl Harness {
             exp,
             jobs,
             cache: TraceCache::new(),
+            perf: PerfRecorder::default(),
         }
     }
 
@@ -192,15 +196,34 @@ impl Harness {
         self.cache.stats()
     }
 
+    /// Per-cell simulation throughput accumulated so far, in canonical
+    /// order (feeds the `specpersist/perfbench-v1` record).
+    pub fn perf_cells(&self) -> Vec<PerfCell> {
+        self.perf.cells()
+    }
+
+    /// The perf recorder, for experiment code that drives
+    /// [`Simulator`] directly (the probe-attached profile replays)
+    /// and still wants its timings in the trajectory record.
+    pub(crate) fn perf(&self) -> &PerfRecorder {
+        &self.perf
+    }
+
     /// The trace for `key`, recorded on first request and shared after.
     pub fn trace(&self, key: TraceKey) -> SharedTrace {
         self.cache.get(key)
     }
 
-    /// Replays the keyed trace on `cpu`.
+    /// Replays the keyed trace on `cpu`, timing the replay into the
+    /// perf recorder (trace recording/cache time is deliberately
+    /// excluded: the trajectory tracks the simulator core).
     fn sim(&self, key: TraceKey, cpu: &CpuConfig) -> (TraceCounts, SimResult) {
         let t = self.cache.get(key);
-        (t.counts, must_simulate(&t.events, cpu))
+        let started = std::time::Instant::now();
+        let sim = must_simulate(&t.events, cpu);
+        self.perf
+            .record(key.id, key.variant, sim.cpu.cycles, started.elapsed());
+        (t.counts, sim)
     }
 
     /// `Base`-build cycles on the baseline core (the denominator of

@@ -19,13 +19,21 @@ use std::sync::Mutex;
 /// `jobs == 0` is treated as 1. With one job (or one item) everything
 /// runs inline on the caller's thread — no spawn overhead, and a
 /// convenient serial reference for determinism tests.
+///
+/// The worker count is additionally clamped to the machine's available
+/// parallelism: the jobs are CPU-bound, so oversubscribing cores buys
+/// no throughput and costs real time in allocator contention and
+/// context switches (measured ~35% slower at `--jobs 4` on one core).
+/// Results are written into per-index slots either way, so the output
+/// is bit-identical at any requested job count.
 pub fn run_indexed<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let jobs = jobs.max(1).min(items.len().max(1));
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let jobs = jobs.max(1).min(cores).min(items.len().max(1));
     if jobs == 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }

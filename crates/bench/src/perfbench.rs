@@ -1,0 +1,272 @@
+//! The harness performance trajectory (`specpersist/perfbench-v1`).
+//!
+//! The skip-ahead core exists to make the evaluation loop fast, so the
+//! repo tracks its own speed the same way it tracks fidelity: every
+//! `repro all` (and `repro profile`) run writes a `BENCH_*.json` record
+//! of simulated-cycles-per-second throughput for each bench x variant
+//! cell, plus the run's wall time and peak RSS. CI re-emits the record
+//! at a small scale and schema-validates it, so a regression in either
+//! the document shape or the harness's ability to produce it fails the
+//! build; the committed `BENCH_6.json` at the repo root is one point of
+//! the trajectory, refreshed whenever the core's performance changes.
+//!
+//! Wall-clock numbers are inherently machine- and load-dependent, so
+//! nothing here ever reaches stdout — the report goes to a file (path
+//! announced on stderr) and the `--jobs` byte-identity guarantee is
+//! untouched. The *structure* of the document is deterministic: cells
+//! appear in Table 1 order x [`Variant::ALL`] order, and every exact
+//! integer field (`sims`, `sim_cycles`) is independent of timing.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use spp_pmem::Variant;
+use spp_workloads::BenchId;
+
+use crate::json::{array, JsonObject};
+use crate::schema;
+
+/// Accumulates per-cell simulation timing inside the harness.
+///
+/// [`crate::Harness::sim`] calls [`PerfRecorder::record`] once per
+/// replay; the recorder sums simulated cycles and wall time per
+/// `(bench, variant)` cell. Interior mutability (a mutex, uncontended
+/// except at `--jobs` fan-in) keeps the recording call usable from the
+/// worker threads without threading `&mut` through every experiment.
+#[derive(Debug, Default)]
+pub struct PerfRecorder {
+    cells: Mutex<HashMap<(BenchId, Variant), CellAccum>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct CellAccum {
+    sims: u64,
+    sim_cycles: u64,
+    wall_nanos: u128,
+}
+
+impl PerfRecorder {
+    /// Adds one simulation's cycles and wall time to its cell.
+    pub fn record(&self, bench: BenchId, variant: Variant, sim_cycles: u64, wall: Duration) {
+        let mut cells = self
+            .cells
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let c = cells.entry((bench, variant)).or_default();
+        c.sims += 1;
+        c.sim_cycles += sim_cycles;
+        c.wall_nanos += wall.as_nanos();
+    }
+
+    /// The populated cells, in Table 1 x [`Variant::ALL`] order (cells
+    /// never simulated are omitted rather than emitted as zeros).
+    pub fn cells(&self) -> Vec<PerfCell> {
+        let cells = self
+            .cells
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out = Vec::new();
+        for bench in BenchId::ALL {
+            for variant in Variant::ALL {
+                let Some(c) = cells.get(&(bench, variant)) else {
+                    continue;
+                };
+                let wall_secs = c.wall_nanos as f64 / 1e9;
+                out.push(PerfCell {
+                    bench,
+                    variant,
+                    sims: c.sims,
+                    sim_cycles: c.sim_cycles,
+                    wall_secs,
+                    cycles_per_sec: if wall_secs > 0.0 {
+                        c.sim_cycles as f64 / wall_secs
+                    } else {
+                        0.0
+                    },
+                });
+            }
+        }
+        out
+    }
+}
+
+/// One bench x variant throughput cell.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfCell {
+    /// Which benchmark.
+    pub bench: BenchId,
+    /// Which software variant's trace was replayed.
+    pub variant: Variant,
+    /// Simulations summed into this cell.
+    pub sims: u64,
+    /// Total simulated cycles across those simulations (exact).
+    pub sim_cycles: u64,
+    /// Total wall time spent simulating them, in seconds.
+    pub wall_secs: f64,
+    /// Throughput: simulated cycles per wall second.
+    pub cycles_per_sec: f64,
+}
+
+/// The full perf-trajectory record written to `BENCH_*.json`.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Table 1 scale divisor of the producing run.
+    pub scale: u64,
+    /// RNG seed of the producing run.
+    pub seed: u64,
+    /// Worker threads requested (pre-clamp; see [`crate::run_indexed`]).
+    pub jobs: usize,
+    /// End-to-end wall time of the producing command, in seconds.
+    pub wall_secs: f64,
+    /// Peak resident set size of the process, in KiB (0 if unknown).
+    pub peak_rss_kb: u64,
+    /// Per-cell throughput, in deterministic order.
+    pub cells: Vec<PerfCell>,
+}
+
+impl PerfReport {
+    /// Renders the `specpersist/perfbench-v1` document.
+    pub fn render_json(&self) -> String {
+        schema::emit(schema::PERFBENCH, |o| {
+            o.raw("scale", self.scale.to_string());
+            o.raw("seed", self.seed.to_string());
+            o.raw("jobs", self.jobs.to_string());
+            o.num("wall_secs", round6(self.wall_secs));
+            o.raw("peak_rss_kb", self.peak_rss_kb.to_string());
+            let cells = self.cells.iter().map(|c| {
+                let mut o = JsonObject::new();
+                o.str("bench", c.bench.abbrev());
+                o.str("variant", c.variant.label());
+                o.raw("sims", c.sims.to_string());
+                o.raw("sim_cycles", c.sim_cycles.to_string());
+                o.num("wall_secs", round6(c.wall_secs));
+                o.num("cycles_per_sec", round6(c.cycles_per_sec));
+                o.render()
+            });
+            o.raw("cells", array(cells));
+        })
+    }
+}
+
+/// Rounds to 6 decimal places so `JsonObject::num` renders a bounded
+/// number of digits for timing-derived values.
+fn round6(v: f64) -> f64 {
+    (v * 1e6).round() / 1e6
+}
+
+/// The process's peak resident set size in KiB, read from
+/// `/proc/self/status` (`VmHWM`); 0 where that interface is missing.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> PerfReport {
+        let rec = PerfRecorder::default();
+        // Record out of canonical order to prove ordering is imposed.
+        rec.record(
+            BenchId::RbTree,
+            Variant::LogPSf,
+            1_000,
+            Duration::from_millis(2),
+        );
+        rec.record(
+            BenchId::Graph,
+            Variant::Base,
+            5_000,
+            Duration::from_millis(1),
+        );
+        rec.record(
+            BenchId::Graph,
+            Variant::Base,
+            5_000,
+            Duration::from_millis(1),
+        );
+        PerfReport {
+            scale: 50,
+            seed: 7,
+            jobs: 4,
+            wall_secs: 1.25,
+            peak_rss_kb: peak_rss_kb(),
+            cells: rec.cells(),
+        }
+    }
+
+    #[test]
+    fn cells_accumulate_and_sort_canonically() {
+        let r = sample_report();
+        assert_eq!(r.cells.len(), 2);
+        // Graph precedes RbTree regardless of record order.
+        assert_eq!(r.cells[0].bench, BenchId::Graph);
+        assert_eq!(r.cells[0].sims, 2);
+        assert_eq!(r.cells[0].sim_cycles, 10_000);
+        assert!(r.cells[0].cycles_per_sec > 0.0);
+        assert_eq!(r.cells[1].bench, BenchId::RbTree);
+        assert_eq!(r.cells[1].variant, Variant::LogPSf);
+    }
+
+    #[test]
+    fn report_validates_against_its_schema() {
+        let doc = sample_report().render_json();
+        let v = schema::validate(&doc, schema::PERFBENCH).unwrap();
+        assert_eq!(v.get("scale").and_then(|x| x.as_u64()), Some(50));
+        assert_eq!(v.get("seed").and_then(|x| x.as_u64()), Some(7));
+        let cells = v.get("cells").and_then(|x| x.as_arr()).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(
+            cells[0].get("bench").and_then(|x| x.as_str()),
+            Some("GH"),
+            "{doc}"
+        );
+        assert_eq!(
+            cells[0].get("sim_cycles").and_then(|x| x.as_u64()),
+            Some(10_000)
+        );
+    }
+
+    #[test]
+    fn empty_recorder_renders_an_empty_but_valid_document() {
+        let r = PerfReport {
+            scale: 1,
+            seed: 0,
+            jobs: 1,
+            wall_secs: 0.0,
+            peak_rss_kb: 0,
+            cells: PerfRecorder::default().cells(),
+        };
+        let doc = r.render_json();
+        let v = schema::validate(&doc, schema::PERFBENCH).unwrap();
+        assert_eq!(v.get("cells").and_then(|x| x.as_arr()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn zero_wall_time_does_not_divide_by_zero() {
+        let rec = PerfRecorder::default();
+        rec.record(BenchId::BTree, Variant::Log, 123, Duration::ZERO);
+        let cells = rec.cells();
+        assert_eq!(cells[0].cycles_per_sec, 0.0);
+        assert_eq!(cells[0].sim_cycles, 123);
+    }
+
+    #[test]
+    fn peak_rss_is_nonzero_on_linux() {
+        // On the CI/dev Linux kernels /proc/self/status always exists;
+        // elsewhere the function degrades to 0 rather than failing.
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb() > 0);
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //!   stalls attributed to fence / SSB-full / checkpoint-full / backend
 //!   causes, plus pcommit-latency, epoch-duration and fence-episode
 //!   distributions and buffer occupancy;
-//! * one `specpersist/profile-v1` JSON line
+//! * one `specpersist/profile-v2` JSON line
 //!   ([`ProfileReport::render_json`]);
 //! * a Chrome `trace_event` document ([`ProfileReport::chrome_trace`])
 //!   with the two configurations as separate processes, loadable in
@@ -108,6 +108,7 @@ pub fn run_profile(h: &Harness, id: BenchId, variant: Variant) -> ProfileReport 
             CpuConfig::baseline()
         };
         let collector = Collector::shared();
+        let started = std::time::Instant::now();
         let sim = match Simulator::new(&trace.events)
             .config(cfg)
             .probe(ProbeHandle::new(collector.clone()))
@@ -116,6 +117,8 @@ pub fn run_profile(h: &Harness, id: BenchId, variant: Variant) -> ProfileReport 
             Ok(r) => r,
             Err(e) => panic!("profile simulation failed: {e}"),
         };
+        h.perf()
+            .record(id, variant, sim.cpu.cycles, started.elapsed());
         let c = collector.borrow();
         ProfiledCell {
             config,
@@ -198,13 +201,14 @@ impl ProfileReport {
             }
             let _ = writeln!(
                 s,
-                "  epochs {}/{} (begun/committed), rollbacks {}, pcommits {}, spans {} (+{} dropped)",
+                "  epochs {}/{} (begun/committed), rollbacks {}, pcommits {}, spans {} (+{} dropped), misordered {}",
                 c.summary.epochs_begun,
                 c.summary.epochs_committed,
                 c.summary.rollbacks,
                 c.summary.pcommits,
                 c.spans.len(),
-                c.summary.spans_dropped
+                c.summary.spans_dropped,
+                c.summary.dropped_out_of_order
             );
         }
         let _ = writeln!(
@@ -225,7 +229,7 @@ impl ProfileReport {
         s
     }
 
-    /// One `specpersist/profile-v1` JSON line.
+    /// One `specpersist/profile-v2` JSON line.
     pub fn render_json(&self) -> String {
         crate::schema::emit(crate::schema::PROFILE, |root| {
             root.str("bench", self.id.abbrev())
@@ -250,24 +254,41 @@ impl ProfileReport {
     }
 }
 
+/// Renders an order statistic, or `-` when nothing was observed — an
+/// empty distribution is not a distribution of zeros.
+fn stat_text(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| x.to_string())
+}
+
 fn latency_text(l: &LatencySummary) -> String {
     if l.count == 0 {
         return "(none)".to_string();
     }
     format!(
         "count {}  mean {:.1}  p50 {}  p95 {}  p99 {}  max {}",
-        l.count, l.mean, l.p50, l.p95, l.p99, l.max
+        l.count,
+        l.mean,
+        stat_text(l.p50),
+        stat_text(l.p95),
+        stat_text(l.p99),
+        stat_text(l.max)
     )
+}
+
+fn stat_json(o: &mut JsonObject, key: &str, v: Option<u64>) {
+    match v {
+        Some(x) => o.num(key, x as f64),
+        None => o.raw(key, "null".to_string()),
+    };
 }
 
 fn latency_json(l: &LatencySummary) -> String {
     let mut o = JsonObject::new();
-    o.num("count", l.count as f64)
-        .num("mean", l.mean)
-        .num("p50", l.p50 as f64)
-        .num("p95", l.p95 as f64)
-        .num("p99", l.p99 as f64)
-        .num("max", l.max as f64);
+    o.num("count", l.count as f64).num("mean", l.mean);
+    stat_json(&mut o, "p50", l.p50);
+    stat_json(&mut o, "p95", l.p95);
+    stat_json(&mut o, "p99", l.p99);
+    stat_json(&mut o, "max", l.max);
     o.render()
 }
 
@@ -307,7 +328,11 @@ fn cell_json(c: &ProfiledCell) -> String {
         .num("rollbacks", c.summary.rollbacks as f64)
         .num("pcommits", c.summary.pcommits as f64)
         .num("spans", c.spans.len() as f64)
-        .num("spans_dropped", c.summary.spans_dropped as f64);
+        .num("spans_dropped", c.summary.spans_dropped as f64)
+        .num(
+            "dropped_out_of_order",
+            c.summary.dropped_out_of_order as f64,
+        );
     o.render()
 }
 

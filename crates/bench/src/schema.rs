@@ -72,12 +72,23 @@ pub const JOURNAL: Schema = Schema {
 /// The cycle-resolved stall/latency profile (`repro profile`).
 pub const PROFILE: Schema = Schema {
     name: "profile",
+    version: 2,
+    id: "specpersist/profile-v2",
+};
+
+/// The harness performance-trajectory record (`BENCH_*.json`):
+/// simulated-cycles-per-second throughput per bench x variant cell,
+/// wall time, and peak RSS of the producing run.
+pub const PERFBENCH: Schema = Schema {
+    name: "perfbench",
     version: 1,
-    id: "specpersist/profile-v1",
+    id: "specpersist/perfbench-v1",
 };
 
 /// Every schema the harness knows, for exhaustive self-checks.
-pub const ALL: [Schema; 6] = [SUITE, CRASHFUZZ, FAULTSIM, SOAK, JOURNAL, PROFILE];
+pub const ALL: [Schema; 7] = [
+    SUITE, CRASHFUZZ, FAULTSIM, SOAK, JOURNAL, PROFILE, PERFBENCH,
+];
 
 impl Schema {
     /// The document kind, e.g. `suite`.

@@ -73,6 +73,11 @@ pub struct DiagnosticSnapshot {
     pub checkpoint_capacity: usize,
     /// Write-pending-queue occupancy at the memory controller.
     pub wpq_depth: usize,
+    /// The controller's next-event report: earliest in-flight WPQ
+    /// completion after `cycle`, if any (`None` when the queue is
+    /// drained — a wedged run with work but no such event points at the
+    /// pipeline side).
+    pub wpq_next_drain: Option<Cycle>,
     /// Had the trace cursor reached the end of the trace?
     pub trace_done: bool,
 }
@@ -94,7 +99,7 @@ impl DiagnosticSnapshot {
              \"lsq_used\":{},\"store_buffer_len\":{},\"pending_flushes\":{},\
              \"pending_pcommits\":{},\"speculating\":{},\"ssb_len\":{},\
              \"ssb_per_epoch\":[{}],\"checkpoints_live\":{},\"checkpoint_capacity\":{},\
-             \"wpq_depth\":{},\"trace_done\":{}}}",
+             \"wpq_depth\":{},\"wpq_next_drain\":{},\"trace_done\":{}}}",
             self.cycle,
             self.rob_head.map(|u| u.kind),
             self.rob_len,
@@ -109,6 +114,8 @@ impl DiagnosticSnapshot {
             self.checkpoints_live,
             self.checkpoint_capacity,
             self.wpq_depth,
+            self.wpq_next_drain
+                .map_or_else(|| "null".to_string(), |t| t.to_string()),
             self.trace_done,
         )
     }
@@ -120,7 +127,7 @@ impl fmt::Display for DiagnosticSnapshot {
             f,
             "cycle {}: rob {} (head {:?}), fetchq {}, lsq {}, store buffer {}, \
              pending flushes/pcommits {}/{}, speculating {}, ssb {} {:?}, \
-             checkpoints {}/{}, wpq {}, trace done {}",
+             checkpoints {}/{}, wpq {} (next drain {:?}), trace done {}",
             self.cycle,
             self.rob_len,
             self.rob_head.map(|u| u.kind),
@@ -135,6 +142,7 @@ impl fmt::Display for DiagnosticSnapshot {
             self.checkpoints_live,
             self.checkpoint_capacity,
             self.wpq_depth,
+            self.wpq_next_drain,
             self.trace_done,
         )
     }

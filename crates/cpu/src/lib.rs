@@ -38,6 +38,8 @@ mod config;
 mod error;
 mod multi;
 mod pipeline;
+#[cfg(any(test, feature = "reference-stepper"))]
+mod reference;
 mod simulator;
 mod stats;
 mod uop;
@@ -48,6 +50,8 @@ pub use config::{CpuConfig, SpConfig};
 pub use error::{DiagnosticSnapshot, SimError, SimErrorKind};
 pub use multi::{MultiCore, MultiCoreError};
 pub use pipeline::Pipeline;
+#[cfg(any(test, feature = "reference-stepper"))]
+pub use reference::ReferencePipeline;
 pub use simulator::Simulator;
 pub use stats::{CpuStats, SimResult};
 pub use uop::{TraceCursor, Uop, UopKind};

@@ -1,24 +1,19 @@
-//! The trace-driven out-of-order pipeline with speculative persistence.
+//! The frozen reference stepper: a verbatim copy of the pipeline as it
+//! stood before the event-driven scheduler refactor.
 //!
-//! A four-wide core (Table 2): fetch queue → ROB/LSQ → out-of-order
-//! issue → in-order retirement. All persistence semantics live at
-//! retirement:
+//! This module exists purely as the correctness oracle for the fast
+//! core. [`ReferencePipeline`] is the pre-refactor [`crate::Pipeline`]
+//! — naive per-cycle scans of the pending persist sets and the full
+//! issue window — kept byte-for-byte so the cycle-equivalence gate
+//! (`cargo test -p spp-bench --test cycle_equivalence`, plus the
+//! proptest in this file) compares the optimized scheduler against the
+//! exact semantics it replaced rather than against itself.
 //!
-//! * stores retire into a post-retirement store buffer that drains to
-//!   the L1D;
-//! * `clwb`/`clflushopt` post a writeback and record its
-//!   global-visibility time; `pcommit` posts a WPQ flush and records its
-//!   acknowledgement time;
-//! * `sfence`/`mfence` retire only once the store buffer is empty and
-//!   every posted persist operation is globally visible — the pipeline
-//!   stall the paper measures.
-//!
-//! With SP enabled, a fence blocked solely on pcommit acknowledgements
-//! takes a checkpoint and retires speculatively (§4): younger stores go
-//! to the SSB (bloom-filter indexed, BLT-tracked), in-shadow PMEM
-//! instructions are delayed into the SSB, `sfence-pcommit-sfence`
-//! sequences consume one checkpoint and one combined SSB opcode, and
-//! epochs commit oldest-first as their pcommits acknowledge.
+//! It is compiled only for tests and behind the `reference-stepper`
+//! feature, so release binaries carry no dead slow path. Do not "fix"
+//! or optimize this file: any intentional timing change to the live
+//! pipeline must land in both, in the same commit, with the equivalence
+//! suite re-run.
 
 use std::collections::VecDeque;
 
@@ -33,7 +28,7 @@ use crate::stats::{CpuStats, SimResult};
 use crate::uop::{TraceCursor, Uop, UopKind};
 
 /// Internal step failure: lightweight so it can be raised inside
-/// borrow-heavy regions; [`Pipeline::step`] attaches the diagnostic
+/// borrow-heavy regions; [`ReferencePipeline::step`] attaches the diagnostic
 /// snapshot when converting it into a [`SimError`].
 #[derive(Debug, Clone, Copy)]
 enum StepErr {
@@ -72,74 +67,6 @@ impl RobEntry {
             EState::Exec(t) => t <= now,
             EState::Waiting => false,
         }
-    }
-}
-
-/// A set of outstanding completion times (posted writeback visibility
-/// or pcommit acknowledgements) with amortized pruning.
-///
-/// The reference stepper keeps these as bare `Vec<Cycle>`s pruned only
-/// at fence retirement; traces that issue pcommits without fences (the
-/// `logp` variants) grow them without bound, and every
-/// `pcommit_outstanding`/`next_event_time` query re-scans the full
-/// history — quadratic in trace length. Entries with `t <= now` can
-/// never influence a query again (every query filters on `t > now` and
-/// `now` is monotone), so dropping them is invisible to timing;
-/// [`prune`](PendingOps::prune) does so in place, only once `now`
-/// reaches the earliest live entry, reusing the same backing storage
-/// for the whole run.
-#[derive(Debug)]
-struct PendingOps {
-    times: Vec<Cycle>,
-    /// Earliest entry (`Cycle::MAX` when empty) — the prune trigger.
-    earliest: Cycle,
-}
-
-impl PendingOps {
-    fn new() -> Self {
-        PendingOps {
-            times: Vec::with_capacity(16),
-            earliest: Cycle::MAX,
-        }
-    }
-
-    fn push(&mut self, t: Cycle) {
-        self.earliest = self.earliest.min(t);
-        self.times.push(t);
-    }
-
-    /// Drops entries that completed at or before `now`.
-    fn prune(&mut self, now: Cycle) {
-        if now < self.earliest {
-            return;
-        }
-        self.times.retain(|&t| t > now);
-        self.earliest = self.times.iter().copied().min().unwrap_or(Cycle::MAX);
-    }
-
-    /// Is any operation still incomplete at `now`?
-    fn outstanding(&self, now: Cycle) -> bool {
-        self.times.iter().any(|&t| t > now)
-    }
-
-    /// Operations still incomplete at `now`.
-    fn outstanding_count(&self, now: Cycle) -> usize {
-        self.times.iter().filter(|&&t| t > now).count()
-    }
-
-    /// Latest outstanding completion, if any.
-    fn last_outstanding(&self, now: Cycle) -> Option<Cycle> {
-        self.times.iter().copied().filter(|&t| t > now).max()
-    }
-
-    /// Earliest outstanding completion, if any (the event reporter).
-    fn next_after(&self, now: Cycle) -> Option<Cycle> {
-        self.times.iter().copied().filter(|&t| t > now).min()
-    }
-
-    fn clear(&mut self) {
-        self.times.clear();
-        self.earliest = Cycle::MAX;
     }
 }
 
@@ -200,12 +127,12 @@ impl SpState {
     }
 }
 
-/// The pipeline simulator. Construct with [`Pipeline::new`], drive with
-/// [`run`](Pipeline::run) (or [`step`](Pipeline::step) /
-/// [`inject_coherence`](Pipeline::inject_coherence) for fine-grained
-/// tests), then read [`result`](Pipeline::result).
+/// The pipeline simulator. Construct with [`ReferencePipeline::new`], drive with
+/// [`run`](ReferencePipeline::run) (or [`step`](ReferencePipeline::step) /
+/// [`inject_coherence`](ReferencePipeline::inject_coherence) for fine-grained
+/// tests), then read [`result`](ReferencePipeline::result).
 #[derive(Debug)]
-pub struct Pipeline<'t> {
+pub struct ReferencePipeline<'t> {
     cfg: CpuConfig,
     cursor: TraceCursor<'t>,
     mem: MemorySystem,
@@ -216,18 +143,10 @@ pub struct Pipeline<'t> {
     next_seq: u64,
     lsq_used: usize,
     last_load_seq: Option<u64>,
-    /// Dispatched-but-unissued micro-ops (their `seq`s, ascending): the
-    /// issue stage walks this instead of rescanning the whole issue
-    /// window every cycle. Invariant: exactly the ROB entries in state
-    /// [`EState::Waiting`].
-    waiting: Vec<u64>,
-    /// `Store` entries currently in the ROB (fast-path gate for the
-    /// store-to-load forwarding scan).
-    rob_stores: usize,
     store_buffer: VecDeque<BlockId>,
     sb_busy: Cycle,
-    pending_flushes: PendingOps,
-    pending_pcommits: PendingOps,
+    pending_flushes: Vec<Cycle>,
+    pending_pcommits: Vec<Cycle>,
     sp: Option<SpState>,
     /// Pipeline-side fault-injection streams (ack return/duplication,
     /// SSB and checkpoint pressure); `None` without a fault plan.
@@ -243,7 +162,7 @@ pub struct Pipeline<'t> {
     fence_stall_open: Option<Cycle>,
 }
 
-impl<'t> Pipeline<'t> {
+impl<'t> ReferencePipeline<'t> {
     /// Builds a pipeline over a recorded event trace with its own
     /// private memory system.
     pub fn new(events: &'t [Event], cfg: CpuConfig) -> Self {
@@ -254,7 +173,7 @@ impl<'t> Pipeline<'t> {
     /// (e.g. one sharing its memory controller with other cores — see
     /// [`crate::MultiCore`]).
     pub fn with_memory(events: &'t [Event], cfg: CpuConfig, mem: MemorySystem) -> Self {
-        Pipeline {
+        ReferencePipeline {
             cursor: TraceCursor::new(events),
             mem,
             now: 0,
@@ -264,12 +183,10 @@ impl<'t> Pipeline<'t> {
             next_seq: 0,
             lsq_used: 0,
             last_load_seq: None,
-            waiting: Vec::with_capacity(cfg.rob_entries),
-            rob_stores: 0,
             store_buffer: VecDeque::with_capacity(cfg.store_buffer),
             sb_busy: 0,
-            pending_flushes: PendingOps::new(),
-            pending_pcommits: PendingOps::new(),
+            pending_flushes: Vec::new(),
+            pending_pcommits: Vec::new(),
             sp: cfg.sp.map(SpState::new),
             faults: cfg.mem.fault.map(|spec| FaultState::new(spec, PIPE_STREAM)),
             last_retire: 0,
@@ -311,7 +228,7 @@ impl<'t> Pipeline<'t> {
     /// # Panics
     ///
     /// Panics if the simulation fails (watchdog, deadlock, or broken
-    /// invariant); use [`Pipeline::try_run`] to handle the error.
+    /// invariant); use [`ReferencePipeline::try_run`] to handle the error.
     pub fn run(self) -> SimResult {
         match self.try_run() {
             Ok(r) => r,
@@ -426,10 +343,6 @@ impl<'t> Pipeline<'t> {
     }
 
     fn step_body(&mut self) -> Result<(), StepErr> {
-        // Amortized drop of completed persist ops — timing-invisible
-        // (see `PendingOps`), keeps every later scan this step short.
-        self.pending_flushes.prune(self.now);
-        self.pending_pcommits.prune(self.now);
         let mut progressed = false;
         progressed |= self.commit_drain()?;
         let retire_block = self.retire()?;
@@ -505,11 +418,10 @@ impl<'t> Pipeline<'t> {
             fetchq_len: self.fetchq.len(),
             store_buffer_len: self.store_buffer.len(),
             lsq_used: self.lsq_used,
-            pending_flushes: self.pending_flushes.outstanding_count(self.now),
-            pending_pcommits: self.pending_pcommits.outstanding_count(self.now),
+            pending_flushes: self.pending_flushes.len(),
+            pending_pcommits: self.pending_pcommits.len(),
             trace_done: self.cursor.is_done(),
             wpq_depth: self.mem.wpq_occupancy(self.now),
-            wpq_next_drain: self.mem.next_completion(self.now),
             ..DiagnosticSnapshot::default()
         };
         if let Some(sp) = &self.sp {
@@ -601,8 +513,6 @@ impl<'t> Pipeline<'t> {
         });
         self.fetchq.clear();
         self.rob.clear();
-        self.waiting.clear();
-        self.rob_stores = 0;
         self.seq_base = self.next_seq;
         self.lsq_used = 0;
         self.last_load_seq = None;
@@ -659,12 +569,6 @@ impl<'t> Pipeline<'t> {
                 UopKind::Compute | UopKind::Load { .. } | UopKind::Store { .. } => EState::Waiting,
                 _ => EState::Ready,
             };
-            if state == EState::Waiting {
-                self.waiting.push(seq);
-            }
-            if matches!(uop.kind, UopKind::Store { .. }) {
-                self.rob_stores += 1;
-            }
             self.rob.push_back(RobEntry {
                 uop,
                 seq,
@@ -678,78 +582,50 @@ impl<'t> Pipeline<'t> {
 
     // ---- issue ----------------------------------------------------------
 
-    /// Issues up to `width` micro-ops from the waiting list.
-    ///
-    /// The list holds the `seq`s of exactly the `Waiting` ROB entries,
-    /// ascending — the same order a front-to-back window scan visits
-    /// them — so decisions (and their fault/memory side effects) are
-    /// identical to the reference stepper's full-window rescan, at the
-    /// cost of the blocked entries only. Issued entries are compacted
-    /// out in place; nothing allocates.
     fn issue(&mut self) -> bool {
-        if self.waiting.is_empty() {
-            return false;
-        }
-        let window = self.cfg.issue_queue.min(self.rob.len());
         let mut issued = 0;
-        let mut kept = 0;
-        let mut scan = 0;
-        while scan < self.waiting.len() {
+        let window = self.cfg.issue_queue.min(self.rob.len());
+        for i in 0..window {
             if issued >= self.cfg.width {
                 break;
             }
-            let seq = self.waiting[scan];
-            let i = (seq - self.seq_base) as usize;
-            if i >= window {
-                // Seqs ascend: everything further is younger still.
-                break;
+            if self.rob[i].state != EState::Waiting {
+                continue;
             }
-            debug_assert_eq!(self.rob[i].seq, seq);
-            debug_assert_eq!(self.rob[i].state, EState::Waiting);
-            let mut done = None;
             match self.rob[i].uop.kind {
-                UopKind::Compute | UopKind::Store { .. } => done = Some(self.now + 1),
-                UopKind::Load { addr, dep } => {
-                    // Dependent loads wait on the previous load in the
-                    // pointer chain (already-retired predecessors count
-                    // as complete).
-                    let blocked = dep
-                        && self.rob[i].prev_load.is_some_and(|prev| {
-                            prev >= self.seq_base
-                                && !self.rob[(prev - self.seq_base) as usize].complete(self.now)
-                        });
-                    if !blocked {
-                        // Store-to-load forwarding from older, unretired
-                        // stores in the window.
-                        let forwarded = self.rob_stores > 0
-                            && self.rob.iter().take(i).any(
-                                |e| matches!(e.uop.kind, UopKind::Store { addr: a } if a == addr),
-                            );
-                        done = Some(if forwarded {
-                            self.stats.lsq_forwards += 1;
-                            self.now + 1
-                        } else {
-                            self.load_completion(addr)
-                        });
-                    }
+                UopKind::Compute | UopKind::Store { .. } => {
+                    self.rob[i].state = EState::Exec(self.now + 1);
+                    issued += 1;
                 }
-                // Barrier/flush kinds dispatch as `Ready` and never
-                // enter the waiting list.
+                UopKind::Load { addr, dep } => {
+                    if dep {
+                        if let Some(prev) = self.rob[i].prev_load {
+                            if prev >= self.seq_base {
+                                let idx = (prev - self.seq_base) as usize;
+                                if !self.rob[idx].complete(self.now) {
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    // Store-to-load forwarding from older, unretired
+                    // stores in the window.
+                    let forwarded = self
+                        .rob
+                        .iter()
+                        .take(i)
+                        .any(|e| matches!(e.uop.kind, UopKind::Store { addr: a } if a == addr));
+                    let done = if forwarded {
+                        self.stats.lsq_forwards += 1;
+                        self.now + 1
+                    } else {
+                        self.load_completion(addr)
+                    };
+                    self.rob[i].state = EState::Exec(done);
+                    issued += 1;
+                }
                 _ => {}
             }
-            if let Some(d) = done {
-                self.rob[i].state = EState::Exec(d);
-                issued += 1;
-            } else {
-                self.waiting[kept] = seq;
-                kept += 1;
-            }
-            scan += 1;
-        }
-        if issued > 0 {
-            let len = self.waiting.len();
-            self.waiting.copy_within(scan..len, kept);
-            self.waiting.truncate(kept + len - scan);
         }
         issued > 0
     }
@@ -796,9 +672,6 @@ impl<'t> Pipeline<'t> {
         self.seq_base = e.seq + 1;
         if e.uop.kind.is_mem() {
             self.lsq_used -= 1;
-        }
-        if matches!(e.uop.kind, UopKind::Store { .. }) {
-            self.rob_stores -= 1;
         }
         self.stats.committed_uops += 1;
         class(&mut self.stats);
@@ -850,7 +723,7 @@ impl<'t> Pipeline<'t> {
     }
 
     fn pcommit_outstanding(&self) -> bool {
-        self.pending_pcommits.outstanding(self.now)
+        self.pending_pcommits.iter().any(|&t| t > self.now)
     }
 
     fn retire(&mut self) -> Result<RetireBlock, StepErr> {
@@ -923,7 +796,11 @@ impl<'t> Pipeline<'t> {
                     } else {
                         let done = self.mem.pcommit(self.now);
                         let done = self.fault_ack(done);
-                        let inflight = 1 + self.pending_pcommits.outstanding_count(self.now) as u64;
+                        let inflight = 1 + self
+                            .pending_pcommits
+                            .iter()
+                            .filter(|&&t| t > self.now)
+                            .count() as u64;
                         self.stats.max_inflight_pcommits =
                             self.stats.max_inflight_pcommits.max(inflight);
                         self.pending_pcommits.push(done);
@@ -1244,8 +1121,10 @@ impl<'t> Pipeline<'t> {
             return Ok(false);
         }
         let now = self.now;
-        let flushes_pending = self.pending_flushes.outstanding(now);
-        let pcommits_pending = self.pending_pcommits.outstanding(now);
+        self.pending_flushes.retain(|&t| t > now);
+        self.pending_pcommits.retain(|&t| t > now);
+        let flushes_pending = !self.pending_flushes.is_empty();
+        let pcommits_pending = !self.pending_pcommits.is_empty();
         let drain_pending = self.ssb_nonempty()
             || self
                 .sp
@@ -1265,9 +1144,9 @@ impl<'t> Pipeline<'t> {
             let resume_idx = head.uop.trace_idx;
             let gate_time = self
                 .pending_flushes
-                .last_outstanding(now)
-                .into_iter()
-                .chain(self.pending_pcommits.last_outstanding(now))
+                .iter()
+                .chain(self.pending_pcommits.iter())
+                .copied()
                 .max()
                 .unwrap_or(now);
             let ckpt_denied = self.checkpoint_alloc_denied();
@@ -1422,7 +1301,8 @@ impl<'t> Pipeline<'t> {
                             self.pending_pcommits.push(done + redelivery);
                         }
                     }
-                    let inflight = 1 + self.pending_pcommits.outstanding_count(now) as u64;
+                    let inflight =
+                        1 + self.pending_pcommits.iter().filter(|&&pt| pt > now).count() as u64;
                     self.stats.max_inflight_pcommits =
                         self.stats.max_inflight_pcommits.max(inflight);
                     if let Some(g) = sp.gates.front_mut() {
@@ -1455,92 +1335,46 @@ impl<'t> Pipeline<'t> {
     }
 
     // ---- idle-time skipping ------------------------------------------------
-    //
-    // The next-event scheduler: on a no-progress cycle each structure
-    // reports the earliest future cycle at which it can change state,
-    // and `step_body` jumps `now` straight to the minimum instead of
-    // ticking through dead cycles. Two classes of waits are deliberately
-    // *not* in the wake set, matching the reference stepper exactly:
-    //
-    // * Memory-controller (WPQ/bank) timers — their completion times
-    //   flow back through the posting interfaces (`access`/`flush`/
-    //   `pcommit` all return absolute cycles), so they are already
-    //   mirrored into the ROB `Exec` times, the pending persist sets,
-    //   and the SP gates. `MemorySystem::next_completion` exposes the
-    //   controller-side view for diagnostics.
-    // * Fault-plan firing points — resource-denial faults are re-drawn
-    //   per attempt, not scheduled; `fault_retry` forces cycle-by-cycle
-    //   stepping whenever such a plan is active, because any retry can
-    //   clear the denial.
-    //
-    // The watchdog deadline is likewise not an event: it is a bound
-    // checked after every jump, so a skip landing past it converts into
-    // the typed watchdog error exactly as cycle-by-cycle stepping would.
-
-    /// Earliest in-flight completion in the ROB after `now`.
-    fn rob_next_event(&self) -> Option<Cycle> {
-        let mut t = None;
-        for e in &self.rob {
-            if let EState::Exec(d) = e.state {
-                if d > self.now && t.is_none_or(|b| d < b) {
-                    t = Some(d);
-                }
-            }
-        }
-        t
-    }
-
-    /// Earliest posted-flush visibility or pcommit acknowledgement
-    /// after `now`.
-    fn pending_next_event(&self) -> Option<Cycle> {
-        match (
-            self.pending_flushes.next_after(self.now),
-            self.pending_pcommits.next_after(self.now),
-        ) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
-    }
-
-    /// Next cycle the store-buffer drain port frees up, if it has work.
-    fn store_buffer_next_event(&self) -> Option<Cycle> {
-        (!self.store_buffer.is_empty() && self.sb_busy > self.now).then_some(self.sb_busy)
-    }
-
-    /// Earliest SP-side event: a commit gate opening, the SSB drain
-    /// port freeing up, or a drained writeback becoming visible.
-    fn sp_next_event(&self) -> Option<Cycle> {
-        let sp = self.sp.as_ref()?;
-        let mut t = None;
-        let mut fold = |c: Cycle| {
-            if c > self.now && t.is_none_or(|b| c < b) {
-                t = Some(c);
-            }
-        };
-        for g in &sp.gates {
-            if let Some(r) = g.ready_at {
-                fold(r);
-            }
-        }
-        if !sp.ssb.is_empty() {
-            fold(sp.drain_busy);
-        }
-        fold(sp.drain_visible_frontier);
-        t
-    }
 
     /// The next cycle at which anything is scheduled to happen, or
     /// `None` when the pipeline is wedged (no progress possible, ever).
     fn next_event_time(&self) -> Option<Cycle> {
-        [
-            self.rob_next_event(),
-            self.pending_next_event(),
-            self.store_buffer_next_event(),
-            self.sp_next_event(),
-        ]
-        .into_iter()
-        .flatten()
-        .min()
+        let mut t = Cycle::MAX;
+        for e in &self.rob {
+            if let EState::Exec(d) = e.state {
+                if d > self.now {
+                    t = t.min(d);
+                }
+            }
+        }
+        for &p in self
+            .pending_flushes
+            .iter()
+            .chain(self.pending_pcommits.iter())
+        {
+            if p > self.now {
+                t = t.min(p);
+            }
+        }
+        if !self.store_buffer.is_empty() && self.sb_busy > self.now {
+            t = t.min(self.sb_busy);
+        }
+        if let Some(sp) = &self.sp {
+            for g in &sp.gates {
+                if let Some(r) = g.ready_at {
+                    if r > self.now {
+                        t = t.min(r);
+                    }
+                }
+            }
+            if !sp.ssb.is_empty() && sp.drain_busy > self.now {
+                t = t.min(sp.drain_busy);
+            }
+            if sp.drain_visible_frontier > self.now {
+                t = t.min(sp.drain_visible_frontier);
+            }
+        }
+        (t != Cycle::MAX).then_some(t)
     }
 }
 
@@ -1556,12 +1390,44 @@ struct RetireBlock {
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
-    //! Regression pin for the DESIGN §7 bloom-reset invariant: the
-    //! filter resets only once the post-exit drain finishes, so a store
-    //! still buffered in the SSB can never lose its filter bits (which
-    //! would be a false negative — a missed store-to-load forward).
+    //! The in-crate half of the cycle-equivalence gate: the fast
+    //! skip-ahead [`crate::Pipeline`] must reproduce this frozen
+    //! stepper's `SimResult` exactly — cycles, every counter, and crash
+    //! verdicts — over random traces, fault plans, and rollbacks. The
+    //! full 7×4 bench grid runs in `spp-bench`
+    //! (`tests/cycle_equivalence.rs`); the properties here cover the
+    //! corners a fixed grid misses.
 
     use super::*;
+    use crate::Pipeline;
+    use proptest::prelude::*;
+    use spp_mem::{FaultSpec, MemConfig};
+
+    fn with_plan(base: CpuConfig, plan: Option<FaultSpec>) -> CpuConfig {
+        CpuConfig {
+            mem: MemConfig {
+                fault: plan,
+                ..base.mem
+            },
+            ..base
+        }
+    }
+
+    /// Runs both steppers and asserts exact `SimResult` equality (or,
+    /// on failure, the same error kind).
+    fn assert_equivalent(events: &[Event], cfg: CpuConfig) {
+        let fast = Pipeline::new(events, cfg).try_run();
+        let slow = ReferencePipeline::new(events, cfg).try_run();
+        match (fast, slow) {
+            (Ok(f), Ok(s)) => assert_eq!(f, s, "SimResult diverged (sp={})", cfg.sp.is_some()),
+            (Err(f), Err(s)) => assert_eq!(f.kind, s.kind, "error kind diverged"),
+            (f, s) => panic!(
+                "verdict diverged: fast={:?} reference={:?}",
+                f.map(|r| r.cpu.cycles),
+                s.map(|r| r.cpu.cycles)
+            ),
+        }
+    }
 
     fn barrier_trace(n: u64) -> Vec<Event> {
         let mut ev = Vec::new();
@@ -1576,9 +1442,6 @@ mod tests {
             ev.push(Event::Sfence);
             ev.push(Event::Pcommit);
             ev.push(Event::Sfence);
-            // Several stores in the fence shadow keep the SSB occupied
-            // across epoch boundaries, so the post-exit drain spans
-            // multiple cycles (the window the invariant is about).
             for j in 0..4 {
                 let b = PAddr::new(1 << 20 | (4096 + (i * 4 + j) * 64));
                 ev.push(Event::Store {
@@ -1592,298 +1455,122 @@ mod tests {
         ev
     }
 
-    /// Every store currently buffered in the SSB must still be
-    /// bloom-positive; otherwise a load could skip the CAM search and
-    /// miss a forward.
-    fn assert_no_false_negatives(p: &Pipeline<'_>) {
-        let sp = p.sp.as_ref().expect("SP enabled");
-        for e in sp.ssb.iter() {
-            if let SsbOp::Store { addr } = e.op {
-                assert!(
-                    sp.bloom.contains(addr),
-                    "cycle {}: buffered SSB store {addr} lost its bloom bits",
-                    p.now
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn bloom_bits_survive_until_post_exit_drain_finishes() {
-        let t = barrier_trace(40);
-        let mut p = Pipeline::new(&t, CpuConfig::with_sp());
-        let mut mid_drain_windows = 0u64;
-        while !p.is_done() {
-            p.step().unwrap();
-            assert_no_false_negatives(&p);
-            let sp = p.sp.as_ref().expect("SP enabled");
-            // The dangerous window: speculation has ended but entries
-            // are still draining. A premature reset here is exactly
-            // what the invariant forbids.
-            if !sp.speculating && !sp.ssb.is_empty() {
-                mid_drain_windows += 1;
-                assert!(
-                    sp.bloom_dirty,
-                    "cycle {}: filter reset while {} SSB entries were still draining",
-                    p.now,
-                    sp.ssb.len()
-                );
-            }
-        }
-        assert!(
-            mid_drain_windows > 0,
-            "trace never exercised a post-exit drain window; the test is vacuous"
-        );
-        let sp = p.sp.as_ref().expect("SP enabled");
-        assert!(sp.ssb.is_empty());
-        assert!(
-            !sp.bloom_dirty,
-            "drained pipeline must end with a clean filter"
-        );
-        assert!(
-            p.result().bloom.resets > 0,
-            "speculation exits must actually reset the filter"
-        );
-    }
-
-    #[test]
-    fn rollback_keeps_surviving_entries_bloom_positive() {
-        // A coherence-triggered rollback flushes the squashed epochs'
-        // entries but spares committed, still-draining ones — and must
-        // not reset the filter while any survivor is buffered.
-        let t = barrier_trace(40);
-        let mut p = Pipeline::new(&t, CpuConfig::with_sp());
-        let mut rolled_back = false;
-        for i in 0.. {
-            if p.is_done() {
-                break;
-            }
-            p.step().unwrap();
-            assert_no_false_negatives(&p);
-            if i % 7 == 0 {
-                // Snoop a block a speculative store may have touched.
-                let addr = PAddr::new(1 << 20 | (4096 + (i / 7 % 40) * 64));
-                if p.inject_coherence(addr.block()) {
-                    rolled_back = true;
-                    assert_no_false_negatives(&p);
-                }
-            }
-        }
-        assert!(rolled_back, "no rollback triggered; the test is vacuous");
-    }
-
-    // ---- fault injection & forward progress -----------------------------
-
-    use spp_mem::{FaultSpec, MemConfig};
-
-    fn simulate(events: &[Event], cfg: &CpuConfig) -> SimResult {
-        crate::Simulator::new(events).config(*cfg).run().unwrap()
-    }
-
-    fn with_plan(base: CpuConfig, plan: FaultSpec) -> CpuConfig {
-        CpuConfig {
-            mem: MemConfig {
-                fault: Some(plan),
-                ..base.mem
-            },
-            ..base
-        }
-    }
-
-    fn committed_classes(r: &SimResult) -> [u64; 6] {
-        [
-            r.cpu.committed_uops,
-            r.cpu.loads,
-            r.cpu.stores,
-            r.cpu.flushes,
-            r.cpu.pcommits,
-            r.cpu.fences,
-        ]
-    }
-
-    /// The faultsim invariant at pipeline granularity: timing faults may
-    /// move cycle counts but never the committed architectural work.
-    #[test]
-    fn timing_faults_never_change_committed_work() {
-        let t = barrier_trace(30);
-        for base in [CpuConfig::baseline(), CpuConfig::with_sp()] {
-            let clean = Pipeline::new(&t, base).try_run().unwrap();
-            for plan in [FaultSpec::quiet(3), FaultSpec::storm(3)] {
-                let faulty = Pipeline::new(&t, with_plan(base, plan)).try_run().unwrap();
-                assert_eq!(
-                    committed_classes(&clean),
-                    committed_classes(&faulty),
-                    "plan {plan:?} changed architectural work (sp={})",
-                    base.sp.is_some()
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn storm_plan_actually_injects_and_costs_cycles() {
-        let t = barrier_trace(30);
-        let clean = Pipeline::new(&t, CpuConfig::with_sp()).try_run().unwrap();
-        let faulty = Pipeline::new(&t, with_plan(CpuConfig::with_sp(), FaultSpec::storm(3)))
-            .try_run()
-            .unwrap();
-        assert!(faulty.faults.total() > 0, "storm must fire");
-        assert_eq!(clean.faults.total(), 0);
-        assert!(
-            faulty.cpu.cycles > clean.cpu.cycles,
-            "storm faults must cost cycles ({} vs {})",
-            faulty.cpu.cycles,
-            clean.cpu.cycles
-        );
-    }
-
-    /// Satellite regression: an sfence arriving while all four
-    /// checkpoint-buffer entries are live must stall the ROB head
-    /// cleanly (attributed to the checkpoint buffer) and resume once a
-    /// predecessor commits — constructed directly rather than hoping a
-    /// trace reaches the state.
-    #[test]
-    fn sfence_with_full_checkpoint_buffer_stalls_cleanly() {
-        let t = vec![Event::Sfence, Event::Compute(8)];
-        let mut p = Pipeline::new(&t, CpuConfig::with_sp());
-        {
-            let sp = p.sp.as_mut().unwrap();
-            for i in 0..4u64 {
-                let id = sp.epochs.begin(0, 0).unwrap();
-                sp.gates.push_back(Gate {
-                    epoch: id,
-                    ready_at: Some(1_000 + i * 500),
-                    needs_prior_drain: false,
-                });
-                sp.retired_per_epoch.push_back((id, 0));
-            }
-            assert!(!sp.epochs.can_begin(), "all four checkpoints are live");
-            sp.speculating = true;
-        }
-        while !p.is_done() {
-            p.step().unwrap();
-        }
-        let r = p.result();
-        assert!(
-            r.cpu.checkpoint_stall_cycles > 0,
-            "the head fence must attribute its stall to the checkpoint buffer"
-        );
-        assert_eq!(r.cpu.fences, 1);
-        assert_eq!(r.cpu.committed_uops, 9);
-    }
-
-    /// Satellite regression: a constructed livelock — the core is
-    /// mid-speculation with its only epoch gated on a combined-barrier
-    /// pcommit that will never issue, and the wedge plan denies the head
-    /// fence's checkpoint on every retry — must be converted by the
-    /// watchdog into a typed error with a populated snapshot, not a
-    /// hang.
-    #[test]
-    fn watchdog_converts_wedged_pipeline_into_typed_error() {
-        let t = vec![Event::Sfence, Event::Compute(8)];
-        let cfg = CpuConfig {
-            watchdog_cycles: 5_000,
-            ..with_plan(CpuConfig::with_sp(), FaultSpec::wedge(1))
-        };
-        let mut p = Pipeline::new(&t, cfg);
-        {
-            let sp = p.sp.as_mut().unwrap();
-            let id = sp.epochs.begin(0, 0).unwrap();
-            sp.gates.push_back(Gate {
-                epoch: id,
-                ready_at: None,
-                needs_prior_drain: false,
+    /// `logp`-shaped trace (pcommits, no fences): the shape whose
+    /// unbounded pending sets the fast core prunes — exactly where an
+    /// over-eager prune would first diverge.
+    fn logp_trace(n: u64) -> Vec<Event> {
+        let mut ev = Vec::new();
+        for i in 0..n {
+            let a = PAddr::new(4096 + (i % 64) * 64);
+            ev.push(Event::Store {
+                addr: a,
+                size: 8,
+                value: i,
             });
-            sp.retired_per_epoch.push_back((id, 0));
-            sp.speculating = true;
+            ev.push(Event::Clwb { addr: a });
+            ev.push(Event::Pcommit);
+            ev.push(Event::Compute(4));
         }
-        let err = loop {
-            match p.step() {
-                Ok(()) => assert!(!p.is_done(), "livelock fixture must not finish"),
-                Err(e) => break e,
+        ev
+    }
+
+    #[test]
+    fn directed_traces_match_across_configs_and_plans() {
+        for events in [barrier_trace(40), logp_trace(200)] {
+            for base in [CpuConfig::baseline(), CpuConfig::with_sp()] {
+                for plan in [None, Some(FaultSpec::quiet(3)), Some(FaultSpec::storm(3))] {
+                    assert_equivalent(&events, with_plan(base, plan));
+                }
             }
-        };
-        assert_eq!(
-            err.kind,
-            crate::SimErrorKind::NoRetireProgress { bound: 5_000 }
-        );
-        let s = &err.snapshot;
-        assert!(s.cycle > 5_000);
-        assert!(s.rob_head.is_some(), "the stuck uop must be identified");
-        assert!(s.speculating);
-        assert_eq!(s.checkpoints_live, 1);
-        assert_eq!(s.checkpoint_capacity, 4);
-        let msg = err.to_string();
-        assert!(msg.contains("no retirement progress"), "got: {msg}");
-        assert!(msg.contains("checkpoints"), "got: {msg}");
+        }
     }
 
-    /// Satellite: SSB overflow under injected pressure (a tiny SSB plus
-    /// a plan that holds most slots) still commits exactly the fault-free
-    /// architectural work.
+    /// Lockstep equality: both steppers must agree on *every*
+    /// intermediate cycle (not just the final result), including across
+    /// coherence-triggered rollbacks injected at identical points.
     #[test]
-    fn ssb_overflow_under_fault_pressure_keeps_committed_work_identical() {
-        let t = barrier_trace(30);
-        let small = CpuConfig {
-            sp: Some(SpConfig::with_ssb_entries(32)),
-            ..CpuConfig::baseline()
-        };
-        let clean = Pipeline::new(&t, small).try_run().unwrap();
-        let plan = FaultSpec {
-            ssb_pressure_pm: 300,
-            ssb_held_slots: 28,
-            ..FaultSpec::none(11)
-        };
-        let faulty = Pipeline::new(&t, with_plan(small, plan)).try_run().unwrap();
-        assert_eq!(committed_classes(&clean), committed_classes(&faulty));
-        assert!(faulty.faults.ssb_pressure > 0, "pressure must fire");
-    }
-
-    /// Satellite: a rollback landing while ack-delay faults hold the
-    /// drain mid-epoch must stay sound — no bloom false negatives, and
-    /// the same committed work as a fault-free run (extends the PR 2
-    /// bloom-reset soundness tests).
-    #[test]
-    fn rollback_with_fault_delayed_drain_stays_sound() {
+    fn lockstep_with_rollbacks_stays_cycle_identical() {
         let t = barrier_trace(40);
-        let plan = FaultSpec {
-            ack_delay_pm: 400,
-            ack_delay_max: 3_000,
-            ..FaultSpec::none(13)
-        };
-        let mut p = Pipeline::new(&t, with_plan(CpuConfig::with_sp(), plan));
+        let cfg = CpuConfig::with_sp();
+        let mut fast = Pipeline::new(&t, cfg);
+        let mut slow = ReferencePipeline::new(&t, cfg);
         let mut rolled = false;
-        for i in 0.. {
-            if p.is_done() {
+        for i in 0..200_000 {
+            if fast.is_done() {
                 break;
             }
-            p.step().unwrap();
-            assert_no_false_negatives(&p);
+            fast.step().unwrap();
+            slow.step().unwrap();
+            assert_eq!(fast.now(), slow.now(), "clocks diverged at step {i}");
             if i % 7 == 0 {
                 let addr = PAddr::new(1 << 20 | (4096 + (i / 7 % 40) * 64));
-                if p.inject_coherence(addr.block()) {
-                    rolled = true;
-                    assert_no_false_negatives(&p);
-                }
+                let a = fast.inject_coherence(addr.block());
+                let b = slow.inject_coherence(addr.block());
+                assert_eq!(a, b, "rollback verdicts diverged at step {i}");
+                rolled |= a;
             }
         }
         assert!(rolled, "no rollback triggered; the test is vacuous");
-        let r = p.result();
-        assert!(r.faults.ack_delays > 0, "the plan must actually delay acks");
-        let clean = simulate(&t, &CpuConfig::with_sp());
-        assert_eq!(r.cpu.committed_uops, clean.cpu.committed_uops);
+        assert!(fast.is_done() && slow.is_done());
+        assert_eq!(fast.result(), slow.result());
     }
 
-    /// Identical plans and traces give identical results — the
-    /// `--jobs`-invariance precondition at the pipeline level.
+    /// A wedged machine must fail identically (typed watchdog error at
+    /// the same bound), not just a healthy one succeed identically.
     #[test]
-    fn faulted_runs_are_deterministic() {
-        let t = barrier_trace(20);
-        let cfg = with_plan(CpuConfig::with_sp(), FaultSpec::storm(42));
-        let a = Pipeline::new(&t, cfg).try_run().unwrap();
-        let b = Pipeline::new(&t, cfg).try_run().unwrap();
-        assert_eq!(a.cpu.cycles, b.cpu.cycles);
-        assert_eq!(a.faults, b.faults);
-        assert_eq!(committed_classes(&a), committed_classes(&b));
+    fn watchdog_verdicts_match() {
+        let t = vec![Event::Sfence, Event::Compute(8)];
+        let cfg = CpuConfig {
+            watchdog_cycles: 5_000,
+            ..with_plan(CpuConfig::with_sp(), Some(FaultSpec::wedge(1)))
+        };
+        assert_equivalent(&t, cfg);
+    }
+
+    // ---- random traces (proptest) -----------------------------------
+
+    fn arb_event() -> impl Strategy<Value = Event> {
+        let addr = (0u64..64).prop_map(|b| PAddr::new(4096 + b * 64 + 8 * (b % 8)));
+        prop_oneof![
+            (1u32..20).prop_map(Event::Compute),
+            (addr.clone(), any::<bool>()).prop_map(|(addr, dep)| Event::Load {
+                addr,
+                size: 8,
+                dep
+            }),
+            (addr.clone(), 0u64..1000).prop_map(|(addr, value)| Event::Store {
+                addr,
+                size: 8,
+                value
+            }),
+            addr.clone().prop_map(|a| Event::Clwb { addr: a }),
+            addr.clone().prop_map(|a| Event::ClflushOpt { addr: a }),
+            addr.prop_map(|a| Event::Clflush { addr: a }),
+            Just(Event::Pcommit),
+            Just(Event::Sfence),
+            Just(Event::Mfence),
+        ]
+    }
+
+    fn arb_plan() -> impl Strategy<Value = Option<FaultSpec>> {
+        prop_oneof![
+            Just(None),
+            (0u64..1 << 48).prop_map(|s| Some(FaultSpec::quiet(s))),
+            (0u64..1 << 48).prop_map(|s| Some(FaultSpec::storm(s))),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn random_traces_are_cycle_equivalent(
+            events in proptest::collection::vec(arb_event(), 0..400),
+            sp in any::<bool>(),
+            plan in arb_plan(),
+        ) {
+            let base = if sp { CpuConfig::with_sp() } else { CpuConfig::baseline() };
+            assert_equivalent(&events, with_plan(base, plan));
+        }
     }
 }

@@ -264,6 +264,12 @@ impl MemorySystem {
         self.mc.borrow_mut().wpq_occupancy(now)
     }
 
+    /// Earliest in-flight WPQ completion strictly after `now`, if any
+    /// (see [`MemCtrl::next_completion`]).
+    pub fn next_completion(&self, now: Cycle) -> Option<Cycle> {
+        self.mc.borrow().next_completion(now)
+    }
+
     /// Hierarchy statistics.
     pub fn stats(&self) -> MemStats {
         self.stats

@@ -25,6 +25,9 @@ pub struct McStats {
     pub wpq_stall_cycles: u64,
     /// Maximum WPQ occupancy observed at admission.
     pub wpq_high_water: usize,
+    /// Admissions that found every WPQ slot fault-held (full occlusion):
+    /// the writeback stalled until the queue drained completely.
+    pub wpq_occlusions: u64,
     /// `pcommit` operations issued.
     pub pcommits: u64,
     /// Total cycles from `pcommit` issue to completion.
@@ -104,6 +107,17 @@ impl MemCtrl {
         self.inflight.len()
     }
 
+    /// Earliest in-flight WPQ completion strictly after `now`, if any —
+    /// the controller's next-event report. The pipeline scheduler does
+    /// not need to poll this (every posting interface already returns
+    /// absolute completion times that it mirrors into its own event
+    /// set); it exists for diagnostics and external harnesses.
+    pub fn next_completion(&self, now: Cycle) -> Option<Cycle> {
+        // `inflight` is monotone in admission order, so the first
+        // not-yet-drained entry is the earliest.
+        self.inflight.iter().copied().find(|&d| d > now)
+    }
+
     /// Admits a block writeback arriving at the controller at `arrival`.
     /// Returns `(admitted_at, durable_at)`: the writeback is globally
     /// visible at `admitted_at` (it may first wait for a WPQ slot) and
@@ -112,18 +126,29 @@ impl MemCtrl {
         let arrival = self.clamp_time(arrival);
         self.drop_completed(arrival);
         // Transient WPQ backpressure: held slots shrink the queue for
-        // this admission only (at least one slot always remains).
+        // this admission only. Full occlusion (`held >= wpq_entries`) is
+        // a typed outcome, not a silent 1-slot floor: the admission
+        // stalls until the queue drains completely, the wait lands in
+        // `wpq_stall_cycles`, and `wpq_occlusions` counts the event.
         let mut entries = self.cfg.wpq_entries;
         if let Some(f) = &mut self.faults {
             if let Some(Fault::WpqBackpressure { held }) = f.draw(FaultSite::WpqAdmit) {
-                entries = entries.saturating_sub(held).max(1);
+                entries = entries.saturating_sub(held);
             }
         }
         let mut admitted = arrival;
+        if entries == 0 {
+            self.stats.wpq_occlusions += 1;
+        }
         if self.inflight.len() >= entries {
-            // Wait for the oldest in-flight write to drain (FIFO slots).
-            let idx = self.inflight.len() - entries;
-            let free_at = self.inflight[idx];
+            let free_at = if entries == 0 {
+                // Every slot is held away: wait out the whole queue.
+                self.inflight.back().copied().unwrap_or(arrival)
+            } else {
+                // Wait for the oldest in-flight write to drain (FIFO
+                // slots).
+                self.inflight[self.inflight.len() - entries]
+            };
             admitted = admitted.max(free_at);
             self.stats.wpq_stall_cycles += free_at.saturating_sub(arrival);
         }
@@ -335,6 +360,42 @@ mod tests {
         );
     }
 
+    /// Satellite regression: a plan holding at least every WPQ slot
+    /// (`held >= wpq_entries`) must stall the admission until the queue
+    /// drains completely — the silent `.max(1)` floor used to let it
+    /// sneak through a phantom slot.
+    #[test]
+    fn fully_occluded_wpq_stalls_until_complete_drain() {
+        let cfg = MemConfig {
+            nvmm_banks: 1,
+            wpq_entries: 2,
+            // pm 1000: the backpressure site fires on every admission,
+            // and 8 held slots occlude the 2-entry queue outright.
+            fault: Some(crate::FaultSpec {
+                wpq_pressure_pm: 1000,
+                wpq_held_slots: 8,
+                ..crate::FaultSpec::none(3)
+            }),
+            ..MemConfig::paper()
+        };
+        let mut m = MemCtrl::try_new(cfg).unwrap();
+        // Empty queue: nothing to drain, the occluded admission still
+        // proceeds at arrival (no wedge on an idle controller).
+        let (a0, d0) = m.write_back(0);
+        assert_eq!((a0, d0), (0, 315));
+        // Occupied queue: the next admission waits for *every* in-flight
+        // write, not just for capacity-minus-one of them.
+        let (a1, d1) = m.write_back(1);
+        assert_eq!(a1, d0, "occluded admission must wait out the full drain");
+        assert_eq!(d1, d0 + 315);
+        let s = m.stats();
+        assert_eq!(s.wpq_occlusions, 2);
+        assert!(s.wpq_stall_cycles >= 314);
+        // The controller's next-event report tracks the queue.
+        assert_eq!(m.next_completion(0), Some(315));
+        assert_eq!(m.next_completion(d1), None);
+    }
+
     #[test]
     fn probe_observes_pcommit_and_wpq_without_changing_timing() {
         use spp_obs::{Collector, ProbeHandle};
@@ -352,7 +413,7 @@ mod tests {
         assert_eq!(s.pcommits, 1);
         assert_eq!(s.wpq.transitions, 20);
         assert_eq!(s.wpq.capacity, 8);
-        assert!(s.pcommit_latency.max > 0);
+        assert!(s.pcommit_latency.max.is_some_and(|m| m > 0));
     }
 
     #[test]

@@ -58,6 +58,10 @@ impl StallProfile {
 }
 
 /// Distribution summary of a latency-like quantity (cycles).
+///
+/// The order statistics are `None` when nothing was observed — "no
+/// pcommits at all" and "pcommits of zero cycles" are different facts,
+/// and the profile renders them differently (`-` vs `0`).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencySummary {
     /// Observations (exact).
@@ -65,13 +69,13 @@ pub struct LatencySummary {
     /// Exact mean.
     pub mean: f64,
     /// Median of the retained reservoir sample.
-    pub p50: u64,
+    pub p50: Option<u64>,
     /// 95th percentile of the retained sample.
-    pub p95: u64,
+    pub p95: Option<u64>,
     /// 99th percentile of the retained sample.
-    pub p99: u64,
+    pub p99: Option<u64>,
     /// Exact maximum.
-    pub max: u64,
+    pub max: Option<u64>,
 }
 
 impl LatencySummary {
@@ -132,6 +136,10 @@ impl OccupancyTrack {
         if self.first_now.is_none() {
             self.first_now = Some(now);
         } else {
+            // ordered-by: occupancy observations arrive in simulation
+            // order from a single machine, so `now >= last_now`; a
+            // clamped dwell only shortens one weighting interval and
+            // cannot fabricate latency the way a clamped delta would.
             let dwell = now.saturating_sub(self.last_now);
             self.area += u128::from(dwell) * self.last_occ as u128;
         }
@@ -144,6 +152,8 @@ impl OccupancyTrack {
     }
 
     fn summary(&self) -> OccupancySummary {
+        // ordered-by: `last_now` is monotone over `observe` calls, so it
+        // can never precede the first observation's stamp.
         let span = self
             .first_now
             .map(|f| self.last_now.saturating_sub(f))
@@ -190,6 +200,10 @@ pub struct ProfileSummary {
     pub pcommits: u64,
     /// Chrome spans dropped once the exporter cap was reached.
     pub spans_dropped: u64,
+    /// Timestamp pairs rejected because they arrived out of order
+    /// (end before start). Non-zero means the producer misordered its
+    /// probe stream and the handle was poisoned at the first offence.
+    pub dropped_out_of_order: u64,
 }
 
 /// The built-in metrics consumer: feed it the event stream, then read
@@ -213,6 +227,7 @@ pub struct Collector {
     pcommits: u64,
     spans: Vec<TraceSpan>,
     spans_dropped: u64,
+    dropped_out_of_order: u64,
     open_fence: Option<Cycle>,
 }
 
@@ -242,6 +257,7 @@ impl Collector {
             pcommits: 0,
             spans: Vec::new(),
             spans_dropped: 0,
+            dropped_out_of_order: 0,
             open_fence: None,
         }
     }
@@ -250,6 +266,27 @@ impl Collector {
     /// `ProbeHandle::new`, keep the other to read results after the run.
     pub fn shared() -> SharedCollector {
         Rc::new(RefCell::new(Collector::new()))
+    }
+
+    /// `end - start`, panicking on a misordered pair after counting it
+    /// in `dropped_out_of_order`.
+    ///
+    /// The panic is deliberate: it unwinds to the emission boundary
+    /// (`ProbeHandle::emit`), which poisons the handle and stops
+    /// delivery — the established panic-isolation path. The old
+    /// `saturating_sub` behaviour instead recorded the misordered pair
+    /// as a 0-cycle latency, silently dragging every distribution
+    /// toward zero. The counter is bumped *before* unwinding so a
+    /// caller holding the shared collector can still see how many
+    /// offences occurred.
+    fn checked_delta(&mut self, what: &str, start: Cycle, end: Cycle) -> Cycle {
+        match end.checked_sub(start) {
+            Some(d) => d,
+            None => {
+                self.dropped_out_of_order += 1;
+                panic!("out-of-order {what} timestamps: start {start} after end {end}");
+            }
+        }
     }
 
     fn push_span(&mut self, span: TraceSpan) {
@@ -275,6 +312,7 @@ impl Collector {
             rollbacks: self.rollbacks,
             pcommits: self.pcommits,
             spans_dropped: self.spans_dropped,
+            dropped_out_of_order: self.dropped_out_of_order,
         }
     }
 
@@ -301,11 +339,12 @@ impl Probe for Collector {
                 began_at,
             } => {
                 self.epochs_committed += 1;
-                self.epoch_duration.offer(now.saturating_sub(began_at));
+                let dur = self.checked_delta("epoch begin/commit", began_at, now);
+                self.epoch_duration.offer(dur);
                 self.push_span(TraceSpan {
                     tid: 0,
                     start: began_at,
-                    dur: now.saturating_sub(began_at),
+                    dur,
                     name: "epoch",
                     arg: epoch,
                 });
@@ -315,7 +354,7 @@ impl Probe for Collector {
             }
             ProbeEvent::PcommitIssue { now, ack_at } => {
                 self.pcommits += 1;
-                let lat = ack_at.saturating_sub(now);
+                let lat = self.checked_delta("pcommit issue/ack", now, ack_at);
                 self.pcommit_latency.offer(lat);
                 self.push_span(TraceSpan {
                     tid: 1,
@@ -330,10 +369,12 @@ impl Probe for Collector {
             }
             ProbeEvent::FenceStallEnd { now, stalled } => {
                 self.fence_episode.offer(stalled);
-                let start = self
-                    .open_fence
-                    .take()
-                    .unwrap_or(now.saturating_sub(stalled));
+                // Without a matching begin, reconstruct the start from
+                // the episode length — which must fit before `now`.
+                let start = match self.open_fence.take() {
+                    Some(s) => s,
+                    None => self.checked_delta("fence stall end", stalled, now),
+                };
                 self.push_span(TraceSpan {
                     tid: 2,
                     start,
@@ -413,7 +454,7 @@ mod tests {
         assert_eq!(s.epochs_committed, 1);
         assert_eq!(s.rollbacks, 1);
         assert_eq!(s.epoch_duration.count, 1);
-        assert_eq!(s.epoch_duration.max, 300);
+        assert_eq!(s.epoch_duration.max, Some(300));
         assert_eq!(c.spans().len(), 1);
         assert_eq!(c.spans()[0].dur, 300);
     }
@@ -429,9 +470,50 @@ mod tests {
         }
         let s = c.summary().pcommit_latency;
         assert_eq!(s.count, 3);
-        assert_eq!(s.max, 300);
+        assert_eq!(s.max, Some(300));
         assert!((s.mean - 200.0).abs() < 1e-9);
-        assert_eq!(s.p50, 200);
+        assert_eq!(s.p50, Some(200));
+    }
+
+    #[test]
+    fn never_observed_distributions_summarize_as_none() {
+        let c = Collector::new();
+        let s = c.summary().pcommit_latency;
+        assert_eq!(s.count, 0);
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (None, None, None, None));
+    }
+
+    #[test]
+    fn misordered_probe_stream_poisons_the_handle_and_is_counted() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        use crate::probe::ProbeHandle;
+
+        let shared: Rc<RefCell<Collector>> = Collector::shared();
+        let h = ProbeHandle::new(shared.clone());
+        // Silence the default hook's backtrace spew for the expected
+        // panic; restore it afterwards (same pattern as probe.rs).
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        // ack_at earlier than issue: previously recorded as 0-cycle
+        // latency, now rejected at the emission boundary.
+        h.emit(ProbeEvent::PcommitIssue {
+            now: 1000,
+            ack_at: 900,
+        });
+        std::panic::set_hook(hook);
+        assert!(h.is_poisoned(), "misordered stream must poison");
+        let s = shared.borrow().summary();
+        assert_eq!(s.dropped_out_of_order, 1);
+        // The bad pair never reached the distribution.
+        assert_eq!(s.pcommit_latency.count, 0);
+        // Delivery stopped: a later well-formed event is dropped.
+        h.emit(ProbeEvent::PcommitIssue {
+            now: 2000,
+            ack_at: 2100,
+        });
+        assert_eq!(shared.borrow().summary().pcommit_latency.count, 0);
     }
 
     #[test]

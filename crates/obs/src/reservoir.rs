@@ -77,21 +77,29 @@ impl Reservoir {
         }
     }
 
-    /// Exact maximum over every offered observation; 0 when empty.
-    pub fn max(&self) -> u64 {
-        self.max
+    /// Exact maximum over every offered observation, or `None` when the
+    /// reservoir is empty — a true zero sample ("instant pcommit") and
+    /// "no samples at all" are different answers, and callers render
+    /// them differently.
+    pub fn max(&self) -> Option<u64> {
+        (self.offered > 0).then_some(self.max)
     }
 
     /// The `p`-th percentile (0.0..=1.0) of the retained sample, by
-    /// nearest-rank on the sorted retained set; 0 when empty.
-    pub fn percentile(&self, p: f64) -> u64 {
+    /// nearest-rank on the sorted retained set; `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
         if self.samples.is_empty() {
-            return 0;
+            return None;
         }
         let mut sorted = self.samples.clone();
         sorted.sort_unstable();
         let rank = (p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// Returns `true` if no observation has ever been offered.
+    pub fn is_empty(&self) -> bool {
+        self.offered == 0
     }
 
     /// Samples currently retained.
@@ -112,7 +120,7 @@ mod tests {
             r.offer(v);
         }
         assert_eq!(r.count(), 1000);
-        assert_eq!(r.max(), 1000);
+        assert_eq!(r.max(), Some(1000));
         assert!((r.mean() - 500.5).abs() < 1e-9);
         assert!(r.retained() <= 16);
     }
@@ -123,8 +131,8 @@ mod tests {
         for v in 0..10_000u64 {
             r.offer(v);
         }
-        let p50 = r.percentile(0.50);
-        let p99 = r.percentile(0.99);
+        let p50 = r.percentile(0.50).unwrap();
+        let p99 = r.percentile(0.99).unwrap();
         // Systematic sampling of a ramp keeps quantiles within a couple
         // of strides of truth.
         assert!((4000..=6000).contains(&p50), "p50={p50}");
@@ -145,12 +153,22 @@ mod tests {
     }
 
     #[test]
-    fn empty_reservoir_is_all_zeros() {
+    fn empty_reservoir_reports_none_not_zero() {
         let r = Reservoir::new(8);
+        assert!(r.is_empty());
         assert_eq!(r.count(), 0);
-        assert_eq!(r.max(), 0);
+        assert_eq!(r.max(), None);
         assert_eq!(r.mean(), 0.0);
-        assert_eq!(r.percentile(0.5), 0);
+        assert_eq!(r.percentile(0.5), None);
+    }
+
+    #[test]
+    fn true_zero_samples_are_distinguishable_from_empty() {
+        let mut r = Reservoir::new(8);
+        r.offer(0);
+        assert!(!r.is_empty());
+        assert_eq!(r.max(), Some(0));
+        assert_eq!(r.percentile(0.5), Some(0));
     }
 
     #[test]

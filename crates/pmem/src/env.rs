@@ -15,6 +15,7 @@ use std::collections::HashSet;
 
 use crate::addr::{blocks_covering, BlockId, PAddr, BLOCK_SIZE};
 use crate::event::{Event, Trace};
+use crate::hash::FastHashBuilder;
 use crate::space::Space;
 use crate::undo::{LogLayout, INDEX_STRIDE};
 use crate::variant::Variant;
@@ -57,7 +58,7 @@ enum TxState {
 /// assert_eq!(env.space().read_u64(node), 42);
 /// assert!(env.trace().counts.pcommits >= 4);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PmemEnv {
     space: Space,
     variant: Variant,
@@ -68,8 +69,8 @@ pub struct PmemEnv {
     log_count: u64,
     tx_state: TxState,
     tx_id: u64,
-    logged: HashSet<BlockId>,
-    fresh: HashSet<BlockId>,
+    logged: HashSet<BlockId, FastHashBuilder>,
+    fresh: HashSet<BlockId, FastHashBuilder>,
     strict_checks: bool,
     flush_mode: crate::FlushMode,
 }
@@ -101,8 +102,8 @@ impl PmemEnv {
             log_count: 0,
             tx_state: TxState::Idle,
             tx_id: 0,
-            logged: HashSet::new(),
-            fresh: HashSet::new(),
+            logged: HashSet::default(),
+            fresh: HashSet::default(),
             strict_checks: cfg!(debug_assertions),
             flush_mode: crate::FlushMode::default(),
         }
@@ -111,6 +112,32 @@ impl PmemEnv {
     /// The build variant this environment gates on.
     pub fn variant(&self) -> Variant {
         self.variant
+    }
+
+    /// Rebrands the environment to a different build variant.
+    ///
+    /// This is the harness's setup-cache escape hatch: the fast-forward
+    /// population phase is functionally identical across variants except
+    /// for the undo-log bytes it writes — and nothing reads those
+    /// outside an open transaction — so one populated image can seed
+    /// recordings of every variant. Switching is only sound while no
+    /// transaction is open and no events have been recorded; both are
+    /// asserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is open or the trace is non-empty.
+    pub fn set_variant(&mut self, v: Variant) {
+        assert_eq!(
+            self.tx_state,
+            TxState::Idle,
+            "cannot switch variant mid-transaction"
+        );
+        assert!(
+            self.trace.is_empty(),
+            "cannot switch variant after events were recorded"
+        );
+        self.variant = v;
     }
 
     /// Location of the undo log, for [`crate::recover`].
@@ -458,8 +485,7 @@ impl PmemEnv {
             "tx_log must be called between tx_begin and tx_set_logged"
         );
         let layout = self.log_layout();
-        let blocks: Vec<BlockId> = blocks_covering(addr, len).collect();
-        for b in blocks {
+        for b in blocks_covering(addr, len) {
             if !self.logged.insert(b) {
                 continue;
             }
@@ -473,19 +499,31 @@ impl PmemEnv {
             let ie = layout.index_entry(i);
             self.raw_store(ie, 8, b.base().raw());
             self.raw_store(ie.offset(8), 8, BLOCK_SIZE);
-            // Copy the old block contents, 8 bytes at a time.
+            // Copy the old block contents. The trace records the copy as
+            // 8-byte load/store pairs (that is what the core executes);
+            // the shadow memory takes the block in one bulk write, which
+            // is equivalent because the data entry never aliases the
+            // source block (the log region is reserved below the heap).
             let de = layout.data_entry(i);
+            let mut blk = [0u8; BLOCK_SIZE as usize];
+            self.space.read_bytes(b.base(), &mut blk);
             for j in 0..(BLOCK_SIZE / 8) {
-                let src = b.base().offset(j * 8);
                 self.emit(Event::Load {
-                    addr: src,
+                    addr: b.base().offset(j * 8),
                     size: 8,
                     dep: false,
                 });
-                let v = self.space.read_u64(src);
-                self.raw_store(de.offset(j * 8), 8, v);
+                let off = (j * 8) as usize;
+                let mut w = [0u8; 8];
+                w.copy_from_slice(&blk[off..off + 8]);
+                self.emit(Event::Store {
+                    addr: de.offset(j * 8),
+                    size: 8,
+                    value: u64::from_le_bytes(w),
+                });
                 self.emit(Event::Compute(1));
             }
+            self.space.write_bytes(de, &blk);
             // Persist the data slot now; index blocks are flushed once,
             // at tx_set_logged (they pack four entries per block).
             if self.variant.has_persist_ops() {
@@ -524,12 +562,8 @@ impl PmemEnv {
         // transaction (four packed entries per block).
         if self.variant.has_persist_ops() && self.log_count > 0 {
             let layout = self.log_layout();
-            let flushes: Vec<PAddr> =
-                blocks_covering(layout.index_entry(0), self.log_count * INDEX_STRIDE)
-                    .map(|b| b.base())
-                    .collect();
-            for base in flushes {
-                self.emit_flush(base);
+            for b in blocks_covering(layout.index_entry(0), self.log_count * INDEX_STRIDE) {
+                self.emit_flush(b.base());
             }
         }
         // Step 1 barrier: undo entries durable before the bit is set.

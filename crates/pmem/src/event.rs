@@ -105,9 +105,13 @@ impl Trace {
 
     /// Freezes the trace into an immutable, cheaply clonable form that
     /// can be replayed concurrently from many simulator threads.
+    ///
+    /// Wraps the event vector as-is (no reallocation): traces run to
+    /// tens of millions of events, and copying them into a fresh
+    /// allocation would rival the cost of recording.
     pub fn into_shared(self) -> SharedTrace {
         SharedTrace {
-            events: Arc::from(self.events),
+            events: Arc::new(self.events),
             counts: self.counts,
         }
     }
@@ -119,7 +123,7 @@ impl Trace {
 #[derive(Debug, Clone)]
 pub struct SharedTrace {
     /// The event stream in program order.
-    pub events: Arc<[Event]>,
+    pub events: Arc<Vec<Event>>,
     /// Summary counters of the stream.
     pub counts: TraceCounts,
 }

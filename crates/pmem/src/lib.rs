@@ -51,6 +51,7 @@ mod addr;
 pub mod crash;
 mod env;
 mod event;
+mod hash;
 pub mod rng;
 mod space;
 mod undo;
@@ -60,6 +61,7 @@ pub use addr::{blocks_covering, BlockId, PAddr, BLOCK_SIZE};
 pub use crash::{persist_boundaries, CrashSim};
 pub use env::{PmemEnv, ROOT_SLOTS};
 pub use event::{Event, SharedTrace, Trace, TraceCounts};
+pub use hash::{FastHashBuilder, FastHasher};
 pub use rng::{hash64, splitmix64};
 pub use space::Space;
 pub use undo::{recover, LogLayout, RecoveryReport, ENTRY_MAX_LEN, INDEX_STRIDE};

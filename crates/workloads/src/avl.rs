@@ -35,7 +35,7 @@ fn value_for(key: u64) -> u64 {
 }
 
 /// The AT benchmark: AVL tree with full-logging WAL transactions.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct AvlTree {
     header: PAddr,
     key_range: u64,
@@ -301,6 +301,10 @@ impl AvlTree {
 impl Workload for AvlTree {
     fn id(&self) -> BenchId {
         BenchId::AvlTree
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 
     fn setup(&mut self, env: &mut PmemEnv, rng: &mut StdRng, init_ops: u64) {

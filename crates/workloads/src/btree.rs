@@ -43,7 +43,7 @@ pub(crate) fn value_for(key: u64) -> u64 {
 }
 
 /// The BT benchmark: 2-3-4 B+tree with full-logging WAL transactions.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct BTree {
     header: PAddr,
     key_range: u64,
@@ -421,6 +421,10 @@ impl BTree {
 impl Workload for BTree {
     fn id(&self) -> BenchId {
         BenchId::BTree
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 
     fn setup(&mut self, env: &mut PmemEnv, rng: &mut StdRng, init_ops: u64) {

@@ -59,7 +59,7 @@ fn read_node(env: &mut PmemEnv, addr: PAddr) -> Node {
 }
 
 /// The BT benchmark with incremental logging.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct IncBTree {
     header: PAddr,
     key_range: u64,
@@ -380,6 +380,10 @@ impl IncBTree {
 impl Workload for IncBTree {
     fn id(&self) -> BenchId {
         BenchId::BTree
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 
     fn setup(&mut self, env: &mut PmemEnv, rng: &mut StdRng, init_ops: u64) {

@@ -43,7 +43,7 @@ pub fn edge_key(u: u64, v: u64) -> u64 {
 }
 
 /// The GH benchmark: adjacency-list graph with WAL edge transactions.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Graph {
     header: PAddr,
     vtable: PAddr,
@@ -113,6 +113,10 @@ impl Graph {
 impl Workload for Graph {
     fn id(&self) -> BenchId {
         BenchId::Graph
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 
     fn setup(&mut self, env: &mut PmemEnv, rng: &mut StdRng, init_ops: u64) {

@@ -42,7 +42,7 @@ fn hash(key: u64, capacity: u64) -> u64 {
 
 /// The HM benchmark: linear-probing hash map, tombstone deletes, and
 /// transactional doubling resize.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct HashMap {
     header: PAddr,
     key_range: u64,
@@ -171,6 +171,10 @@ impl HashMap {
 impl Workload for HashMap {
     fn id(&self) -> BenchId {
         BenchId::HashMap
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 
     fn setup(&mut self, env: &mut PmemEnv, rng: &mut StdRng, init_ops: u64) {

@@ -30,7 +30,7 @@ fn value_for(key: u64) -> u64 {
 }
 
 /// The LL benchmark: sorted singly linked list with WAL transactions.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LinkedList {
     sentinel: PAddr,
     key_range: u64,
@@ -97,6 +97,10 @@ impl LinkedList {
 impl Workload for LinkedList {
     fn id(&self) -> BenchId {
         BenchId::LinkedList
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 
     fn setup(&mut self, env: &mut PmemEnv, rng: &mut StdRng, init_ops: u64) {

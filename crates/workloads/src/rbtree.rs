@@ -38,7 +38,7 @@ fn value_for(key: u64) -> u64 {
 }
 
 /// The RT benchmark: red-black tree with full-logging WAL transactions.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct RbTree {
     header: PAddr,
     nil: PAddr,
@@ -451,6 +451,10 @@ impl RbTree {
 impl Workload for RbTree {
     fn id(&self) -> BenchId {
         BenchId::RbTree
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 
     fn setup(&mut self, env: &mut PmemEnv, rng: &mut StdRng, init_ops: u64) {

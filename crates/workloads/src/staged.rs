@@ -18,9 +18,9 @@
 //! sound by construction, which the `PmemEnv` strict checks verify at
 //! store granularity in debug builds.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use spp_pmem::{BlockId, PAddr, PmemEnv};
+use spp_pmem::{BlockId, FastHashBuilder, PAddr, PmemEnv};
 
 /// An in-flight staged transaction (one benchmark operation).
 ///
@@ -41,7 +41,7 @@ use spp_pmem::{BlockId, PAddr, PmemEnv};
 pub struct Staged<'e> {
     env: &'e mut PmemEnv,
     /// Staged values, keyed by 8-byte granule address.
-    overlay: HashMap<u64, u64>,
+    overlay: HashMap<u64, u64, FastHashBuilder>,
     /// Granules in first-write order (the order stores are applied).
     write_order: Vec<PAddr>,
     /// Blocks on the structure's search path (full-logging set).
@@ -60,7 +60,7 @@ impl<'e> Staged<'e> {
         env.tx_begin(id);
         Staged {
             env,
-            overlay: HashMap::new(),
+            overlay: HashMap::default(),
             write_order: Vec::new(),
             path: Vec::new(),
             extra: Vec::new(),
@@ -206,12 +206,14 @@ impl<'e> Staged<'e> {
             watermark,
         } = self;
 
-        // Step 1: undo-log path + extras + write set (fresh blocks skipped).
-        let mut log_set: Vec<BlockId> = Vec::new();
-        log_set.extend(path);
-        log_set.extend(extra);
-        log_set.extend(write_order.iter().map(|a| a.block()));
-        for b in log_set {
+        // Step 1: undo-log path + extras + write set (fresh blocks
+        // skipped; tx_log deduplicates blocks already logged this
+        // transaction).
+        for b in path
+            .into_iter()
+            .chain(extra)
+            .chain(write_order.iter().map(|a| a.block()))
+        {
             if b.base().raw() >= watermark {
                 continue; // fresh allocation
             }
@@ -223,16 +225,18 @@ impl<'e> Staged<'e> {
         env.tx_set_logged();
 
         // Step 3: apply stores in first-write order, then persist each
-        // dirtied block exactly once.
+        // dirtied block exactly once, in first-dirtied order. A set
+        // backs the dedup: a single transaction can stage an arbitrarily
+        // large write set (the HM workload rehashes its whole table in
+        // one), so a linear `contains` scan would go quadratic.
         let mut dirty_blocks: Vec<BlockId> = Vec::new();
-        let mut last_block: Option<BlockId> = None;
+        let mut dirty_seen: HashSet<BlockId, FastHashBuilder> = HashSet::default();
         for addr in &write_order {
             env.store_u64(*addr, overlay[&addr.raw()]);
             let b = addr.block();
-            if last_block != Some(b) && !dirty_blocks.contains(&b) {
+            if dirty_seen.insert(b) {
                 dirty_blocks.push(b);
             }
-            last_block = Some(b);
         }
         for b in dirty_blocks {
             env.clwb(b.base());

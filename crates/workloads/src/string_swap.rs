@@ -44,7 +44,7 @@ fn string_for(index: u64) -> [u8; STRING_LEN as usize] {
 }
 
 /// The SS benchmark: random pairwise swaps in a string array.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct StringSwap {
     header: PAddr,
     base: PAddr,
@@ -92,6 +92,10 @@ impl StringSwap {
 impl Workload for StringSwap {
     fn id(&self) -> BenchId {
         BenchId::StringSwap
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 
     /// For SS, `init_ops` is the number of strings populated (Table 1's
