@@ -12,7 +12,14 @@
 //!   flushmode  clwb vs clflushopt vs clflush (§2.2 footnote)
 //!   trace <BENCH> <VARIANT>  inspect one recorded trace (uop mix)
 //!   json       run the suite and print machine-readable JSON
-//!   multicore  multi-programmed persist interference (future work)
+//!   multicore  shared-data multi-core scaling study: concurrent
+//!              persistent structures (Treiber stack, MS queue) over
+//!              one coherent memory system, 1..4 cores x {baseline,
+//!              SP256} x {contended, disjoint}, reporting worst-core
+//!              cycles/op plus BLT conflict/rollback accounting as one
+//!              `specpersist/multicore-v1` JSON line; journaled like
+//!              faultsim, exits non-zero unless the contended SP legs
+//!              conflict and the disjoint legs stay conflict-free
 //!   crashfuzz [all|log|logp|logpsf]  crash-consistency fuzzing:
 //!              Log+P+Sf must recover at every crash point/reordering,
 //!              Log and Log+P must each yield a minimized inconsistency
@@ -40,7 +47,7 @@
 //!   --scale N  divide Table 1's op counts by N (default 50; 1 = paper)
 //!   --seed S   RNG seed (default 0x5EED)
 //!   --jobs J   worker threads (default: all cores; 1 = serial)
-//!   --journal [PATH]  (faultsim/soak) record completed cells into the
+//!   --journal [PATH]  (faultsim/soak/multicore) record completed cells into the
 //!              journaled result manifest at PATH (default:
 //!              `.specpersist/journal-v1.jsonl`); a fresh run requires
 //!              a fresh path
@@ -143,7 +150,7 @@ impl fmt::Display for CliError {
                 write!(f, "unknown crashfuzz leg {l:?} (want all|log|logp|logpsf)")
             }
             CliError::FlagUnsupported { flag, cmd } => {
-                write!(f, "{flag} is not supported by {cmd:?} (journaled commands: faultsim, soak, profile; --iters: soak; --trace-out: profile; --bench-out: all, profile)")
+                write!(f, "{flag} is not supported by {cmd:?} (journaled commands: faultsim, soak, profile, multicore; --iters: soak; --trace-out: profile; --bench-out: all, profile)")
             }
             CliError::ResumeNeedsJournal => f.write_str("--resume requires --journal <path>"),
             CliError::ResumeMissingJournal(p) => {
@@ -300,7 +307,10 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
 /// Rejects journal flags on commands that cannot honor them, and
 /// contradictory combinations, before any work starts.
 fn check_flag_scope(cli: &Cli) -> Result<(), CliError> {
-    let journaled = matches!(cli.cmd.as_str(), "faultsim" | "soak" | "profile");
+    let journaled = matches!(
+        cli.cmd.as_str(),
+        "faultsim" | "soak" | "profile" | "multicore"
+    );
     if cli.journal.is_some() && !journaled {
         return Err(CliError::FlagUnsupported {
             flag: "--journal",
@@ -478,7 +488,7 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
             );
             print!(
                 "{}",
-                staged("multicore study", 6, || report::multicore(&harness))
+                staged("multicore study", 24, || report::multicore(&harness))
             );
             let s = harness.cache_stats();
             eprintln!(
@@ -530,10 +540,7 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
             );
         }
         "json" => println!("{}", spp_bench::json::suite_json(&runs)),
-        "multicore" => print!(
-            "{}",
-            staged("multicore study", 6, || report::multicore(&harness))
-        ),
+        "multicore" => return multicore_cmd(&harness, journal.as_deref(), resume),
         "trace" => return trace_cmd(&positional, &exp).map(|()| ExitCode::SUCCESS),
         "crashfuzz" => return crashfuzz_cmd(&harness, &positional),
         "faultsim" => return faultsim_cmd(&harness, journal.as_deref(), resume),
@@ -609,6 +616,51 @@ fn faultsim_cmd(
     });
     if let Some(j) = &j {
         // Corrupt or undecodable entries recomputed; surface each one.
+        for e in j.corrupt() {
+            eprintln!("repro: journal: {e}");
+        }
+        eprintln!(
+            "# journal {}: {} cells replayed",
+            j.path().display(),
+            rep.replayed
+        );
+    }
+    print!("{}", rep.render_text());
+    println!("{}", rep.render_json());
+    Ok(if rep.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `repro multicore [--journal PATH [--resume]]`: the shared-data
+/// multi-core scaling study — Treiber-style stack and MS-style queue
+/// over one coherent memory system, 1..4 cores x {baseline, SP256} x
+/// {contended, disjoint}. Prints the scaling tables and one
+/// `specpersist/multicore-v1` JSON line. With a journal, completed
+/// cells are recorded and `--resume` replays them byte-identically.
+/// Exits non-zero if any cell degraded, the contended SP legs produced
+/// no BLT conflicts, or a disjoint leg conflicted.
+fn multicore_cmd(
+    harness: &Harness,
+    journal: Option<&str>,
+    resume: bool,
+) -> Result<ExitCode, CliError> {
+    use spp_bench::multicore::{run_multicore_opts, MulticoreOpts};
+    let j = match journal {
+        Some(p) => Some(open_journal(std::path::Path::new(p), resume)?),
+        None => None,
+    };
+    let rep = staged("multicore", 24, || {
+        run_multicore_opts(
+            harness,
+            MulticoreOpts {
+                journal: j.as_ref(),
+            },
+        )
+    });
+    if let Some(j) = &j {
         for e in j.corrupt() {
             eprintln!("repro: journal: {e}");
         }

@@ -36,6 +36,7 @@ pub mod crashfuzz;
 pub mod faultsim;
 pub mod journal;
 pub mod json;
+pub mod multicore;
 pub mod parallel;
 pub mod perfbench;
 pub mod profile;
@@ -46,6 +47,7 @@ pub mod supervisor;
 
 pub use cache::{CacheStats, TraceCache, TraceKey};
 pub use journal::{Journal, JournalError};
+pub use multicore::{run_multicore_study, MulticoreCell, MulticoreReport};
 pub use parallel::run_indexed;
 pub use perfbench::{PerfCell, PerfRecorder, PerfReport};
 pub use supervisor::{CellFailure, CellOutcome, Supervisor};
@@ -475,56 +477,6 @@ impl Harness {
             inc_stores: traces[1].counts.stores as f64 / ops as f64,
         }
     }
-
-    /// The multi-programmed extension study (the paper's future-work
-    /// direction): N copies of a benchmark, each on its own core with
-    /// private caches, sharing one bank-limited memory controller.
-    /// Every core's `pcommit` must drain every core's pending writes,
-    /// so persist barriers interfere across cores.
-    pub fn run_multicore(&self, id: BenchId, banks: usize) -> Vec<MulticoreRow> {
-        use spp_cpu::MultiCore;
-        let spec = BenchSpec::scaled(id, self.exp.scale);
-        // Distinct seeds per core: independent programs.
-        let core_ids: [u64; 4] = [0, 1, 2, 3];
-        let traces = run_indexed(self.jobs, &core_ids, |_, &core| {
-            let seed = self.exp.seed ^ (core * 0x9E37);
-            self.cache
-                .get(TraceKey::with_seed(id, Variant::LogPSf, &self.exp, seed))
-        });
-        let mem = spp_mem::MemConfig {
-            nvmm_banks: banks,
-            ..spp_mem::MemConfig::paper()
-        };
-        let cells: Vec<(usize, bool)> = [1usize, 2, 4]
-            .iter()
-            .flat_map(|&n| [(n, false), (n, true)])
-            .collect();
-        let worst = run_indexed(self.jobs, &cells, |_, &(n, sp)| {
-            let refs: Vec<&[spp_pmem::Event]> = traces[..n].iter().map(|t| &t.events[..]).collect();
-            let core = if sp {
-                CpuConfig::with_sp()
-            } else {
-                CpuConfig::baseline()
-            };
-            MultiCore::try_new(&refs, CpuConfig { mem, ..core })
-                .expect("multicore study uses a validated config")
-                .run()
-                .iter()
-                .map(|r| r.cpu.cycles)
-                .max()
-                .expect("at least one core")
-                / spec.sim_ops
-        });
-        cells
-            .chunks_exact(2)
-            .zip(worst.chunks_exact(2))
-            .map(|(cell, w)| MulticoreRow {
-                cores: cell[0].0,
-                base_cycles_per_op: w[0],
-                sp_cycles_per_op: w[1],
-            })
-            .collect()
-    }
 }
 
 /// Records one benchmark's trace in `variant` and simulates it on `cpu`
@@ -602,23 +554,6 @@ pub fn run_logging_comparison(exp: &Experiment) -> LoggingComparison {
 /// Serial convenience wrapper over [`Harness::run_flushmode`].
 pub fn run_flushmode(id: BenchId, mode: FlushMode, exp: &Experiment) -> (u64, u64) {
     Harness::new(*exp, 1).run_flushmode(id, mode)
-}
-
-/// One row of the multi-programmed interference study: worst-core
-/// cycles/op at a core count, baseline vs SP.
-#[derive(Debug, Clone, Copy)]
-pub struct MulticoreRow {
-    /// Number of cores sharing the memory controller.
-    pub cores: usize,
-    /// Worst core's cycles per operation without speculation.
-    pub base_cycles_per_op: u64,
-    /// Worst core's cycles per operation with SP256.
-    pub sp_cycles_per_op: u64,
-}
-
-/// Serial convenience wrapper over [`Harness::run_multicore`].
-pub fn run_multicore(id: BenchId, exp: &Experiment, banks: usize) -> Vec<MulticoreRow> {
-    Harness::new(*exp, 1).run_multicore(id, banks)
 }
 
 /// Geometric mean of `(1 + overhead)` ratios, returned as an overhead

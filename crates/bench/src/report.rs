@@ -344,35 +344,11 @@ pub fn flushmode(h: &Harness) -> String {
     s
 }
 
-/// Multi-programmed persist interference (the paper's future-work
-/// direction).
+/// The shared-data multi-core scaling study: concurrent persistent
+/// structures over one coherent memory system, baseline vs SP, with
+/// BLT conflict/rollback accounting (§4.1/§4.2.2).
 pub fn multicore(h: &Harness) -> String {
-    let banks = 4;
-    let mut s = header("Multi-programmed interference: worst-core cycles/op (HM, 4-bank MC)");
-    let _ = writeln!(
-        s,
-        "{:<8} {:>12} {:>12} {:>12}",
-        "cores", "baseline", "SP256", "SP saves"
-    );
-    for row in h.run_multicore(spp_workloads::BenchId::HashMap, banks) {
-        let _ = writeln!(
-            s,
-            "{:<8} {:>12} {:>12} {:>11.0}%",
-            row.cores,
-            row.base_cycles_per_op,
-            row.sp_cycles_per_op,
-            (1.0 - row.sp_cycles_per_op as f64 / row.base_cycles_per_op as f64) * 100.0
-        );
-    }
-    let _ = writeln!(
-        s,
-        "\nN independent copies of the benchmark share one bank-limited memory\n\
-         controller: every core's pcommit waits for every core's pending\n\
-         writes, so persist barriers lengthen with core count. Speculative\n\
-         persistence keeps hiding them (multi-threaded data sharing remains\n\
-         future work, as in the paper)."
-    );
-    s
+    crate::multicore::run_multicore_study(h).render_text()
 }
 
 /// Full vs incremental logging on the B-tree (§3.2, Figs. 4-5).

@@ -85,9 +85,16 @@ pub const PERFBENCH: Schema = Schema {
     id: "specpersist/perfbench-v1",
 };
 
+/// The shared-data multi-core scaling study (`repro multicore`).
+pub const MULTICORE: Schema = Schema {
+    name: "multicore",
+    version: 1,
+    id: "specpersist/multicore-v1",
+};
+
 /// Every schema the harness knows, for exhaustive self-checks.
-pub const ALL: [Schema; 7] = [
-    SUITE, CRASHFUZZ, FAULTSIM, SOAK, JOURNAL, PROFILE, PERFBENCH,
+pub const ALL: [Schema; 8] = [
+    SUITE, CRASHFUZZ, FAULTSIM, SOAK, JOURNAL, PROFILE, PERFBENCH, MULTICORE,
 ];
 
 impl Schema {

@@ -15,6 +15,7 @@
 use spp_bench::crashfuzz::{run_crashfuzz, Leg};
 use spp_bench::faultsim::run_faultsim;
 use spp_bench::journal::{CellStatus, Entry, Journal};
+use spp_bench::multicore::run_multicore_study;
 use spp_bench::profile::run_profile;
 use spp_bench::soak::run_soak;
 use spp_bench::{json, schema, Experiment, Harness};
@@ -92,6 +93,12 @@ fn soak_document_is_stable() {
     let rep = run_soak(&exp(), 2, 1, &journal);
     std::fs::remove_file(&p).unwrap();
     check("soak.json", &rep.render_json(), schema::SOAK);
+}
+
+#[test]
+fn multicore_document_is_stable() {
+    let rep = run_multicore_study(&harness());
+    check("multicore.json", &rep.render_json(), schema::MULTICORE);
 }
 
 #[test]

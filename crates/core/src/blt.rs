@@ -25,6 +25,10 @@ pub struct BltStats {
     pub conflicts: u64,
     /// Maximum distinct blocks tracked at once.
     pub high_water: usize,
+    /// Flash-clears of the table (speculation exits and rollbacks).
+    /// `clears > 0` with `conflicts == 0` distinguishes "speculated and
+    /// committed cleanly" from "never speculated at all".
+    pub clears: u64,
 }
 
 /// The block lookup table.
@@ -80,9 +84,12 @@ impl Blt {
         self.blocks.is_empty()
     }
 
-    /// Empties the table (speculation exit or rollback).
+    /// Empties the table (speculation exit or rollback). Every clear is
+    /// counted in [`BltStats::clears`] so reports can tell an idle table
+    /// from one that was filled and flash-cleared.
     pub fn clear(&mut self) {
         self.blocks.clear();
+        self.stats.clears += 1;
     }
 
     /// Statistics snapshot.
@@ -125,5 +132,16 @@ mod tests {
         assert!(!blt.snoop(BlockId::new(9)));
         assert_eq!(blt.stats().records, 1);
         assert_eq!(blt.stats().high_water, 1);
+    }
+
+    #[test]
+    fn every_clear_is_counted() {
+        let mut blt = Blt::new();
+        assert_eq!(blt.stats().clears, 0);
+        blt.clear(); // clearing an empty table still counts
+        blt.record(BlockId::new(3));
+        blt.clear();
+        assert_eq!(blt.stats().clears, 2);
+        assert_eq!(blt.stats().conflicts, 0, "clears are not conflicts");
     }
 }

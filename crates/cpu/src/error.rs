@@ -34,6 +34,16 @@ pub enum SimErrorKind {
     /// The pipeline made no progress this cycle and no future event is
     /// scheduled anywhere: a true deadlock.
     NoFutureEvent,
+    /// A multi-core rollback storm: coherence conflicts kept rolling a
+    /// core back to the same trace position, and the forward-progress
+    /// budget of `bound` consecutive no-progress rollbacks ran out (see
+    /// [`crate::MultiCore::with_storm_bound`]). Without this detector a
+    /// pathological sharing pattern livelocks: every re-execution
+    /// re-touches the contended block and is rolled back again.
+    ConflictStorm {
+        /// The configured consecutive-no-progress-rollback budget.
+        bound: u64,
+    },
     /// An internal pipeline invariant broke (a state that should be
     /// unreachable); `what` names the violated assumption.
     BrokenInvariant {
@@ -171,6 +181,12 @@ impl fmt::Display for SimError {
             SimErrorKind::NoFutureEvent => {
                 f.write_str("pipeline deadlock: no progress and no scheduled event")?;
             }
+            SimErrorKind::ConflictStorm { bound } => {
+                write!(
+                    f,
+                    "coherence conflict storm: {bound} consecutive rollbacks without progress"
+                )?;
+            }
             SimErrorKind::BrokenInvariant { what } => {
                 write!(f, "broken pipeline invariant: {what}")?;
             }
@@ -187,6 +203,7 @@ impl SimError {
             SimErrorKind::InvalidConfig { error } => format!("invalid_config:{error}"),
             SimErrorKind::NoRetireProgress { bound } => format!("no_retire_progress:{bound}"),
             SimErrorKind::NoFutureEvent => "no_future_event".to_string(),
+            SimErrorKind::ConflictStorm { bound } => format!("conflict_storm:{bound}"),
             SimErrorKind::BrokenInvariant { what } => format!("broken_invariant:{what}"),
         };
         format!(

@@ -48,7 +48,7 @@ use spp_pmem::Event;
 
 pub use config::{CpuConfig, SpConfig};
 pub use error::{DiagnosticSnapshot, SimError, SimErrorKind};
-pub use multi::{MultiCore, MultiCoreError};
+pub use multi::{MultiCore, MultiCoreError, DEFAULT_STORM_BOUND};
 pub use pipeline::Pipeline;
 #[cfg(any(test, feature = "reference-stepper"))]
 pub use reference::ReferencePipeline;

@@ -29,7 +29,7 @@ use spp_pmem::{BlockId, Event, PAddr};
 
 use crate::config::{CpuConfig, SpConfig};
 use crate::error::{DiagnosticSnapshot, SimError, SimErrorKind};
-use crate::stats::{CpuStats, SimResult};
+use crate::stats::{CpuStats, EpochRetired, SimResult};
 use crate::uop::{TraceCursor, Uop, UopKind};
 
 /// Internal step failure: lightweight so it can be raised inside
@@ -173,8 +173,8 @@ struct SpState {
     drain_visible_frontier: Cycle,
     /// Is the core retiring speculatively?
     speculating: bool,
-    /// Per-live-epoch retired micro-op counts (squash accounting).
-    retired_per_epoch: VecDeque<(u64, u64)>,
+    /// Per-live-epoch retired micro-op breakdowns (squash accounting).
+    retired_per_epoch: VecDeque<(u64, EpochRetired)>,
 }
 
 impl SpState {
@@ -234,6 +234,14 @@ pub struct Pipeline<'t> {
     faults: Option<FaultState>,
     /// Cycle of the most recent retirement (watchdog reference point).
     last_retire: Cycle,
+    /// Coherence-visible store blocks accumulated since the last
+    /// [`drain_snoops_into`](Self::drain_snoops_into), in
+    /// memory-admission order. Empty (and never pushed to) unless a
+    /// multi-core harness enabled emission — the single-core path pays
+    /// one dead branch per drained store.
+    snoop_out: Vec<BlockId>,
+    /// Collect coherence-visible stores into `snoop_out`?
+    emit_snoops: bool,
     stats: CpuStats,
     /// Observability probe (disabled by default — one dead branch per
     /// emission site). Never influences timing or architectural state.
@@ -273,6 +281,8 @@ impl<'t> Pipeline<'t> {
             sp: cfg.sp.map(SpState::new),
             faults: cfg.mem.fault.map(|spec| FaultState::new(spec, PIPE_STREAM)),
             last_retire: 0,
+            snoop_out: Vec::new(),
+            emit_snoops: false,
             stats: CpuStats::default(),
             probe: ProbeHandle::disabled(),
             fence_stall_open: None,
@@ -556,15 +566,40 @@ impl<'t> Pipeline<'t> {
 
     // ---- external coherence (tests / multicore harnesses) -------------
 
+    /// Current trace-decode position (advances with fetch, rewinds on
+    /// rollback). A multi-core harness compares positions across
+    /// consecutive rollbacks to detect a conflict storm that re-executes
+    /// the same window forever.
+    pub fn trace_position(&self) -> usize {
+        self.cursor.position()
+    }
+
+    /// Starts collecting the blocks of coherence-visible stores (store
+    /// buffer and committed-SSB drains) for [`Self::drain_snoops_into`].
+    /// Off by default: a solo core has nobody to snoop, and collection
+    /// must not cost the single-core path an allocation.
+    pub(crate) fn enable_snoop_emission(&mut self) {
+        self.emit_snoops = true;
+    }
+
+    /// Moves the coherence-visible store blocks accumulated since the
+    /// last call into `out`, preserving memory-admission order (the
+    /// order the shared controller saw the writes).
+    pub(crate) fn drain_snoops_into(&mut self, out: &mut Vec<BlockId>) {
+        out.append(&mut self.snoop_out);
+    }
+
     /// Delivers an external coherence request for `block`. Returns
     /// `true` if it conflicted with speculative state and triggered a
     /// rollback to the oldest checkpoint.
     pub fn inject_coherence(&mut self, block: BlockId) -> bool {
         let Some(sp) = &mut self.sp else { return false };
-        if !sp.epochs.speculating() {
-            return false;
-        }
-        if !sp.blt.snoop(block) {
+        // Count the snoop even outside speculation (the table is empty
+        // then, so it is always a miss): a core's snoop count is a pure
+        // function of its peers' store streams, independent of how
+        // same-cycle scheduling ties were broken.
+        let hit = sp.blt.snoop(block);
+        if !sp.epochs.speculating() || !hit {
             return false;
         }
         // Rollback: squash everything younger than the oldest checkpoint.
@@ -580,14 +615,17 @@ impl<'t> Pipeline<'t> {
         sp.gates.clear();
         sp.blt.clear();
         sp.speculating = false;
-        let squashed: u64 = sp.retired_per_epoch.iter().map(|&(_, n)| n).sum();
+        let mut squashed = EpochRetired::default();
+        for &(_, r) in &sp.retired_per_epoch {
+            squashed.merge(r);
+        }
         sp.retired_per_epoch.clear();
-        self.stats.squashed_uops += squashed;
-        self.stats.committed_uops = self.stats.committed_uops.saturating_sub(squashed);
+        self.stats.squashed_uops += squashed.uops;
+        squashed.retract(&mut self.stats);
         self.stats.rollbacks += 1;
         self.probe.emit(ProbeEvent::EpochRollback {
             now: self.now,
-            squashed_uops: squashed,
+            squashed_uops: squashed.uops,
         });
         self.probe.emit(ProbeEvent::CheckpointOccupancy {
             now: self.now,
@@ -779,11 +817,11 @@ impl<'t> Pipeline<'t> {
 
     // ---- retire ----------------------------------------------------------
 
-    fn note_spec_retired(&mut self, n: u64) {
+    fn note_spec_retired(&mut self, kind: UopKind) {
         if let Some(sp) = &mut self.sp {
             if sp.speculating {
                 if let Some(back) = sp.retired_per_epoch.back_mut() {
-                    back.1 += n;
+                    back.1.note(kind);
                 }
             }
         }
@@ -802,7 +840,7 @@ impl<'t> Pipeline<'t> {
         }
         self.stats.committed_uops += 1;
         class(&mut self.stats);
-        self.note_spec_retired(1);
+        self.note_spec_retired(e.uop.kind);
         Ok(())
     }
 
@@ -1130,7 +1168,8 @@ impl<'t> Pipeline<'t> {
                 ready_at: None,
                 needs_prior_drain: false,
             });
-            sp.retired_per_epoch.push_back((child, 0));
+            sp.retired_per_epoch
+                .push_back((child, EpochRetired::default()));
             self.probe.emit(ProbeEvent::EpochBegin {
                 now: self.now,
                 epoch: child,
@@ -1164,10 +1203,14 @@ impl<'t> Pipeline<'t> {
             let n = sp.retired_per_epoch.len();
             debug_assert!(n >= 2, "combined barrier needs a parent epoch");
             if n >= 2 {
-                sp.retired_per_epoch[n - 2].1 += fence_idx as u64;
+                let parent = &mut sp.retired_per_epoch[n - 2].1;
+                parent.uops += fence_idx as u64;
+                parent.pcommits += 1;
+                parent.fences += fence_idx as u64 - 1;
             }
             if let Some(back) = sp.retired_per_epoch.back_mut() {
-                back.1 += 1;
+                back.1.uops += 1;
+                back.1.fences += 1;
             }
         }
         Ok(true)
@@ -1220,7 +1263,8 @@ impl<'t> Pipeline<'t> {
                     ready_at: Some(self.now),
                     needs_prior_drain: true,
                 });
-                sp.retired_per_epoch.push_back((child, 0));
+                sp.retired_per_epoch
+                    .push_back((child, EpochRetired::default()));
                 self.probe.emit(ProbeEvent::EpochBegin {
                     now: self.now,
                     epoch: child,
@@ -1287,7 +1331,8 @@ impl<'t> Pipeline<'t> {
                 ready_at: Some(gate_time),
                 needs_prior_drain: drain_pending,
             });
-            sp.retired_per_epoch.push_back((e0, 0));
+            sp.retired_per_epoch
+                .push_back((e0, EpochRetired::default()));
             sp.speculating = true;
             self.probe.emit(ProbeEvent::EpochBegin { now, epoch: e0 });
             self.probe.emit(ProbeEvent::CheckpointOccupancy {
@@ -1314,8 +1359,13 @@ impl<'t> Pipeline<'t> {
             let Some(b) = self.store_buffer.pop_front() else {
                 break;
             };
-            // Posted write: state effects now, 1/cycle pacing.
+            // Posted write: state effects now, 1/cycle pacing. This is
+            // where a non-speculative store claims ownership, so it is
+            // the point other cores' BLTs must snoop.
             let _ = self.mem.access(self.now, b, AccessKind::Store);
+            if self.emit_snoops {
+                self.snoop_out.push(b);
+            }
             self.sb_busy = self.now + 1;
             any = true;
         }
@@ -1385,7 +1435,13 @@ impl<'t> Pipeline<'t> {
             let t = sp.drain_busy.max(now);
             match e.op {
                 SsbOp::Store { addr } => {
+                    // A speculative store stays invisible in the SSB;
+                    // draining it after epoch commit is its coherence
+                    // visibility point, so it snoops other cores here.
                     let _ = self.mem.access(t, addr.block(), AccessKind::Store);
+                    if self.emit_snoops {
+                        self.snoop_out.push(addr.block());
+                    }
                     sp.drain_busy = t + 1;
                 }
                 SsbOp::Clwb { block } => {
@@ -1522,7 +1578,14 @@ impl<'t> Pipeline<'t> {
                 fold(r);
             }
         }
-        if !sp.ssb.is_empty() {
+        // The drain port is a wake source not only while the SSB holds
+        // entries but also when a commit gate waits on the drain to
+        // finish: the port's busy cycle outlives the last entry by one,
+        // and a `needs_prior_drain` gate blocked on it would otherwise
+        // wedge with an empty SSB and nothing else scheduled (seen on
+        // post-rollback re-execution, where the re-entered epoch's gate
+        // opens immediately and only the stale drain holds its commit).
+        if !sp.ssb.is_empty() || sp.gates.front().is_some_and(|g| g.needs_prior_drain) {
             fold(sp.drain_busy);
         }
         fold(sp.drain_visible_frontier);
@@ -1653,7 +1716,7 @@ mod tests {
         // not reset the filter while any survivor is buffered.
         let t = barrier_trace(40);
         let mut p = Pipeline::new(&t, CpuConfig::with_sp());
-        let mut rolled_back = false;
+        let mut rollbacks = 0u64;
         for i in 0.. {
             if p.is_done() {
                 break;
@@ -1663,13 +1726,48 @@ mod tests {
             if i % 7 == 0 {
                 // Snoop a block a speculative store may have touched.
                 let addr = PAddr::new(1 << 20 | (4096 + (i / 7 % 40) * 64));
+                let (clears_before, oldest_before) = {
+                    let sp = p.sp.as_ref().expect("SP enabled");
+                    (sp.blt.stats().clears, sp.epochs.oldest().map(|e| e.id))
+                };
                 if p.inject_coherence(addr.block()) {
-                    rolled_back = true;
+                    rollbacks += 1;
                     assert_no_false_negatives(&p);
+                    // Clear accounting must stay consistent across the
+                    // rollback: exactly one counted BLT flash-clear,
+                    // an empty table, no live speculation, and every
+                    // SSB survivor tagged with an epoch older than the
+                    // squashed range (flush_from removed the rest).
+                    let sp = p.sp.as_ref().expect("SP enabled");
+                    assert!(sp.blt.is_empty(), "BLT not flash-cleared by rollback");
+                    assert_eq!(
+                        sp.blt.stats().clears,
+                        clears_before + 1,
+                        "rollback must count exactly one BLT clear"
+                    );
+                    assert!(!sp.epochs.speculating());
+                    let squashed_from = oldest_before.expect("rollback implies a live epoch");
+                    for e in sp.ssb.iter() {
+                        assert!(
+                            e.epoch < squashed_from,
+                            "cycle {}: SSB entry from squashed epoch {} survived rollback",
+                            p.now,
+                            e.epoch
+                        );
+                    }
                 }
             }
         }
-        assert!(rolled_back, "no rollback triggered; the test is vacuous");
+        assert!(rollbacks > 0, "no rollback triggered; the test is vacuous");
+        let r = p.result();
+        assert_eq!(
+            r.blt.conflicts, rollbacks,
+            "each rollback is one BLT conflict"
+        );
+        assert!(
+            r.blt.clears >= rollbacks,
+            "every rollback flash-clears the BLT; clean exits add more"
+        );
     }
 
     // ---- fault injection & forward progress -----------------------------
@@ -1755,7 +1853,8 @@ mod tests {
                     ready_at: Some(1_000 + i * 500),
                     needs_prior_drain: false,
                 });
-                sp.retired_per_epoch.push_back((id, 0));
+                sp.retired_per_epoch
+                    .push_back((id, EpochRetired::default()));
             }
             assert!(!sp.epochs.can_begin(), "all four checkpoints are live");
             sp.speculating = true;
@@ -1794,7 +1893,8 @@ mod tests {
                 ready_at: None,
                 needs_prior_drain: false,
             });
-            sp.retired_per_epoch.push_back((id, 0));
+            sp.retired_per_epoch
+                .push_back((id, EpochRetired::default()));
             sp.speculating = true;
         }
         let err = loop {

@@ -24,7 +24,7 @@ use spp_pmem::{BlockId, Event, PAddr};
 
 use crate::config::{CpuConfig, SpConfig};
 use crate::error::{DiagnosticSnapshot, SimError, SimErrorKind};
-use crate::stats::{CpuStats, SimResult};
+use crate::stats::{CpuStats, EpochRetired, SimResult};
 use crate::uop::{TraceCursor, Uop, UopKind};
 
 /// Internal step failure: lightweight so it can be raised inside
@@ -100,8 +100,8 @@ struct SpState {
     drain_visible_frontier: Cycle,
     /// Is the core retiring speculatively?
     speculating: bool,
-    /// Per-live-epoch retired micro-op counts (squash accounting).
-    retired_per_epoch: VecDeque<(u64, u64)>,
+    /// Per-live-epoch retired micro-op breakdowns (squash accounting).
+    retired_per_epoch: VecDeque<(u64, EpochRetired)>,
 }
 
 impl SpState {
@@ -473,10 +473,12 @@ impl<'t> ReferencePipeline<'t> {
     /// rollback to the oldest checkpoint.
     pub fn inject_coherence(&mut self, block: BlockId) -> bool {
         let Some(sp) = &mut self.sp else { return false };
-        if !sp.epochs.speculating() {
-            return false;
-        }
-        if !sp.blt.snoop(block) {
+        // Count the snoop even outside speculation (the table is empty
+        // then, so it is always a miss): a core's snoop count is a pure
+        // function of its peers' store streams, independent of how
+        // same-cycle scheduling ties were broken.
+        let hit = sp.blt.snoop(block);
+        if !sp.epochs.speculating() || !hit {
             return false;
         }
         // Rollback: squash everything younger than the oldest checkpoint.
@@ -492,14 +494,17 @@ impl<'t> ReferencePipeline<'t> {
         sp.gates.clear();
         sp.blt.clear();
         sp.speculating = false;
-        let squashed: u64 = sp.retired_per_epoch.iter().map(|&(_, n)| n).sum();
+        let mut squashed = EpochRetired::default();
+        for &(_, r) in &sp.retired_per_epoch {
+            squashed.merge(r);
+        }
         sp.retired_per_epoch.clear();
-        self.stats.squashed_uops += squashed;
-        self.stats.committed_uops = self.stats.committed_uops.saturating_sub(squashed);
+        self.stats.squashed_uops += squashed.uops;
+        squashed.retract(&mut self.stats);
         self.stats.rollbacks += 1;
         self.probe.emit(ProbeEvent::EpochRollback {
             now: self.now,
-            squashed_uops: squashed,
+            squashed_uops: squashed.uops,
         });
         self.probe.emit(ProbeEvent::CheckpointOccupancy {
             now: self.now,
@@ -655,11 +660,11 @@ impl<'t> ReferencePipeline<'t> {
 
     // ---- retire ----------------------------------------------------------
 
-    fn note_spec_retired(&mut self, n: u64) {
+    fn note_spec_retired(&mut self, kind: UopKind) {
         if let Some(sp) = &mut self.sp {
             if sp.speculating {
                 if let Some(back) = sp.retired_per_epoch.back_mut() {
-                    back.1 += n;
+                    back.1.note(kind);
                 }
             }
         }
@@ -675,7 +680,7 @@ impl<'t> ReferencePipeline<'t> {
         }
         self.stats.committed_uops += 1;
         class(&mut self.stats);
-        self.note_spec_retired(1);
+        self.note_spec_retired(e.uop.kind);
         Ok(())
     }
 
@@ -1007,7 +1012,8 @@ impl<'t> ReferencePipeline<'t> {
                 ready_at: None,
                 needs_prior_drain: false,
             });
-            sp.retired_per_epoch.push_back((child, 0));
+            sp.retired_per_epoch
+                .push_back((child, EpochRetired::default()));
             self.probe.emit(ProbeEvent::EpochBegin {
                 now: self.now,
                 epoch: child,
@@ -1041,10 +1047,14 @@ impl<'t> ReferencePipeline<'t> {
             let n = sp.retired_per_epoch.len();
             debug_assert!(n >= 2, "combined barrier needs a parent epoch");
             if n >= 2 {
-                sp.retired_per_epoch[n - 2].1 += fence_idx as u64;
+                let parent = &mut sp.retired_per_epoch[n - 2].1;
+                parent.uops += fence_idx as u64;
+                parent.pcommits += 1;
+                parent.fences += fence_idx as u64 - 1;
             }
             if let Some(back) = sp.retired_per_epoch.back_mut() {
-                back.1 += 1;
+                back.1.uops += 1;
+                back.1.fences += 1;
             }
         }
         Ok(true)
@@ -1097,7 +1107,8 @@ impl<'t> ReferencePipeline<'t> {
                     ready_at: Some(self.now),
                     needs_prior_drain: true,
                 });
-                sp.retired_per_epoch.push_back((child, 0));
+                sp.retired_per_epoch
+                    .push_back((child, EpochRetired::default()));
                 self.probe.emit(ProbeEvent::EpochBegin {
                     now: self.now,
                     epoch: child,
@@ -1166,7 +1177,8 @@ impl<'t> ReferencePipeline<'t> {
                 ready_at: Some(gate_time),
                 needs_prior_drain: drain_pending,
             });
-            sp.retired_per_epoch.push_back((e0, 0));
+            sp.retired_per_epoch
+                .push_back((e0, EpochRetired::default()));
             sp.speculating = true;
             self.probe.emit(ProbeEvent::EpochBegin { now, epoch: e0 });
             self.probe.emit(ProbeEvent::CheckpointOccupancy {

@@ -3,6 +3,8 @@
 use spp_core::{BloomStats, BltStats, CheckpointStats, SsbStats};
 use spp_mem::{Cycle, FaultStats, McStats, MemStats};
 
+use crate::uop::UopKind;
+
 /// Everything a simulation run measures.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CpuStats {
@@ -46,6 +48,60 @@ pub struct CpuStats {
     pub ssb_forwards: u64,
     /// Loads forwarded from older in-flight stores in the window.
     pub lsq_forwards: u64,
+}
+
+/// Per-epoch breakdown of speculatively retired micro-ops, kept while
+/// the epoch is live. A rollback squashes every live epoch, so it must
+/// retract exactly this much from [`CpuStats`] — the total *and* the
+/// per-class counters, or squashed stores would stay counted as
+/// committed stores.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct EpochRetired {
+    pub(crate) uops: u64,
+    pub(crate) loads: u64,
+    pub(crate) stores: u64,
+    pub(crate) flushes: u64,
+    pub(crate) pcommits: u64,
+    pub(crate) fences: u64,
+}
+
+impl EpochRetired {
+    /// Attributes one retired micro-op of `kind` to this epoch.
+    pub(crate) fn note(&mut self, kind: UopKind) {
+        self.uops += 1;
+        match kind {
+            UopKind::Compute => {}
+            UopKind::Load { .. } => self.loads += 1,
+            UopKind::Store { .. } => self.stores += 1,
+            UopKind::Clwb { .. } | UopKind::ClflushOpt { .. } | UopKind::Clflush { .. } => {
+                self.flushes += 1
+            }
+            UopKind::Pcommit => self.pcommits += 1,
+            UopKind::Sfence | UopKind::Mfence => self.fences += 1,
+        }
+    }
+
+    /// Folds another epoch's breakdown into this one (rollback sums
+    /// every live epoch before retracting).
+    pub(crate) fn merge(&mut self, other: EpochRetired) {
+        self.uops += other.uops;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.flushes += other.flushes;
+        self.pcommits += other.pcommits;
+        self.fences += other.fences;
+    }
+
+    /// Un-commits this breakdown from `stats` (the squash half of a
+    /// rollback; re-execution re-commits the surviving work).
+    pub(crate) fn retract(&self, stats: &mut CpuStats) {
+        stats.committed_uops = stats.committed_uops.saturating_sub(self.uops);
+        stats.loads = stats.loads.saturating_sub(self.loads);
+        stats.stores = stats.stores.saturating_sub(self.stores);
+        stats.flushes = stats.flushes.saturating_sub(self.flushes);
+        stats.pcommits = stats.pcommits.saturating_sub(self.pcommits);
+        stats.fences = stats.fences.saturating_sub(self.fences);
+    }
 }
 
 /// Aggregated result of a simulation.

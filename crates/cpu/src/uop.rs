@@ -137,6 +137,14 @@ impl<'t> TraceCursor<'t> {
         self.compute_left = 0;
     }
 
+    /// Current decode position (the index of the next [`Event`]): what
+    /// [`set_position`](Self::set_position) restores after a rollback,
+    /// so a multi-core harness can tell whether re-execution is making
+    /// forward progress between rollbacks.
+    pub fn position(&self) -> usize {
+        self.idx
+    }
+
     /// Exhausted?
     pub fn is_done(&self) -> bool {
         self.compute_left == 0 && self.idx >= self.events.len()

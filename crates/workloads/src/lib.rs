@@ -46,6 +46,7 @@ pub mod hashmap;
 pub mod linked_list;
 pub mod oracle;
 pub mod rbtree;
+pub mod shared;
 pub mod spec;
 mod staged;
 pub mod string_swap;
@@ -56,6 +57,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spp_pmem::{FlushMode, PmemEnv, SharedTrace, Space, Trace, Variant};
 
+pub use shared::{shared_trace, SharedKind, SharedSpec};
 pub use spec::{BenchId, BenchSpec};
 pub use staged::Staged;
 
