@@ -18,6 +18,7 @@ fn bench_ssb(c: &mut Criterion) {
                         addr: PAddr::new(i * 8),
                     },
                     epoch: 0,
+                    trace_idx: i as usize,
                 })
                 .unwrap();
             }
@@ -32,6 +33,7 @@ fn bench_ssb(c: &mut Criterion) {
                     addr: PAddr::new(i * 8),
                 },
                 epoch: 0,
+                trace_idx: i as usize,
             })
             .unwrap();
         }

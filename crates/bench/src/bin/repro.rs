@@ -20,10 +20,24 @@
 //!              `specpersist/multicore-v1` JSON line; journaled like
 //!              faultsim, exits non-zero unless the contended SP legs
 //!              conflict and the disjoint legs stay conflict-free
-//!   crashfuzz [all|log|logp|logpsf]  crash-consistency fuzzing:
-//!              Log+P+Sf must recover at every crash point/reordering,
-//!              Log and Log+P must each yield a minimized inconsistency
-//!              witness; exits non-zero if either direction fails
+//!   litmus     Px86 persistency-model validation: sweep the litmus
+//!              catalog (plus seeded generated programs at generous
+//!              scales) x {clwb, clflushopt, clflush}, checking every
+//!              reachable post-crash state of the real stack — CrashSim
+//!              at each persist boundary, both pipeline cores x
+//!              {baseline, SP} — against the executable Px86 reference
+//!              model, with the SP differential proving speculation
+//!              never widens a reachable set; prints the per-program
+//!              table plus one `specpersist/litmus-v1` JSON line,
+//!              journaled like faultsim; exits non-zero if any leg
+//!              reaches a forbidden state (the minimized witness is in
+//!              the report)
+//!   crashfuzz [all|log|logp|logpsf]  crash-consistency fuzzing, the
+//!              workload-level half of the persist-semantics story
+//!              (litmus is the model-level half): Log+P+Sf must recover
+//!              at every crash point/reordering, Log and Log+P must
+//!              each yield a minimized inconsistency witness; exits
+//!              non-zero if either direction fails
 //!   faultsim   deterministic hardware fault injection: every
 //!              benchmark x variant x fault plan must commit exactly
 //!              the fault-free architectural state (only cycle counts
@@ -47,14 +61,24 @@
 //!   --scale N  divide Table 1's op counts by N (default 50; 1 = paper)
 //!   --seed S   RNG seed (default 0x5EED)
 //!   --jobs J   worker threads (default: all cores; 1 = serial)
-//!   --journal [PATH]  (faultsim/soak/multicore) record completed cells into the
-//!              journaled result manifest at PATH (default:
+//!   --journal [PATH]  (faultsim/soak/multicore/litmus) record completed cells
+//!              into the journaled result manifest at PATH (default:
 //!              `.specpersist/journal-v1.jsonl`); a fresh run requires
 //!              a fresh path
 //!   --resume   (with --journal) replay verified cells from an existing
 //!              journal instead of recomputing them; the resumed stdout
 //!              is byte-identical to an uninterrupted run's
 //!   --iters N  (soak) iteration count (default 4)
+//!   --storm-bound N  (multicore) conflict-storm rollback budget per
+//!              trace position before a core degrades to a typed
+//!              ConflictStorm error (default 64; must be at least 1 —
+//!              a zero budget would fail on the first legitimate
+//!              conflict rollback)
+//!   --model-knob K  (litmus; test-only) weaken one Px86 rule —
+//!              `honest` (default) or `clflushopt-po` (pretend
+//!              clflushopt is program-ordered like clflush); under a
+//!              weakened model the checker must reach forbidden states,
+//!              proving the harness would catch a real model violation
 //!   --trace-out PATH  (profile) write the merged Chrome trace_event
 //!              document to PATH (loadable in Perfetto or
 //!              chrome://tracing)
@@ -80,10 +104,11 @@ use std::fmt;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use spp_bench::litmus::ModelKnob;
 use spp_bench::report;
 use spp_bench::{Experiment, Harness};
 
-const USAGE: &str = "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore|crashfuzz|faultsim|soak|profile> [--scale N] [--seed S] [--jobs J] [--journal [PATH] [--resume]] [--iters N] [--trace-out PATH] [--bench-out PATH]";
+const USAGE: &str = "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore|litmus|crashfuzz|faultsim|soak|profile> [--scale N] [--seed S] [--jobs J] [--journal [PATH] [--resume]] [--iters N] [--storm-bound N] [--trace-out PATH] [--bench-out PATH]";
 
 /// A rejected invocation: every variant renders as one line, and every
 /// variant exits non-zero. Parsing never panics on user input.
@@ -150,7 +175,7 @@ impl fmt::Display for CliError {
                 write!(f, "unknown crashfuzz leg {l:?} (want all|log|logp|logpsf)")
             }
             CliError::FlagUnsupported { flag, cmd } => {
-                write!(f, "{flag} is not supported by {cmd:?} (journaled commands: faultsim, soak, profile, multicore; --iters: soak; --trace-out: profile; --bench-out: all, profile)")
+                write!(f, "{flag} is not supported by {cmd:?} (journaled commands: faultsim, soak, profile, multicore, litmus; --iters: soak; --storm-bound: multicore; --model-knob: litmus; --trace-out: profile; --bench-out: all, profile)")
             }
             CliError::ResumeNeedsJournal => f.write_str("--resume requires --journal <path>"),
             CliError::ResumeMissingJournal(p) => {
@@ -176,6 +201,8 @@ struct Cli {
     journal: Option<String>,
     resume: bool,
     iters: Option<u64>,
+    storm_bound: Option<u64>,
+    model_knob: Option<ModelKnob>,
     trace_out: Option<String>,
     bench_out: Option<String>,
     positional: Vec<String>,
@@ -192,6 +219,8 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let mut journal: Option<String> = None;
     let mut resume = false;
     let mut iters: Option<u64> = None;
+    let mut storm_bound: Option<u64> = None;
+    let mut model_knob: Option<ModelKnob> = None;
     let mut trace_out: Option<String> = None;
     let mut bench_out: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
@@ -285,6 +314,27 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 )?);
                 i += 2;
             }
+            "--storm-bound" => {
+                // A zero budget would degrade a core on its first
+                // legitimate conflict rollback, so the floor is 1.
+                storm_bound = Some(flag_value(
+                    "--storm-bound",
+                    args,
+                    i,
+                    1,
+                    "an integer of at least 1",
+                )?);
+                i += 2;
+            }
+            "--model-knob" => {
+                let given = args.get(i + 1).cloned().unwrap_or_default();
+                model_knob = Some(ModelKnob::parse(&given).ok_or(CliError::BadValue {
+                    flag: "--model-knob",
+                    given,
+                    want: "honest or clflushopt-po",
+                })?);
+                i += 2;
+            }
             other => {
                 positional.push(other.to_string());
                 i += 1;
@@ -298,6 +348,8 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         journal,
         resume,
         iters,
+        storm_bound,
+        model_knob,
         trace_out,
         bench_out,
         positional,
@@ -309,7 +361,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
 fn check_flag_scope(cli: &Cli) -> Result<(), CliError> {
     let journaled = matches!(
         cli.cmd.as_str(),
-        "faultsim" | "soak" | "profile" | "multicore"
+        "faultsim" | "soak" | "profile" | "multicore" | "litmus"
     );
     if cli.journal.is_some() && !journaled {
         return Err(CliError::FlagUnsupported {
@@ -326,6 +378,18 @@ fn check_flag_scope(cli: &Cli) -> Result<(), CliError> {
     if cli.iters.is_some() && cli.cmd != "soak" {
         return Err(CliError::FlagUnsupported {
             flag: "--iters",
+            cmd: cli.cmd.clone(),
+        });
+    }
+    if cli.storm_bound.is_some() && cli.cmd != "multicore" {
+        return Err(CliError::FlagUnsupported {
+            flag: "--storm-bound",
+            cmd: cli.cmd.clone(),
+        });
+    }
+    if cli.model_knob.is_some() && cli.cmd != "litmus" {
+        return Err(CliError::FlagUnsupported {
+            flag: "--model-knob",
             cmd: cli.cmd.clone(),
         });
     }
@@ -441,6 +505,8 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
         journal,
         resume,
         iters,
+        storm_bound,
+        model_knob,
         trace_out,
         bench_out,
         positional,
@@ -540,7 +606,8 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
             );
         }
         "json" => println!("{}", spp_bench::json::suite_json(&runs)),
-        "multicore" => return multicore_cmd(&harness, journal.as_deref(), resume),
+        "multicore" => return multicore_cmd(&harness, journal.as_deref(), resume, storm_bound),
+        "litmus" => return litmus_cmd(&harness, journal.as_deref(), resume, model_knob),
         "trace" => return trace_cmd(&positional, &exp).map(|()| ExitCode::SUCCESS),
         "crashfuzz" => return crashfuzz_cmd(&harness, &positional),
         "faultsim" => return faultsim_cmd(&harness, journal.as_deref(), resume),
@@ -641,11 +708,13 @@ fn faultsim_cmd(
 /// `specpersist/multicore-v1` JSON line. With a journal, completed
 /// cells are recorded and `--resume` replays them byte-identically.
 /// Exits non-zero if any cell degraded, the contended SP legs produced
-/// no BLT conflicts, or a disjoint leg conflicted.
+/// no BLT conflicts, or a disjoint leg conflicted. `--storm-bound`
+/// tightens (or loosens) each core's conflict-storm rollback budget.
 fn multicore_cmd(
     harness: &Harness,
     journal: Option<&str>,
     resume: bool,
+    storm_bound: Option<u64>,
 ) -> Result<ExitCode, CliError> {
     use spp_bench::multicore::{run_multicore_opts, MulticoreOpts};
     let j = match journal {
@@ -657,6 +726,57 @@ fn multicore_cmd(
             harness,
             MulticoreOpts {
                 journal: j.as_ref(),
+                storm_bound,
+            },
+        )
+    });
+    if let Some(j) = &j {
+        for e in j.corrupt() {
+            eprintln!("repro: journal: {e}");
+        }
+        eprintln!(
+            "# journal {}: {} cells replayed",
+            j.path().display(),
+            rep.replayed
+        );
+    }
+    print!("{}", rep.render_text());
+    println!("{}", rep.render_json());
+    Ok(if rep.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `repro litmus [--journal PATH [--resume]] [--model-knob K]`: Px86
+/// persistency-model validation — every litmus program x flush mode is
+/// one supervised cell checked against the executable reference model
+/// on all seven legs (CrashSim, both cores x {baseline, SP}, and the
+/// SP differentials). Prints the per-program table and one
+/// `specpersist/litmus-v1` JSON line. With a journal, completed cells
+/// (including failed ones, witness and all) replay byte-identically.
+/// The hidden `--model-knob` weakens one model rule so CI can prove
+/// the checker actually fails when the model is wrong. Exits non-zero
+/// if any leg reached a forbidden state.
+fn litmus_cmd(
+    harness: &Harness,
+    journal: Option<&str>,
+    resume: bool,
+    model_knob: Option<ModelKnob>,
+) -> Result<ExitCode, CliError> {
+    use spp_bench::litmus::{litmus_programs, run_litmus_opts, LitmusOpts};
+    let j = match journal {
+        Some(p) => Some(open_journal(std::path::Path::new(p), resume)?),
+        None => None,
+    };
+    let sims = litmus_programs(&harness.exp).len() * 3;
+    let rep = staged("litmus", sims, || {
+        run_litmus_opts(
+            harness,
+            LitmusOpts {
+                journal: j.as_ref(),
+                knob: model_knob.unwrap_or_default(),
             },
         )
     });
@@ -1013,6 +1133,76 @@ mod tests {
         assert!(check_flag_scope(&cli).is_ok());
         let cli = parse_args(&args(&["soak", "--iters", "3"])).unwrap();
         assert_eq!(cli.iters, Some(3));
+        assert!(check_flag_scope(&cli).is_ok());
+    }
+
+    #[test]
+    fn storm_bound_parses_validates_and_scopes_to_multicore() {
+        let cli = parse_args(&args(&["multicore", "--storm-bound", "8"])).unwrap();
+        assert_eq!(cli.storm_bound, Some(8));
+        assert!(check_flag_scope(&cli).is_ok());
+        // Zero (and junk) budgets are typed errors, not panics.
+        for bad in ["0", "-1", "lots", ""] {
+            let e = parse_args(&args(&["multicore", "--storm-bound", bad])).unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    CliError::BadValue {
+                        flag: "--storm-bound",
+                        ..
+                    }
+                ),
+                "--storm-bound {bad:?} gave {e:?}"
+            );
+        }
+        // The flag means nothing outside the multicore study.
+        let cli = parse_args(&args(&["faultsim", "--storm-bound", "8"])).unwrap();
+        assert_eq!(
+            check_flag_scope(&cli).unwrap_err(),
+            CliError::FlagUnsupported {
+                flag: "--storm-bound",
+                cmd: "faultsim".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn model_knob_parses_validates_and_scopes_to_litmus() {
+        let cli = parse_args(&args(&["litmus", "--model-knob", "clflushopt-po"])).unwrap();
+        assert_eq!(cli.model_knob, Some(ModelKnob::ClflushOptProgramOrdered));
+        assert!(check_flag_scope(&cli).is_ok());
+        let cli = parse_args(&args(&["litmus", "--model-knob", "honest"])).unwrap();
+        assert_eq!(cli.model_knob, Some(ModelKnob::Honest));
+        for bad in ["", "tso", "--journal"] {
+            let e = parse_args(&args(&["litmus", "--model-knob", bad])).unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    CliError::BadValue {
+                        flag: "--model-knob",
+                        ..
+                    }
+                ),
+                "--model-knob {bad:?} gave {e:?}"
+            );
+        }
+        // Test-only means litmus-only: no other command may weaken the
+        // model, even by accident.
+        let cli = parse_args(&args(&["crashfuzz", "--model-knob", "honest"])).unwrap();
+        assert_eq!(
+            check_flag_scope(&cli).unwrap_err(),
+            CliError::FlagUnsupported {
+                flag: "--model-knob",
+                cmd: "crashfuzz".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn litmus_is_a_journaled_command() {
+        let cli = parse_args(&args(&["litmus", "--journal", "j.jsonl", "--resume"])).unwrap();
+        assert_eq!(cli.journal.as_deref(), Some("j.jsonl"));
+        assert!(cli.resume);
         assert!(check_flag_scope(&cli).is_ok());
     }
 

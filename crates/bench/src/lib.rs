@@ -36,6 +36,7 @@ pub mod crashfuzz;
 pub mod faultsim;
 pub mod journal;
 pub mod json;
+pub mod litmus;
 pub mod multicore;
 pub mod parallel;
 pub mod perfbench;

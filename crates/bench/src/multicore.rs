@@ -19,7 +19,7 @@
 //! cell carrying the typed error's JSON, and the study's exit verdict
 //! reflects it; the harness never panics on the multi-core path.
 
-use spp_cpu::{CpuConfig, MultiCore};
+use spp_cpu::{CpuConfig, MultiCore, DEFAULT_STORM_BOUND};
 use spp_workloads::{shared_trace, SharedKind, SharedSpec};
 
 use crate::journal::{CellStatus, Entry, Journal};
@@ -121,6 +121,9 @@ pub struct MulticoreReport {
     pub seed: u64,
     /// Operations per core.
     pub ops_per_core: u64,
+    /// Conflict-storm budget in effect ([`DEFAULT_STORM_BOUND`] unless
+    /// overridden with `--storm-bound`).
+    pub storm_bound: u64,
     /// Every cell, in [`CellSpec::all`] order.
     pub cells: Vec<MulticoreCell>,
     /// Cells served from the journal without recomputation.
@@ -132,6 +135,9 @@ pub struct MulticoreReport {
 pub struct MulticoreOpts<'j> {
     /// Journal completed cells here and replay them on re-runs.
     pub journal: Option<&'j Journal>,
+    /// Conflict-storm budget override (`repro multicore
+    /// --storm-bound N`); `None` uses [`DEFAULT_STORM_BOUND`].
+    pub storm_bound: Option<u64>,
 }
 
 /// Operations per core at `scale` (floored so tiny smoke scales still
@@ -140,21 +146,31 @@ fn ops_at(scale: u64) -> u64 {
     (scale / 10).max(24)
 }
 
-fn cell_key(spec: &CellSpec, scale: u64, seed: u64) -> String {
+fn cell_key(spec: &CellSpec, scale: u64, seed: u64, storm_bound: u64) -> String {
+    // A non-default storm bound changes what a cell can report (a
+    // tighter budget turns a slow-but-converging run into a typed
+    // ConflictStorm), so it must be part of the key; the default is
+    // left out to keep existing journals replayable.
+    let storm = if storm_bound == DEFAULT_STORM_BOUND {
+        String::new()
+    } else {
+        format!("/storm{storm_bound}")
+    };
     format!(
-        "multicore/{}/{}/c{}/{}/scale{}/seed{:#x}",
+        "multicore/{}/{}/c{}/{}/scale{}/seed{:#x}{}",
         spec.kind.key(),
         spec.leg(),
         spec.cores,
         spec.variant(),
         scale,
-        seed
+        seed,
+        storm
     )
 }
 
 /// Simulates one cell. Never panics: a typed simulation failure
 /// becomes a failed cell carrying the error JSON.
-fn run_cell(spec: &CellSpec, ops_per_core: u64, seed: u64) -> MulticoreCell {
+fn run_cell(spec: &CellSpec, ops_per_core: u64, seed: u64, storm_bound: u64) -> MulticoreCell {
     let shared = SharedSpec {
         ops_per_core,
         share_pm: if spec.contended {
@@ -186,7 +202,7 @@ fn run_cell(spec: &CellSpec, ops_per_core: u64, seed: u64) -> MulticoreCell {
         error: None,
     };
     let built = match MultiCore::try_new(&refs, cfg) {
-        Ok(m) => m,
+        Ok(m) => m.with_storm_bound(storm_bound),
         Err(e) => {
             cell.error = Some(format!("construct: {e}"));
             return cell;
@@ -266,17 +282,18 @@ fn decode_cell(spec: &CellSpec, payload: &str) -> Option<MulticoreCell> {
 pub fn run_multicore_opts(h: &Harness, opts: MulticoreOpts<'_>) -> MulticoreReport {
     let scale = h.exp.scale;
     let seed = h.exp.seed;
+    let storm_bound = opts.storm_bound.unwrap_or(DEFAULT_STORM_BOUND);
     let ops_per_core = ops_at(scale);
     let specs = CellSpec::all();
     let cached: Vec<Option<MulticoreCell>> = specs
         .iter()
         .map(|spec| {
             let j = opts.journal?;
-            let entry = j.lookup(&cell_key(spec, scale, seed))?;
+            let entry = j.lookup(&cell_key(spec, scale, seed, storm_bound))?;
             let decoded = decode_cell(spec, &entry.payload);
             if decoded.is_none() {
                 j.report_bad_payload(
-                    &cell_key(spec, scale, seed),
+                    &cell_key(spec, scale, seed, storm_bound),
                     "multicore payload does not decode",
                 );
             }
@@ -287,7 +304,7 @@ pub fn run_multicore_opts(h: &Harness, opts: MulticoreOpts<'_>) -> MulticoreRepo
         if cached[i].is_some() {
             None
         } else {
-            Some(run_cell(spec, ops_per_core, seed))
+            Some(run_cell(spec, ops_per_core, seed, storm_bound))
         }
     });
     let mut cells = Vec::with_capacity(specs.len());
@@ -301,7 +318,7 @@ pub fn run_multicore_opts(h: &Harness, opts: MulticoreOpts<'_>) -> MulticoreRepo
         if fresh {
             if let Some(j) = opts.journal {
                 let entry = Entry {
-                    key: cell_key(spec, scale, seed),
+                    key: cell_key(spec, scale, seed, storm_bound),
                     attempt: 1,
                     status: if cell.ok {
                         CellStatus::Ok
@@ -323,6 +340,7 @@ pub fn run_multicore_opts(h: &Harness, opts: MulticoreOpts<'_>) -> MulticoreRepo
         scale,
         seed,
         ops_per_core,
+        storm_bound,
         cells,
         replayed,
     }
@@ -384,9 +402,19 @@ impl MulticoreReport {
         );
         let _ = writeln!(
             s,
-            "{} ops/core, contended leg shares {}\u{2030} of ops, seed {:#x}\n",
+            "{} ops/core, contended leg shares {}\u{2030} of ops, seed {:#x}",
             self.ops_per_core, CONTENDED_SHARE_PM, self.seed
         );
+        // The default budget is left unprinted so journaled replays of
+        // pre-override runs stay byte-identical.
+        if self.storm_bound != DEFAULT_STORM_BOUND {
+            let _ = writeln!(
+                s,
+                "conflict-storm budget {} (default {})",
+                self.storm_bound, DEFAULT_STORM_BOUND
+            );
+        }
+        let _ = writeln!(s);
         for kind in SharedKind::ALL {
             for contended in [true, false] {
                 let leg = if contended { "contended" } else { "disjoint" };
@@ -463,14 +491,17 @@ impl MulticoreReport {
             root.num("scale", self.scale as f64)
                 .num("seed", self.seed as f64)
                 .num("ops_per_core", self.ops_per_core as f64)
-                .num("contended_share_pm", f64::from(CONTENDED_SHARE_PM))
-                .num(
-                    "contended_sp_conflicts",
-                    self.contended_sp_conflicts() as f64,
-                )
-                .num("disjoint_conflicts", self.disjoint_conflicts() as f64)
-                .num("ok", u8::from(self.ok()))
-                .raw("cells", json::array(self.cells.iter().map(cell_json)));
+                .num("contended_share_pm", f64::from(CONTENDED_SHARE_PM));
+            if self.storm_bound != DEFAULT_STORM_BOUND {
+                root.num("storm_bound", self.storm_bound as f64);
+            }
+            root.num(
+                "contended_sp_conflicts",
+                self.contended_sp_conflicts() as f64,
+            )
+            .num("disjoint_conflicts", self.disjoint_conflicts() as f64)
+            .num("ok", u8::from(self.ok()))
+            .raw("cells", json::array(self.cells.iter().map(cell_json)));
         })
     }
 }
@@ -513,6 +544,37 @@ mod tests {
     }
 
     #[test]
+    fn storm_bound_override_is_reported_and_keyed() {
+        let h = harness();
+        let rep = run_multicore_opts(
+            &h,
+            MulticoreOpts {
+                storm_bound: Some(1),
+                ..Default::default()
+            },
+        );
+        assert_eq!(rep.storm_bound, 1);
+        assert!(rep.render_text().contains("conflict-storm budget 1"));
+        assert!(rep.render_json().contains("\"storm_bound\":1"));
+        // A non-default budget gets its own journal namespace so it can
+        // never replay a default-budget campaign's cells.
+        assert!(cell_key(&CellSpec::all()[0], h.exp.scale, h.exp.seed, 1).ends_with("/storm1"));
+        // The default budget keeps the pre-flag wire format (and so the
+        // pre-flag goldens and journals) byte-for-byte.
+        let rep = run_multicore_study(&h);
+        assert_eq!(rep.storm_bound, DEFAULT_STORM_BOUND);
+        assert!(!rep.render_json().contains("storm_bound"));
+        assert!(!rep.render_text().contains("conflict-storm budget"));
+        assert!(!cell_key(
+            &CellSpec::all()[0],
+            h.exp.scale,
+            h.exp.seed,
+            DEFAULT_STORM_BOUND
+        )
+        .contains("/storm"));
+    }
+
+    #[test]
     fn jobs_do_not_change_the_bytes() {
         let h1 = Harness::new(harness().exp, 1);
         let h8 = Harness::new(harness().exp, 8);
@@ -533,12 +595,24 @@ mod tests {
         let h = harness();
         let (text, json) = {
             let j = Journal::open(&p).unwrap();
-            let rep = run_multicore_opts(&h, MulticoreOpts { journal: Some(&j) });
+            let rep = run_multicore_opts(
+                &h,
+                MulticoreOpts {
+                    journal: Some(&j),
+                    ..Default::default()
+                },
+            );
             assert_eq!(rep.replayed, 0, "first run computes everything");
             (rep.render_text(), rep.render_json())
         };
         let j = Journal::open(&p).unwrap();
-        let rep = run_multicore_opts(&h, MulticoreOpts { journal: Some(&j) });
+        let rep = run_multicore_opts(
+            &h,
+            MulticoreOpts {
+                journal: Some(&j),
+                ..Default::default()
+            },
+        );
         assert_eq!(rep.replayed, rep.cells.len(), "every cell replays");
         assert_eq!(rep.render_text(), text, "replayed stdout byte-identical");
         assert_eq!(rep.render_json(), json);

@@ -92,9 +92,16 @@ pub const MULTICORE: Schema = Schema {
     id: "specpersist/multicore-v1",
 };
 
+/// The Px86 litmus validation report (`repro litmus`).
+pub const LITMUS: Schema = Schema {
+    name: "litmus",
+    version: 1,
+    id: "specpersist/litmus-v1",
+};
+
 /// Every schema the harness knows, for exhaustive self-checks.
-pub const ALL: [Schema; 8] = [
-    SUITE, CRASHFUZZ, FAULTSIM, SOAK, JOURNAL, PROFILE, PERFBENCH, MULTICORE,
+pub const ALL: [Schema; 9] = [
+    SUITE, CRASHFUZZ, FAULTSIM, SOAK, JOURNAL, PROFILE, PERFBENCH, MULTICORE, LITMUS,
 ];
 
 impl Schema {

@@ -15,6 +15,7 @@
 use spp_bench::crashfuzz::{run_crashfuzz, Leg};
 use spp_bench::faultsim::run_faultsim;
 use spp_bench::journal::{CellStatus, Entry, Journal};
+use spp_bench::litmus::run_litmus;
 use spp_bench::multicore::run_multicore_study;
 use spp_bench::profile::run_profile;
 use spp_bench::soak::run_soak;
@@ -99,6 +100,12 @@ fn soak_document_is_stable() {
 fn multicore_document_is_stable() {
     let rep = run_multicore_study(&harness());
     check("multicore.json", &rep.render_json(), schema::MULTICORE);
+}
+
+#[test]
+fn litmus_document_is_stable() {
+    let rep = run_litmus(&harness());
+    check("litmus.json", &rep.render_json(), schema::LITMUS);
 }
 
 #[test]

@@ -32,9 +32,9 @@
 //!
 //! // An sfence stalls on a pcommit: speculate!
 //! let e0 = epochs.begin(0, 0).unwrap();
-//! ssb.push(SsbEntry { op: SsbOp::Store { addr: PAddr::new(0x40) }, epoch: e0 }).unwrap();
+//! ssb.push(SsbEntry { op: SsbOp::Store { addr: PAddr::new(0x40) }, epoch: e0, trace_idx: 0 }).unwrap();
 //! // A second persist barrier inside the shadow: child epoch.
-//! ssb.push(SsbEntry { op: SsbOp::SfencePcommitSfence, epoch: e0 }).unwrap();
+//! ssb.push(SsbEntry { op: SsbOp::SfencePcommitSfence, epoch: e0, trace_idx: 1 }).unwrap();
 //! let e1 = epochs.begin(10, 50).unwrap();
 //!
 //! // The first pcommit acknowledges: epoch 0 commits and drains.

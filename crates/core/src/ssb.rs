@@ -74,13 +74,18 @@ pub enum SsbOp {
     SfencePcommitSfence,
 }
 
-/// One SSB slot: the operation plus its owning epoch.
+/// One SSB slot: the operation plus its owning epoch and provenance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SsbEntry {
     /// The buffered operation.
     pub op: SsbOp,
     /// The speculative epoch that retired it.
     pub epoch: u64,
+    /// Index of the source trace event (the micro-op's `trace_idx`).
+    /// Lets the drain stage attribute each writeback to the original
+    /// instruction — the persist-visibility log uses this to rebuild a
+    /// crash-equivalent event order for `CrashSim`.
+    pub trace_idx: usize,
 }
 
 /// SSB occupancy statistics.
@@ -106,7 +111,7 @@ pub struct SsbStats {
 ///
 /// let mut ssb = Ssb::new(SsbConfig::table3(32));
 /// let a = PAddr::new(0x1000);
-/// ssb.push(SsbEntry { op: SsbOp::Store { addr: a }, epoch: 0 }).unwrap();
+/// ssb.push(SsbEntry { op: SsbOp::Store { addr: a }, epoch: 0, trace_idx: 0 }).unwrap();
 /// assert!(ssb.forwards(a));
 /// assert!(!ssb.forwards(PAddr::new(0x2000)));
 /// let drained = ssb.drain_epoch(0);
@@ -270,6 +275,7 @@ mod tests {
                 addr: PAddr::new(addr),
             },
             epoch,
+            trace_idx: 0,
         }
     }
 
@@ -320,11 +326,13 @@ mod tests {
                 block: BlockId::new(1),
             },
             epoch: 0,
+            trace_idx: 0,
         })
         .unwrap();
         s.push(SsbEntry {
             op: SsbOp::SfencePcommitSfence,
             epoch: 0,
+            trace_idx: 0,
         })
         .unwrap();
         s.push(store(64, 1)).unwrap();

@@ -43,6 +43,7 @@ mod reference;
 mod simulator;
 mod stats;
 mod uop;
+pub mod vislog;
 
 use spp_pmem::Event;
 
@@ -55,6 +56,7 @@ pub use reference::ReferencePipeline;
 pub use simulator::Simulator;
 pub use stats::{CpuStats, SimResult};
 pub use uop::{TraceCursor, Uop, UopKind};
+pub use vislog::{reconstruct, VisEvent, VisOp};
 
 /// Replays `events` through the pipeline and returns the statistics.
 ///

@@ -31,6 +31,7 @@ use crate::config::{CpuConfig, SpConfig};
 use crate::error::{DiagnosticSnapshot, SimError, SimErrorKind};
 use crate::stats::{CpuStats, EpochRetired, SimResult};
 use crate::uop::{TraceCursor, Uop, UopKind};
+use crate::vislog::{VisEvent, VisOp};
 
 /// Internal step failure: lightweight so it can be raised inside
 /// borrow-heavy regions; [`Pipeline::step`] attaches the diagnostic
@@ -224,7 +225,9 @@ pub struct Pipeline<'t> {
     /// `Store` entries currently in the ROB (fast-path gate for the
     /// store-to-load forwarding scan).
     rob_stores: usize,
-    store_buffer: VecDeque<BlockId>,
+    /// Post-retirement store buffer: block to write plus the source
+    /// trace index of the store (persist-visibility attribution).
+    store_buffer: VecDeque<(BlockId, usize)>,
     sb_busy: Cycle,
     pending_flushes: PendingOps,
     pending_pcommits: PendingOps,
@@ -249,6 +252,10 @@ pub struct Pipeline<'t> {
     /// Cycle the current fence-stall episode opened at, if one is open
     /// (probe bookkeeping only).
     fence_stall_open: Option<Cycle>,
+    /// Persist-visibility log (litmus harness). `None` unless enabled —
+    /// the default path pays one dead branch per persist effect. Pure
+    /// recording: never influences timing or architectural state.
+    vislog: Option<Vec<VisEvent>>,
 }
 
 impl<'t> Pipeline<'t> {
@@ -286,8 +293,23 @@ impl<'t> Pipeline<'t> {
             stats: CpuStats::default(),
             probe: ProbeHandle::disabled(),
             fence_stall_open: None,
+            vislog: None,
             cfg,
         }
+    }
+
+    /// Starts recording the persist-visibility log: one [`VisEvent`]
+    /// per store drain, flush posting, `pcommit` issue, and realized
+    /// fence. Off by default. See [`crate::vislog`].
+    pub fn enable_persist_log(&mut self) {
+        self.vislog = Some(Vec::new());
+    }
+
+    /// Takes the recorded persist-visibility log (empty if logging was
+    /// never enabled). Entries are in recording order; feed them to
+    /// [`crate::vislog::reconstruct`], which orders by visibility time.
+    pub fn take_persist_log(&mut self) -> Vec<VisEvent> {
+        self.vislog.take().unwrap_or_default()
     }
 
     /// Attaches an observability probe to the pipeline and its memory
@@ -910,7 +932,7 @@ impl<'t> Pipeline<'t> {
                     self.pop_retired(|s| s.loads += 1)?;
                 }
                 UopKind::Store { addr } => {
-                    if !self.retire_store(addr, &mut block)? {
+                    if !self.retire_store(addr, head.uop.trace_idx, &mut block)? {
                         break;
                     }
                 }
@@ -927,7 +949,7 @@ impl<'t> Pipeline<'t> {
                         } else {
                             SsbOp::Clwb { block: b }
                         };
-                        if !self.push_ssb(op)? {
+                        if !self.push_ssb(op, head.uop.trace_idx)? {
                             block.ssb_full = true;
                             self.stats.ssb_full_stall_cycles += 1;
                             break;
@@ -935,6 +957,14 @@ impl<'t> Pipeline<'t> {
                     } else {
                         let f = self.mem.flush(self.now, b, invalidate);
                         self.pending_flushes.push(f.visible_at);
+                        if let Some(l) = self.vislog.as_mut() {
+                            l.push(VisEvent {
+                                at: self.now,
+                                op: VisOp::Flush {
+                                    trace_idx: head.uop.trace_idx,
+                                },
+                            });
+                        }
                     }
                     if self.pcommit_outstanding() {
                         self.stats.stores_while_pcommit += 1;
@@ -942,23 +972,29 @@ impl<'t> Pipeline<'t> {
                     self.pop_retired(|s| s.flushes += 1)?;
                 }
                 UopKind::Clflush { block: b } => {
-                    if !self.retire_clflush(b, speculating, &mut block)? {
+                    if !self.retire_clflush(b, head.uop.trace_idx, speculating, &mut block)? {
                         break;
                     }
                 }
                 UopKind::Pcommit => {
                     if speculating {
-                        if !self.retire_spec_pcommit_pattern(&mut block)? {
+                        if !self.retire_spec_pcommit_pattern(head.uop.trace_idx, &mut block)? {
                             break;
                         }
                     } else if self.ssb_nonempty() {
-                        if !self.push_ssb(SsbOp::Pcommit)? {
+                        if !self.push_ssb(SsbOp::Pcommit, head.uop.trace_idx)? {
                             block.ssb_full = true;
                             self.stats.ssb_full_stall_cycles += 1;
                             break;
                         }
                         self.pop_retired(|s| s.pcommits += 1)?;
                     } else {
+                        if let Some(l) = self.vislog.as_mut() {
+                            l.push(VisEvent {
+                                at: self.now,
+                                op: VisOp::Pcommit,
+                            });
+                        }
                         let done = self.mem.pcommit(self.now);
                         let done = self.fault_ack(done);
                         let inflight = 1 + self.pending_pcommits.outstanding_count(self.now) as u64;
@@ -987,9 +1023,10 @@ impl<'t> Pipeline<'t> {
         self.sp.as_ref().is_some_and(|s| !s.ssb.is_empty())
     }
 
-    /// Pushes an op into the SSB tagged with the current tail epoch.
+    /// Pushes an op into the SSB tagged with the current tail epoch and
+    /// its source trace index.
     /// `Ok(false)` means the SSB is full (or a fault denied the slot).
-    fn push_ssb(&mut self, op: SsbOp) -> Result<bool, StepErr> {
+    fn push_ssb(&mut self, op: SsbOp, trace_idx: usize) -> Result<bool, StepErr> {
         if self.ssb_alloc_denied() {
             return Ok(false);
         }
@@ -1006,7 +1043,15 @@ impl<'t> Pipeline<'t> {
             sp.committed_frontier.unwrap_or(0)
         };
         let pushed = if let SsbOp::Store { addr } = op {
-            if sp.ssb.push(SsbEntry { op, epoch }).is_err() {
+            if sp
+                .ssb
+                .push(SsbEntry {
+                    op,
+                    epoch,
+                    trace_idx,
+                })
+                .is_err()
+            {
                 return Ok(false);
             }
             sp.bloom.insert(addr);
@@ -1016,7 +1061,13 @@ impl<'t> Pipeline<'t> {
             }
             true
         } else {
-            sp.ssb.push(SsbEntry { op, epoch }).is_ok()
+            sp.ssb
+                .push(SsbEntry {
+                    op,
+                    epoch,
+                    trace_idx,
+                })
+                .is_ok()
         };
         if pushed {
             self.probe.emit(ProbeEvent::SsbOccupancy {
@@ -1028,10 +1079,15 @@ impl<'t> Pipeline<'t> {
         Ok(pushed)
     }
 
-    fn retire_store(&mut self, addr: PAddr, block: &mut RetireBlock) -> Result<bool, StepErr> {
+    fn retire_store(
+        &mut self,
+        addr: PAddr,
+        trace_idx: usize,
+        block: &mut RetireBlock,
+    ) -> Result<bool, StepErr> {
         let speculating = self.sp.as_ref().is_some_and(|s| s.speculating);
         if speculating || self.ssb_nonempty() {
-            if !self.push_ssb(SsbOp::Store { addr })? {
+            if !self.push_ssb(SsbOp::Store { addr }, trace_idx)? {
                 block.ssb_full = true;
                 self.stats.ssb_full_stall_cycles += 1;
                 return Ok(false);
@@ -1040,7 +1096,7 @@ impl<'t> Pipeline<'t> {
             if self.store_buffer.len() >= self.cfg.store_buffer {
                 return Ok(false);
             }
-            self.store_buffer.push_back(addr.block());
+            self.store_buffer.push_back((addr.block(), trace_idx));
         }
         if self.pcommit_outstanding() {
             self.stats.stores_while_pcommit += 1;
@@ -1052,6 +1108,7 @@ impl<'t> Pipeline<'t> {
     fn retire_clflush(
         &mut self,
         b: BlockId,
+        trace_idx: usize,
         speculating: bool,
         block: &mut RetireBlock,
     ) -> Result<bool, StepErr> {
@@ -1059,7 +1116,7 @@ impl<'t> Pipeline<'t> {
             return Ok(false);
         }
         if speculating || self.ssb_nonempty() {
-            if !self.push_ssb(SsbOp::ClflushOpt { block: b })? {
+            if !self.push_ssb(SsbOp::ClflushOpt { block: b }, trace_idx)? {
                 block.ssb_full = true;
                 return Ok(false);
             }
@@ -1077,6 +1134,12 @@ impl<'t> Pipeline<'t> {
                 if let Some(h) = self.rob.front_mut() {
                     h.state = EState::Exec(f.visible_at);
                 }
+                if let Some(l) = self.vislog.as_mut() {
+                    l.push(VisEvent {
+                        at: self.now,
+                        op: VisOp::Flush { trace_idx },
+                    });
+                }
                 Ok(false)
             }
             EState::Exec(t) if t <= self.now => {
@@ -1090,7 +1153,11 @@ impl<'t> Pipeline<'t> {
     /// Speculative-mode `pcommit` at the head: if followed by an
     /// `sfence` (and combining is on), consume both as the combined SSB
     /// opcode and open a child epoch at the trailing fence.
-    fn retire_spec_pcommit_pattern(&mut self, block: &mut RetireBlock) -> Result<bool, StepErr> {
+    fn retire_spec_pcommit_pattern(
+        &mut self,
+        trace_idx: usize,
+        block: &mut RetireBlock,
+    ) -> Result<bool, StepErr> {
         let Some(combine) = self.sp.as_ref().map(|s| s.cfg.combine_barrier) else {
             return Err(StepErr::Broken("speculative pcommit without SP"));
         };
@@ -1103,7 +1170,7 @@ impl<'t> Pipeline<'t> {
             return Ok(false);
         }
         // Bare in-shadow pcommit: delay it into the SSB.
-        if !self.push_ssb(SsbOp::Pcommit)? {
+        if !self.push_ssb(SsbOp::Pcommit, trace_idx)? {
             block.ssb_full = true;
             self.stats.ssb_full_stall_cycles += 1;
             return Ok(false);
@@ -1125,6 +1192,7 @@ impl<'t> Pipeline<'t> {
         debug_assert!(matches!(self.rob[pcommit_at].uop.kind, UopKind::Pcommit));
         debug_assert!(matches!(self.rob[fence_idx].uop.kind, UopKind::Sfence));
         let resume_idx = self.rob[fence_idx].uop.trace_idx;
+        let pcommit_tidx = self.rob[pcommit_at].uop.trace_idx;
         let ssb_denied = self.ssb_alloc_denied();
         let ckpt_denied = self.checkpoint_alloc_denied();
         {
@@ -1150,6 +1218,7 @@ impl<'t> Pipeline<'t> {
                 .push(SsbEntry {
                     op: SsbOp::SfencePcommitSfence,
                     epoch: parent,
+                    trace_idx: pcommit_tidx,
                 })
                 .is_err()
             {
@@ -1296,6 +1365,12 @@ impl<'t> Pipeline<'t> {
                 .as_ref()
                 .is_some_and(|s| s.drain_visible_frontier > now);
         if !flushes_pending && !pcommits_pending && !drain_pending {
+            if let Some(l) = self.vislog.as_mut() {
+                l.push(VisEvent {
+                    at: now,
+                    op: VisOp::Fence,
+                });
+            }
             self.pop_retired(|s| s.fences += 1)?;
             return Ok(true);
         }
@@ -1356,7 +1431,7 @@ impl<'t> Pipeline<'t> {
     fn drain_store_buffer(&mut self) -> bool {
         let mut any = false;
         while self.sb_busy <= self.now {
-            let Some(b) = self.store_buffer.pop_front() else {
+            let Some((b, trace_idx)) = self.store_buffer.pop_front() else {
                 break;
             };
             // Posted write: state effects now, 1/cycle pacing. This is
@@ -1365,6 +1440,12 @@ impl<'t> Pipeline<'t> {
             let _ = self.mem.access(self.now, b, AccessKind::Store);
             if self.emit_snoops {
                 self.snoop_out.push(b);
+            }
+            if let Some(l) = self.vislog.as_mut() {
+                l.push(VisEvent {
+                    at: self.now,
+                    op: VisOp::Store { trace_idx },
+                });
             }
             self.sb_busy = self.now + 1;
             any = true;
@@ -1403,6 +1484,15 @@ impl<'t> Pipeline<'t> {
             sp.gates.pop_front();
             sp.retired_per_epoch.pop_front();
             sp.committed_frontier = Some(oldest.id);
+            // Each epoch corresponds to exactly one program fence (the
+            // one whose speculative retirement opened it); its ordering
+            // guarantee is realized here, at commit.
+            if let Some(l) = self.vislog.as_mut() {
+                l.push(VisEvent {
+                    at: now,
+                    op: VisOp::Fence,
+                });
+            }
             self.probe.emit(ProbeEvent::EpochCommit {
                 now,
                 epoch: oldest.id,
@@ -1442,20 +1532,50 @@ impl<'t> Pipeline<'t> {
                     if self.emit_snoops {
                         self.snoop_out.push(addr.block());
                     }
+                    if let Some(l) = self.vislog.as_mut() {
+                        l.push(VisEvent {
+                            at: t,
+                            op: VisOp::Store {
+                                trace_idx: e.trace_idx,
+                            },
+                        });
+                    }
                     sp.drain_busy = t + 1;
                 }
                 SsbOp::Clwb { block } => {
                     let f = self.mem.flush(t, block, false);
                     sp.drain_visible_frontier = sp.drain_visible_frontier.max(f.visible_at);
+                    if let Some(l) = self.vislog.as_mut() {
+                        l.push(VisEvent {
+                            at: t,
+                            op: VisOp::Flush {
+                                trace_idx: e.trace_idx,
+                            },
+                        });
+                    }
                     sp.drain_busy = t + 1;
                 }
                 SsbOp::ClflushOpt { block } => {
                     let f = self.mem.flush(t, block, true);
                     sp.drain_visible_frontier = sp.drain_visible_frontier.max(f.visible_at);
+                    if let Some(l) = self.vislog.as_mut() {
+                        l.push(VisEvent {
+                            at: t,
+                            op: VisOp::Flush {
+                                trace_idx: e.trace_idx,
+                            },
+                        });
+                    }
                     sp.drain_busy = t + 1;
                 }
                 SsbOp::Pcommit => {
                     let _ = self.mem.pcommit(t);
+                    if let Some(l) = self.vislog.as_mut() {
+                        l.push(VisEvent {
+                            at: t,
+                            op: VisOp::Pcommit,
+                        });
+                    }
                     sp.drain_busy = t + 1;
                 }
                 SsbOp::SfencePcommitSfence => {
@@ -1463,6 +1583,16 @@ impl<'t> Pipeline<'t> {
                     // then the pcommit issues and its ack gates the next
                     // epoch.
                     let issue = t.max(sp.drain_visible_frontier);
+                    if let Some(l) = self.vislog.as_mut() {
+                        l.push(VisEvent {
+                            at: issue,
+                            op: VisOp::Fence,
+                        });
+                        l.push(VisEvent {
+                            at: issue,
+                            op: VisOp::Pcommit,
+                        });
+                    }
                     let mut done = self.mem.pcommit(issue);
                     // Ack faults apply here too: a delayed ack holds the
                     // next epoch's gate; a duplicate becomes one more

@@ -151,24 +151,31 @@ impl<'a> CrashSim<'a> {
         self.crash_idx
     }
 
-    /// The guaranteed-persist frontier of `block`: every store to the
-    /// block at or before this event index is certainly in NVMM. Blocks
-    /// never persisted return 0 (only the base image is certain).
+    /// The guaranteed-persist frontier of `block`, as an *exclusive*
+    /// event index: every store to the block strictly before it is
+    /// certainly in NVMM. Blocks never persisted return 0 — no store
+    /// precedes index 0, so only the base image is certain. (The
+    /// exclusive convention matters: a guaranteed flush at event `i`
+    /// covers the stores before it, and an inclusive default of 0
+    /// would silently claim a store at trace index 0 always persists —
+    /// an off-by-one the Px86 litmus harness caught.)
     pub fn guarantee(&self, block: BlockId) -> usize {
         self.guaranteed.get(&block).copied().unwrap_or(0)
     }
 
     /// Builds an NVMM image choosing, for each dirty block, a cut point
     /// via `choose(block, frontier, crash_idx)`. The returned cut is
-    /// clamped into `[frontier, crash_idx]`; all stores to the block at
-    /// or before the cut are applied.
+    /// clamped into `[frontier, crash_idx]`; all stores to the block
+    /// strictly before the cut are applied (cuts are exclusive, like
+    /// the frontier, so `frontier` itself applies exactly the
+    /// guaranteed stores and `crash_idx` applies everything).
     pub fn image_with(&self, mut choose: impl FnMut(BlockId, usize, usize) -> usize) -> Space {
         let mut img = self.base.clone();
         for (&block, stores) in &self.stores {
             let g = self.guarantee(block);
             let cut = choose(block, g, self.crash_idx).clamp(g, self.crash_idx);
             for s in stores {
-                if s.idx <= cut {
+                if s.idx < cut {
                     img.write_uint(s.addr, s.size, s.value);
                 }
             }
@@ -208,6 +215,59 @@ impl<'a> CrashSim<'a> {
     /// guaranteed frontiers (diagnostics and test enumeration).
     pub fn dirty_blocks(&self) -> impl Iterator<Item = (BlockId, usize)> + '_ {
         self.stores.keys().map(move |&b| (b, self.guarantee(b)))
+    }
+
+    /// The distinct cut points of `block`: its guaranteed frontier plus
+    /// one cut just past every store at or after the frontier (cuts are
+    /// exclusive). Any cut in `[frontier, crash_idx]` produces the same
+    /// image as the largest cut point at or below it, so these exhaust
+    /// the block's possible post-crash contents. A clean block has the
+    /// single cut `0`.
+    pub fn cut_points(&self, block: BlockId) -> Vec<usize> {
+        let g = self.guarantee(block);
+        let mut pts = vec![g];
+        if let Some(stores) = self.stores.get(&block) {
+            pts.extend(stores.iter().filter(|s| s.idx >= g).map(|s| s.idx + 1));
+        }
+        pts.dedup();
+        pts
+    }
+
+    /// Exhaustively enumerates every post-crash image the per-block cut
+    /// freedom allows — the cross product of [`CrashSim::cut_points`]
+    /// over all dirty blocks — and calls `visit` on each. This is the
+    /// ground truth the seeded sampler ([`CrashSim::image_seeded`]) and
+    /// the litmus checker's reachable-state sets are pinned against.
+    ///
+    /// The enumeration is exponential in the number of dirty blocks;
+    /// callers are expected to use it on small traces only (litmus
+    /// programs, property tests).
+    pub fn for_each_image(&self, mut visit: impl FnMut(&Space)) {
+        let mut blocks: Vec<BlockId> = self.stores.keys().copied().collect();
+        blocks.sort_unstable_by_key(|b| b.raw());
+        let cuts: Vec<Vec<usize>> = blocks.iter().map(|&b| self.cut_points(b)).collect();
+        let mut chosen: HashMap<BlockId, usize> = HashMap::new();
+        self.enumerate_images(&blocks, &cuts, 0, &mut chosen, &mut visit);
+    }
+
+    fn enumerate_images(
+        &self,
+        blocks: &[BlockId],
+        cuts: &[Vec<usize>],
+        depth: usize,
+        chosen: &mut HashMap<BlockId, usize>,
+        visit: &mut impl FnMut(&Space),
+    ) {
+        if depth == blocks.len() {
+            let img = self.image_with(|b, g, _| chosen.get(&b).copied().unwrap_or(g));
+            visit(&img);
+            return;
+        }
+        for &cut in &cuts[depth] {
+            chosen.insert(blocks[depth], cut);
+            self.enumerate_images(blocks, cuts, depth + 1, chosen, visit);
+        }
+        chosen.remove(&blocks[depth]);
     }
 }
 
@@ -539,6 +599,97 @@ mod tests {
                 assert!(pts.contains(&i), "missing point before event {i}");
                 assert!(pts.contains(&(i + 1)), "missing point after event {i}");
             }
+        }
+    }
+
+    #[test]
+    fn cut_points_are_frontier_plus_later_stores() {
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let a = env.alloc_block();
+        let base = env.snapshot();
+        env.store_u64(a, 1);
+        env.clwb(a);
+        env.sfence();
+        env.pcommit();
+        env.sfence();
+        env.store_u64(a, 2);
+        env.store_u64(a, 3);
+        let trace = env.take_trace();
+        let sim = CrashSim::new(&base, &trace.events, trace.events.len());
+        let g = sim.guarantee(a.block());
+        assert!(g > 0);
+        let pts = sim.cut_points(a.block());
+        assert_eq!(pts.len(), 3, "frontier + two unguaranteed stores");
+        assert_eq!(pts[0], g);
+        assert!(pts.windows(2).all(|w| w[0] < w[1]));
+        // A clean block exposes only the trivial cut.
+        assert_eq!(
+            sim.cut_points(BlockId::new(usize::MAX as u64 & !63)),
+            vec![0]
+        );
+    }
+
+    /// Exhaustive enumeration visits exactly the cross product of
+    /// per-block prefix states.
+    #[test]
+    fn for_each_image_is_the_cut_cross_product() {
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let a = env.alloc_block();
+        let b = env.alloc_block();
+        let base = env.snapshot();
+        env.store_u64(a, 1);
+        env.store_u64(b, 10);
+        env.store_u64(a, 2);
+        let trace = env.take_trace();
+        let sim = CrashSim::new(&base, &trace.events, trace.events.len());
+        let mut states = std::collections::BTreeSet::new();
+        sim.for_each_image(|img| {
+            states.insert((img.read_u64(a), img.read_u64(b)));
+        });
+        // a ∈ {0, 1, 2} independently of b ∈ {0, 10}.
+        let expect: std::collections::BTreeSet<(u64, u64)> = [0u64, 1, 2]
+            .iter()
+            .flat_map(|&x| [0u64, 10].iter().map(move |&y| (x, y)))
+            .collect();
+        assert_eq!(states, expect);
+    }
+
+    /// Satellite: the seeded sampler, swept over a modest seed range,
+    /// produces *exactly* the state set the exhaustive enumeration
+    /// produces — on every persist boundary of a tiny multi-block trace.
+    /// This pins `image_seeded` to the ground truth the litmus checker's
+    /// witness replay relies on.
+    #[test]
+    fn seeded_sweep_matches_exhaustive_enumeration() {
+        let mut env = PmemEnv::new(Variant::LogPSf);
+        let blocks: Vec<PAddr> = (0..4).map(|_| env.alloc_block()).collect();
+        let base = env.snapshot();
+        env.store_u64(blocks[0], 1);
+        env.store_u64(blocks[1], 2);
+        env.clwb(blocks[0]);
+        env.sfence();
+        env.store_u64(blocks[2], 3);
+        env.pcommit();
+        env.sfence();
+        env.store_u64(blocks[3], 4);
+        env.store_u64(blocks[0], 5);
+        let trace = env.take_trace();
+        for &crash in &persist_boundaries(&trace.events) {
+            let sim = CrashSim::new(&base, &trace.events, crash);
+            let state =
+                |img: &Space| -> Vec<u64> { blocks.iter().map(|&p| img.read_u64(p)).collect() };
+            let mut exhaustive = std::collections::BTreeSet::new();
+            sim.for_each_image(|img| {
+                exhaustive.insert(state(img));
+            });
+            let mut sampled = std::collections::BTreeSet::new();
+            for seed in 0..4096u64 {
+                sampled.insert(state(&sim.image_seeded(seed)));
+            }
+            assert_eq!(
+                sampled, exhaustive,
+                "crash {crash}: seeded sweep must cover exactly the exhaustive states"
+            );
         }
     }
 

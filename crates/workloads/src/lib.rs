@@ -44,6 +44,7 @@ pub mod driver;
 pub mod graph;
 pub mod hashmap;
 pub mod linked_list;
+pub mod litmus;
 pub mod oracle;
 pub mod rbtree;
 pub mod shared;
