@@ -32,6 +32,22 @@
 //!              journaled like faultsim; exits non-zero if any leg
 //!              reaches a forbidden state (the minimized witness is in
 //!              the report)
+//!   kv         crash-recoverable KV storage engine: WAL + COW
+//!              checkpointed B+tree under a mixed YCSB-style load —
+//!              baseline-vs-SP cycles across a checkpoint-interval
+//!              sweep, crash recovery fuzzed at every persist boundary
+//!              (clean under Log+P+Sf, witness-minimized under Log,
+//!              and a must-fail leg proving an elided WAL checksum is
+//!              caught), plus a bounded-memory streamed-trace leg;
+//!              prints the per-cell tables plus one
+//!              `specpersist/kv-v1` JSON line, journaled like
+//!              faultsim; exits non-zero if any oracle fails or the
+//!              SP legs regress
+//!   journal check <PATH>  offline integrity walk of a journaled
+//!              result manifest: verify every line's checksum and
+//!              envelope, report damaged lines (bit flips, torn tail,
+//!              truncation); exit 0 clean, 2 damage found, 1 missing
+//!              or unreadable file
 //!   crashfuzz [all|log|logp|logpsf]  crash-consistency fuzzing, the
 //!              workload-level half of the persist-semantics story
 //!              (litmus is the model-level half): Log+P+Sf must recover
@@ -61,7 +77,8 @@
 //!   --scale N  divide Table 1's op counts by N (default 50; 1 = paper)
 //!   --seed S   RNG seed (default 0x5EED)
 //!   --jobs J   worker threads (default: all cores; 1 = serial)
-//!   --journal [PATH]  (faultsim/soak/multicore/litmus) record completed cells
+//!   --journal [PATH]  (faultsim/soak/profile/multicore/litmus/kv)
+//!              record completed cells
 //!              into the journaled result manifest at PATH (default:
 //!              `.specpersist/journal-v1.jsonl`); a fresh run requires
 //!              a fresh path
@@ -82,11 +99,15 @@
 //!   --trace-out PATH  (profile) write the merged Chrome trace_event
 //!              document to PATH (loadable in Perfetto or
 //!              chrome://tracing)
-//!   --bench-out PATH  (all/profile) where to write the
+//!   --bench-out PATH  (all/profile/kv) where to write the
 //!              `specpersist/perfbench-v1` perf-trajectory record
 //!              (default `BENCH_6.json`): simulated-cycles-per-second
 //!              per bench x variant, wall time, peak RSS; file + stderr
 //!              only, never stdout
+//!   --trace-mem-cap BYTES  cap the bytes of recorded traces the
+//!              harness may hold resident; a run that trips the cap
+//!              fails with a typed one-line error (never an OOM kill)
+//!              and dumps the per-trace byte footprint to stderr
 //!
 //! Invalid input (a malformed or zero --scale/--jobs, an unknown
 //! command, benchmark, variant, or leg, or contradictory journal
@@ -108,7 +129,7 @@ use spp_bench::litmus::ModelKnob;
 use spp_bench::report;
 use spp_bench::{Experiment, Harness};
 
-const USAGE: &str = "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore|litmus|crashfuzz|faultsim|soak|profile> [--scale N] [--seed S] [--jobs J] [--journal [PATH] [--resume]] [--iters N] [--storm-bound N] [--trace-out PATH] [--bench-out PATH]";
+const USAGE: &str = "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore|litmus|kv|crashfuzz|faultsim|soak|profile|journal> [--scale N] [--seed S] [--jobs J] [--journal [PATH] [--resume]] [--iters N] [--storm-bound N] [--trace-out PATH] [--bench-out PATH] [--trace-mem-cap BYTES]; repro journal check <PATH>";
 
 /// A rejected invocation: every variant renders as one line, and every
 /// variant exits non-zero. Parsing never panics on user input.
@@ -149,6 +170,11 @@ enum CliError {
     /// The journal could not be opened (the wrapped
     /// [`spp_bench::JournalError`] rendering).
     Journal(String),
+    /// `repro journal` needs the `check` subcommand and a path.
+    MissingJournalCheckArgs,
+    /// The trace cache grew past `--trace-mem-cap` (the wrapped
+    /// [`spp_bench::TraceMemCap`] rendering).
+    TraceMemCap(String),
 }
 
 impl fmt::Display for CliError {
@@ -175,7 +201,7 @@ impl fmt::Display for CliError {
                 write!(f, "unknown crashfuzz leg {l:?} (want all|log|logp|logpsf)")
             }
             CliError::FlagUnsupported { flag, cmd } => {
-                write!(f, "{flag} is not supported by {cmd:?} (journaled commands: faultsim, soak, profile, multicore, litmus; --iters: soak; --storm-bound: multicore; --model-knob: litmus; --trace-out: profile; --bench-out: all, profile)")
+                write!(f, "{flag} is not supported by {cmd:?} (journaled commands: faultsim, soak, profile, multicore, litmus, kv; --iters: soak; --storm-bound: multicore; --model-knob: litmus; --trace-out: profile; --bench-out: all, profile, kv; --trace-mem-cap: any trace-recording command)")
             }
             CliError::ResumeNeedsJournal => f.write_str("--resume requires --journal <path>"),
             CliError::ResumeMissingJournal(p) => {
@@ -188,6 +214,8 @@ impl fmt::Display for CliError {
                 )
             }
             CliError::Journal(e) => f.write_str(e),
+            CliError::MissingJournalCheckArgs => f.write_str("journal needs check <PATH>"),
+            CliError::TraceMemCap(e) => f.write_str(e),
         }
     }
 }
@@ -205,6 +233,7 @@ struct Cli {
     model_knob: Option<ModelKnob>,
     trace_out: Option<String>,
     bench_out: Option<String>,
+    trace_mem_cap: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -223,6 +252,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let mut model_knob: Option<ModelKnob> = None;
     let mut trace_out: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut trace_mem_cap: Option<u64> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 1;
     fn flag_value(
@@ -326,6 +356,18 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 )?);
                 i += 2;
             }
+            "--trace-mem-cap" => {
+                // Zero would trip before the first recording; the
+                // smallest honest budget is one byte.
+                trace_mem_cap = Some(flag_value(
+                    "--trace-mem-cap",
+                    args,
+                    i,
+                    1,
+                    "a byte count of at least 1",
+                )?);
+                i += 2;
+            }
             "--model-knob" => {
                 let given = args.get(i + 1).cloned().unwrap_or_default();
                 model_knob = Some(ModelKnob::parse(&given).ok_or(CliError::BadValue {
@@ -352,6 +394,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         model_knob,
         trace_out,
         bench_out,
+        trace_mem_cap,
         positional,
     })
 }
@@ -361,7 +404,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
 fn check_flag_scope(cli: &Cli) -> Result<(), CliError> {
     let journaled = matches!(
         cli.cmd.as_str(),
-        "faultsim" | "soak" | "profile" | "multicore" | "litmus"
+        "faultsim" | "soak" | "profile" | "multicore" | "litmus" | "kv"
     );
     if cli.journal.is_some() && !journaled {
         return Err(CliError::FlagUnsupported {
@@ -399,9 +442,18 @@ fn check_flag_scope(cli: &Cli) -> Result<(), CliError> {
             cmd: cli.cmd.clone(),
         });
     }
-    if cli.bench_out.is_some() && !matches!(cli.cmd.as_str(), "all" | "profile") {
+    if cli.bench_out.is_some() && !matches!(cli.cmd.as_str(), "all" | "profile" | "kv") {
         return Err(CliError::FlagUnsupported {
             flag: "--bench-out",
+            cmd: cli.cmd.clone(),
+        });
+    }
+    // `trace` replays one recording to stdout, `soak` spawns child
+    // processes, and `journal` never simulates: none of them route
+    // traces through the harness cache the cap governs.
+    if cli.trace_mem_cap.is_some() && matches!(cli.cmd.as_str(), "trace" | "soak" | "journal") {
+        return Err(CliError::FlagUnsupported {
+            flag: "--trace-mem-cap",
             cmd: cli.cmd.clone(),
         });
     }
@@ -448,8 +500,9 @@ fn write_perfbench(harness: &Harness, jobs: usize, wall_secs: f64, path: &str) {
         wall_secs,
         peak_rss_kb: spp_bench::perfbench::peak_rss_kb(),
         cells: harness.perf_cells(),
+        extras: harness.perf_labeled_cells(),
     };
-    if rep.cells.is_empty() {
+    if rep.cells.is_empty() && rep.extras.is_empty() {
         eprintln!("# perfbench: no simulations ran; {path} not written");
         return;
     }
@@ -458,7 +511,7 @@ fn write_perfbench(harness: &Harness, jobs: usize, wall_secs: f64, path: &str) {
     match std::fs::write(path, doc) {
         Ok(()) => eprintln!(
             "# perfbench: {} cells, {:.2}s wall, peak rss {} KiB -> {path}",
-            rep.cells.len(),
+            rep.cells.len() + rep.extras.len(),
             wall_secs,
             rep.peak_rss_kb
         ),
@@ -509,9 +562,15 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
         model_knob,
         trace_out,
         bench_out,
+        trace_mem_cap,
         positional,
     } = cli;
+    if cmd == "journal" {
+        // Pure file inspection: no harness, no simulations.
+        return journal_cmd(&positional);
+    }
     let harness = Harness::new(exp, jobs);
+    harness.set_trace_mem_cap(trace_mem_cap);
     let t0 = Instant::now();
 
     let needs_suite = matches!(
@@ -558,9 +617,16 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
             );
             let s = harness.cache_stats();
             eprintln!(
-                "# trace cache: {} recordings, {} cached replays, {} keys",
-                s.recordings, s.hits, s.entries
+                "# trace cache: {} recordings, {} cached replays, {} keys, {} bytes",
+                s.recordings, s.hits, s.entries, s.bytes
             );
+            if trace_mem_cap.is_some() {
+                // A cap is in force: show where the bytes went,
+                // heaviest trace first, so the budget can be tuned.
+                for (k, bytes) in harness.trace_bytes_by_key() {
+                    eprintln!("#   {bytes} bytes {}/{}/{}", k.id, k.variant, k.flush_mode);
+                }
+            }
             // The harness contract: a trace is recorded at most once per
             // key, no matter how many figures replay it.
             assert_eq!(
@@ -606,11 +672,33 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
             );
         }
         "json" => println!("{}", spp_bench::json::suite_json(&runs)),
-        "multicore" => return multicore_cmd(&harness, journal.as_deref(), resume, storm_bound),
-        "litmus" => return litmus_cmd(&harness, journal.as_deref(), resume, model_knob),
+        "multicore" => {
+            let code = multicore_cmd(&harness, journal.as_deref(), resume, storm_bound)?;
+            return check_trace_mem(&harness, code);
+        }
+        "litmus" => {
+            let code = litmus_cmd(&harness, journal.as_deref(), resume, model_knob)?;
+            return check_trace_mem(&harness, code);
+        }
+        "kv" => {
+            let code = kv_cmd(&harness, journal.as_deref(), resume)?;
+            write_perfbench(
+                &harness,
+                jobs,
+                t0.elapsed().as_secs_f64(),
+                bench_out.as_deref().unwrap_or(DEFAULT_BENCH_OUT),
+            );
+            return check_trace_mem(&harness, code);
+        }
         "trace" => return trace_cmd(&positional, &exp).map(|()| ExitCode::SUCCESS),
-        "crashfuzz" => return crashfuzz_cmd(&harness, &positional),
-        "faultsim" => return faultsim_cmd(&harness, journal.as_deref(), resume),
+        "crashfuzz" => {
+            let code = crashfuzz_cmd(&harness, &positional)?;
+            return check_trace_mem(&harness, code);
+        }
+        "faultsim" => {
+            let code = faultsim_cmd(&harness, journal.as_deref(), resume)?;
+            return check_trace_mem(&harness, code);
+        }
         "soak" => return soak_cmd(&exp, jobs, iters, journal.as_deref(), resume),
         "profile" => {
             let code = profile_cmd(
@@ -626,11 +714,110 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
                 t0.elapsed().as_secs_f64(),
                 bench_out.as_deref().unwrap_or(DEFAULT_BENCH_OUT),
             );
-            return Ok(code);
+            return check_trace_mem(&harness, code);
         }
         _ => return Err(CliError::UnknownCommand(cmd)),
     }
-    Ok(ExitCode::SUCCESS)
+    check_trace_mem(&harness, ExitCode::SUCCESS)
+}
+
+/// The `--trace-mem-cap` gate, applied after a command's work: a
+/// tripped cap is a typed failure even when every stage succeeded —
+/// the run held more trace bytes than the budget allowed, which is
+/// exactly what the flag exists to catch. The per-key footprint goes
+/// to stderr (heaviest first) so the offending traces are named.
+fn check_trace_mem(harness: &Harness, code: ExitCode) -> Result<ExitCode, CliError> {
+    match harness.trace_mem_exceeded() {
+        None => Ok(code),
+        Some(e) => {
+            for (k, bytes) in harness.trace_bytes_by_key() {
+                eprintln!("#   {bytes} bytes {}/{}/{}", k.id, k.variant, k.flush_mode);
+            }
+            Err(CliError::TraceMemCap(e.to_string()))
+        }
+    }
+}
+
+/// `repro kv [--journal PATH [--resume]] [--bench-out PATH]`: the
+/// crash-recoverable KV storage-engine study — WAL + checkpointed
+/// B+tree under a mixed YCSB-style load: baseline-vs-SP cycles across
+/// a checkpoint-interval sweep, crashfuzz at every persist boundary
+/// (clean under Log+P+Sf, witness-minimized under Log, and a
+/// must-fail leg proving an elided WAL checksum is caught), plus the
+/// bounded-memory streamed leg. Prints the per-cell tables and one
+/// `specpersist/kv-v1` JSON line; the labeled perf cells join the
+/// `--bench-out` trajectory record. With a journal, completed cells
+/// are recorded and `--resume` replays them byte-identically. Exits
+/// non-zero if any cell failed its oracle or the SP legs regressed.
+fn kv_cmd(harness: &Harness, journal: Option<&str>, resume: bool) -> Result<ExitCode, CliError> {
+    use spp_bench::kv::{run_kv_opts, KvCellSpec};
+    let j = match journal {
+        Some(p) => Some(open_journal(std::path::Path::new(p), resume)?),
+        None => None,
+    };
+    let cells = KvCellSpec::all().len();
+    let rep = staged("kv", cells, || run_kv_opts(harness, j.as_ref()));
+    if let Some(j) = &j {
+        for e in j.corrupt() {
+            eprintln!("repro: journal: {e}");
+        }
+        eprintln!(
+            "# journal {}: {} cells replayed",
+            j.path().display(),
+            rep.replayed
+        );
+    }
+    print!("{}", rep.render_text());
+    println!("{}", rep.render_json());
+    Ok(if rep.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `repro journal check <PATH>`: offline integrity walk of a result
+/// manifest. Re-reads every line, verifying the per-entry checksum
+/// and envelope, and reports each damaged line (bit flip, truncation,
+/// torn tail, bad schema) on stdout. As with a resume, a torn final
+/// line is sealed so later appends cannot merge into it. Typed exit
+/// codes: 0 when every line verified, 2 when damage was found, 1 when
+/// the file is missing or unreadable.
+fn journal_cmd(positional: &[String]) -> Result<ExitCode, CliError> {
+    let (Some("check"), Some(path), None) = (
+        positional.first().map(String::as_str),
+        positional.get(1),
+        positional.get(2),
+    ) else {
+        return Err(CliError::MissingJournalCheckArgs);
+    };
+    Ok(if journal_check(path)? == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
+/// The walk behind [`journal_cmd`]: verifies every line, prints one
+/// line per damaged entry plus a summary, and returns the damaged-line
+/// count.
+fn journal_check(path: &str) -> Result<usize, CliError> {
+    // `Journal::open` creates absent files; a checker must not.
+    if !std::path::Path::new(path).is_file() {
+        return Err(CliError::Journal(format!(
+            "journal {path:?} does not exist"
+        )));
+    }
+    let (entries, damage) = spp_bench::Journal::verify(std::path::Path::new(path))
+        .map_err(|e| CliError::Journal(e.to_string()))?;
+    for e in &damage {
+        println!("journal check: {e}");
+    }
+    println!(
+        "journal check: {path}: {entries} entries ok, {} damaged",
+        damage.len()
+    );
+    Ok(damage.len())
 }
 
 /// `repro crashfuzz [all|log|logp|logpsf]`: run the crash-consistency
@@ -1110,6 +1297,8 @@ mod tests {
             CliError::ResumeMissingJournal("/tmp/x.jsonl".into()),
             CliError::JournalNeedsResume("/tmp/x.jsonl".into()),
             CliError::Journal("journal \"x\": denied".into()),
+            CliError::MissingJournalCheckArgs,
+            CliError::TraceMemCap("trace cache holds 9 bytes, exceeding --trace-mem-cap 1".into()),
         ];
         for e in errors {
             let s = e.to_string();
@@ -1391,5 +1580,151 @@ mod tests {
             crashfuzz_cmd(&h, &args(&["base"])).unwrap_err(),
             CliError::UnknownLeg("base".into())
         );
+    }
+
+    #[test]
+    fn kv_is_a_journaled_command_with_a_bench_out() {
+        let cli = parse_args(&args(&[
+            "kv",
+            "--journal",
+            "j.jsonl",
+            "--resume",
+            "--bench-out",
+            "b.json",
+        ]))
+        .unwrap();
+        assert_eq!(cli.journal.as_deref(), Some("j.jsonl"));
+        assert!(cli.resume);
+        assert_eq!(cli.bench_out.as_deref(), Some("b.json"));
+        assert!(check_flag_scope(&cli).is_ok());
+        // The perf-trajectory record stays scoped: multicore has no
+        // labeled cells to contribute, so `--bench-out` stays rejected
+        // there.
+        let cli = parse_args(&args(&["multicore", "--bench-out", "b.json"])).unwrap();
+        assert_eq!(
+            check_flag_scope(&cli).unwrap_err(),
+            CliError::FlagUnsupported {
+                flag: "--bench-out",
+                cmd: "multicore".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn trace_mem_cap_parses_validates_and_scopes() {
+        for cmd in ["all", "kv", "profile", "crashfuzz"] {
+            let cli = parse_args(&args(&[cmd, "--trace-mem-cap", "4096"])).unwrap();
+            assert_eq!(cli.trace_mem_cap, Some(4096));
+            assert!(check_flag_scope(&cli).is_ok(), "{cmd}");
+        }
+        for bad in ["0", "-1", "lots", ""] {
+            let e = parse_args(&args(&["all", "--trace-mem-cap", bad])).unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    CliError::BadValue {
+                        flag: "--trace-mem-cap",
+                        ..
+                    }
+                ),
+                "--trace-mem-cap {bad:?} gave {e:?}"
+            );
+        }
+        // Commands that never route traces through the harness cache
+        // reject the cap instead of silently ignoring it.
+        for cmd in ["trace", "soak", "journal"] {
+            let cli = parse_args(&args(&[cmd, "--trace-mem-cap", "4096"])).unwrap();
+            assert_eq!(
+                check_flag_scope(&cli).unwrap_err(),
+                CliError::FlagUnsupported {
+                    flag: "--trace-mem-cap",
+                    cmd: cmd.into(),
+                },
+                "{cmd}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_tripped_trace_mem_cap_is_a_typed_error() {
+        use spp_bench::TraceKey;
+        use spp_pmem::Variant;
+        use spp_workloads::BenchId;
+        let exp = Experiment {
+            scale: 2400,
+            seed: 7,
+        };
+        let h = Harness::new(exp, 1);
+        h.set_trace_mem_cap(Some(1));
+        // One recording holds far more than one byte: the cap trips.
+        let _ = h.trace(TraceKey::new(BenchId::LinkedList, Variant::Base, &exp));
+        let e = check_trace_mem(&h, ExitCode::SUCCESS).unwrap_err();
+        assert!(
+            matches!(e, CliError::TraceMemCap(ref s) if s.contains("--trace-mem-cap 1")),
+            "{e:?}"
+        );
+        // Without a cap the same recording passes the gate untouched.
+        let h = Harness::new(exp, 1);
+        let _ = h.trace(TraceKey::new(BenchId::LinkedList, Variant::Base, &exp));
+        assert!(check_trace_mem(&h, ExitCode::SUCCESS).is_ok());
+    }
+
+    #[test]
+    fn journal_check_wants_the_subcommand_and_a_path() {
+        for words in [
+            vec![],
+            vec!["check"],
+            vec!["check", "a", "b"],
+            vec!["verify", "a"],
+        ] {
+            assert_eq!(
+                journal_cmd(&args(&words)).unwrap_err(),
+                CliError::MissingJournalCheckArgs,
+                "{words:?}"
+            );
+        }
+        // A missing file is an open error, not a silent empty manifest
+        // (Journal::open would create it).
+        assert!(matches!(
+            journal_check("/nonexistent/spp-journal-check.jsonl").unwrap_err(),
+            CliError::Journal(_)
+        ));
+    }
+
+    #[test]
+    fn journal_check_verifies_flags_truncation_and_bit_flips() {
+        use spp_bench::journal::{CellStatus, Entry, Journal};
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "spp-repro-journal-check-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        let j = Journal::open(&p).unwrap();
+        for k in ["kv/a", "kv/b", "kv/c"] {
+            j.append(&Entry {
+                key: k.to_string(),
+                attempt: 1,
+                status: CellStatus::Ok,
+                payload: "{\"ok\":1}".to_string(),
+            })
+            .unwrap();
+        }
+        drop(j);
+        let path = p.display().to_string();
+        // Pristine: every line verifies.
+        assert_eq!(journal_check(&path).unwrap(), 0);
+        // A kill mid-append leaves a torn final line: cut the last
+        // entry in half. The damage localizes to that one line.
+        let clean = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &clean[..clean.len() - 9]).unwrap();
+        assert_eq!(journal_check(&path).unwrap(), 1);
+        // A single flipped payload byte fails that entry's checksum.
+        let mut flipped = clean.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        std::fs::write(&p, &flipped).unwrap();
+        assert!(journal_check(&path).unwrap() >= 1);
+        std::fs::remove_file(&p).unwrap();
     }
 }

@@ -1,0 +1,855 @@
+//! The crash-recoverable KV storage-engine study (`repro kv`).
+//!
+//! Three legs over the COW-checkpointed B+tree engine
+//! ([`spp_workloads::kv`]) running the YCSB-style mixed profile:
+//!
+//! * **Perf** — a sweep over the checkpoint interval (the engine's
+//!   "checkpoint buffer depth": how many WAL records accumulate before
+//!   a COW checkpoint quiesces them). Each interval is traced under the
+//!   `Base` build (no persistence machinery — the reference), the
+//!   `Log+P+Sf` build on the baseline core, and the same trace on the
+//!   SP core, so the table reads out how much of the persist-barrier
+//!   cost speculation hides as checkpoint pressure varies.
+//! * **Crash** — `Log+P+Sf` bundles crashed at *every* persist boundary
+//!   (plus sampled in-between points) must recover through full WAL
+//!   replay at every point (must-pass); `Log` bundles (no ordering or
+//!   durability machinery) must fail, and the failure is minimized to
+//!   the lexicographically smallest `(crash_idx, seed)` witness.
+//! * **Stream** — the chunked bounded-memory pipeline
+//!   ([`crate::stream`]) replays a longer run and reports its
+//!   deterministic peak-memory bound alongside throughput.
+//!
+//! Cells are pure functions of `(spec, scale, seed)`: fanned out with
+//! [`run_indexed`] (so `--jobs N` output is byte-identical to
+//! `--jobs 1`) and, when a [`Journal`] is attached, keyed into the
+//! manifest so an interrupted study resumes without recomputing
+//! finished cells — replayed output is byte-identical.
+
+use std::time::Instant;
+
+use spp_cpu::{CpuConfig, Simulator};
+use spp_pmem::{FlushMode, PmemEnv, Variant};
+use spp_workloads::kv::{record_kv_bundle, KvBundleSpec, KvMix, KvSpec, KvWorkload};
+
+use crate::crashfuzz::crash_points;
+use crate::journal::{CellStatus, Entry, Journal};
+use crate::json::{self, parse, JsonObject, Value};
+use crate::parallel::run_indexed;
+use crate::schema;
+use crate::stream::{run_kv_streamed, KvStreamSpec};
+use crate::Harness;
+
+/// Checkpoint intervals the perf leg sweeps (WAL records between COW
+/// checkpoints — the engine's checkpoint-buffer depth).
+pub const CKPT_SWEEP: [u64; 3] = [4, 16, 64];
+
+/// Reordering seeds per crash point on the crash legs.
+pub const CRASH_SEEDS: u64 = 2;
+
+/// Driver ops per chunk on the stream leg (a pinned study parameter:
+/// chunk boundaries drain the pipeline, so comparing runs requires the
+/// same chunking).
+pub const STREAM_CHUNK_OPS: u64 = 256;
+
+/// Which (build, core) pair a perf cell measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerfCfg {
+    /// `Base` build on the baseline core — no persistence machinery.
+    Ref,
+    /// `Log+P+Sf` build on the baseline core.
+    Baseline,
+    /// `Log+P+Sf` build on the SP core.
+    Sp,
+}
+
+impl PerfCfg {
+    const ALL: [PerfCfg; 3] = [PerfCfg::Ref, PerfCfg::Baseline, PerfCfg::Sp];
+
+    fn key(self) -> &'static str {
+        match self {
+            PerfCfg::Ref => "ref",
+            PerfCfg::Baseline => "base",
+            PerfCfg::Sp => "sp",
+        }
+    }
+
+    fn variant(self) -> Variant {
+        match self {
+            PerfCfg::Ref => Variant::Base,
+            _ => Variant::LogPSf,
+        }
+    }
+
+    fn cpu(self) -> CpuConfig {
+        match self {
+            PerfCfg::Sp => CpuConfig::with_sp(),
+            _ => CpuConfig::baseline(),
+        }
+    }
+}
+
+/// One configuration point of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvCellSpec {
+    /// Timing sweep cell.
+    Perf {
+        /// WAL records between checkpoints.
+        ckpt_every: u64,
+        /// Which build/core pair.
+        cfg: PerfCfg,
+    },
+    /// `Log+P+Sf` crashed at every persist boundary must recover.
+    MustPass {
+        /// Seed offset for the bundle's op stream.
+        seed_off: u64,
+    },
+    /// `Log` must fail, with a minimized witness.
+    MustFail {
+        /// Seed offset for the bundle's op stream.
+        seed_off: u64,
+    },
+    /// `Log+P+Sf` with WAL record checksums elided must fail recovery:
+    /// the leg proving the oracle verifies checksummed records rather
+    /// than diffing pre/post state.
+    ElideChecksum,
+    /// The chunked bounded-memory pipeline leg.
+    Stream,
+}
+
+impl KvCellSpec {
+    /// Every cell of the study, in report order.
+    pub fn all() -> Vec<KvCellSpec> {
+        let mut v = Vec::new();
+        for ckpt_every in CKPT_SWEEP {
+            for cfg in PerfCfg::ALL {
+                v.push(KvCellSpec::Perf { ckpt_every, cfg });
+            }
+        }
+        for seed_off in 0..CRASH_SEEDS {
+            v.push(KvCellSpec::MustPass { seed_off });
+        }
+        for seed_off in 0..CRASH_SEEDS {
+            v.push(KvCellSpec::MustFail { seed_off });
+        }
+        v.push(KvCellSpec::ElideChecksum);
+        v.push(KvCellSpec::Stream);
+        v
+    }
+}
+
+/// A minimized must-fail witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvWitness {
+    /// Crash point (index into the recorded event stream).
+    pub crash_idx: u64,
+    /// Reordering seed.
+    pub seed: u64,
+    /// What the oracle rejected (kebab label).
+    pub kind: String,
+}
+
+/// One measured cell. Fields a leg does not produce stay 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvCell {
+    /// The configuration measured.
+    pub spec: KvCellSpec,
+    /// The cell's verdict (a must-fail cell is `ok` when it *found* its
+    /// witness).
+    pub ok: bool,
+    /// Driver ops executed.
+    pub ops: u64,
+    /// Recorded events.
+    pub events: u64,
+    /// Simulated cycles (perf and stream legs).
+    pub cycles: u64,
+    /// WAL records appended.
+    pub mutations: u64,
+    /// COW checkpoints the run took (perf leg).
+    pub checkpoints: u64,
+    /// Crash points swept (crash legs).
+    pub points: u64,
+    /// `(crash_idx, seed)` schedules checked (crash legs).
+    pub checks: u64,
+    /// Chunks simulated (stream leg).
+    pub chunks: u64,
+    /// Deterministic peak-memory bound in bytes (stream leg).
+    pub peak_bound: u64,
+    /// The minimized witness (must-fail cells that did fail).
+    pub witness: Option<KvWitness>,
+    /// What went wrong, for a failed cell.
+    pub error: Option<String>,
+}
+
+impl KvCell {
+    fn empty(spec: KvCellSpec) -> Self {
+        KvCell {
+            spec,
+            ok: false,
+            ops: 0,
+            events: 0,
+            cycles: 0,
+            mutations: 0,
+            checkpoints: 0,
+            points: 0,
+            checks: 0,
+            chunks: 0,
+            peak_bound: 0,
+            witness: None,
+            error: None,
+        }
+    }
+}
+
+/// The study's full result set.
+#[derive(Debug, Clone)]
+pub struct KvReport {
+    /// Scale divisor the cells were sized from.
+    pub scale: u64,
+    /// Base seed of the op streams.
+    pub seed: u64,
+    /// Every cell, in [`KvCellSpec::all`] order.
+    pub cells: Vec<KvCell>,
+    /// Cells served from the journal without recomputation.
+    pub replayed: usize,
+}
+
+// --- sizing (scale is a divisor: bigger scale, smaller cells) ---------
+
+fn perf_ops(scale: u64) -> u64 {
+    (24_000 / scale.max(1)).clamp(96, 2_000)
+}
+
+fn perf_init_keys(scale: u64) -> u64 {
+    (6_000 / scale.max(1)).clamp(48, 200)
+}
+
+fn crash_ops(scale: u64) -> u64 {
+    (6_000 / scale.max(1)).clamp(40, 120)
+}
+
+fn stream_ops(scale: u64) -> u64 {
+    (200_000 / scale.max(1)).clamp(768, 8_192)
+}
+
+fn perf_spec(scale: u64, seed: u64, ckpt_every: u64) -> KvSpec {
+    KvSpec {
+        init_keys: perf_init_keys(scale),
+        ops: perf_ops(scale),
+        ckpt_every,
+        wal_cap: 2 * ckpt_every,
+        seed,
+        mix: KvMix::MIXED,
+    }
+}
+
+fn crash_spec(scale: u64, seed: u64, seed_off: u64) -> KvSpec {
+    KvSpec {
+        init_keys: 32,
+        ops: crash_ops(scale),
+        ckpt_every: 8,
+        wal_cap: 16,
+        seed: seed.wrapping_add(seed_off),
+        mix: KvMix::MIXED,
+    }
+}
+
+fn stream_spec(scale: u64, seed: u64) -> KvSpec {
+    KvSpec {
+        init_keys: 64,
+        ops: stream_ops(scale),
+        ckpt_every: 8,
+        wal_cap: 16,
+        seed,
+        mix: KvMix::MIXED,
+    }
+}
+
+fn cell_key(spec: &KvCellSpec, scale: u64, seed: u64) -> String {
+    let leg = match spec {
+        KvCellSpec::Perf { ckpt_every, cfg } => format!("perf/ck{ckpt_every}/{}", cfg.key()),
+        KvCellSpec::MustPass { seed_off } => format!("crash/mustpass/s{seed_off}"),
+        KvCellSpec::MustFail { seed_off } => format!("crash/mustfail/s{seed_off}"),
+        KvCellSpec::ElideChecksum => "crash/elide".to_string(),
+        KvCellSpec::Stream => "stream".to_string(),
+    };
+    format!("kv/{leg}/scale{scale}/seed{seed:#x}")
+}
+
+// --- cell execution ---------------------------------------------------
+
+/// Records the mixed-profile trace for one perf cell and replays it,
+/// timing the replay into the harness's perf recorder under a labeled
+/// (non-Table-1) cell.
+fn run_perf_cell(h: &Harness, ckpt_every: u64, cfg: PerfCfg) -> KvCell {
+    let spec = perf_spec(h.exp.scale, h.exp.seed, ckpt_every);
+    let mut cell = KvCell::empty(KvCellSpec::Perf { ckpt_every, cfg });
+    let mut env = PmemEnv::new(cfg.variant());
+    env.set_flush_mode(FlushMode::default());
+    let mut w = KvWorkload::new(spec);
+    env.set_recording(false);
+    w.setup(&mut env);
+    env.set_recording(true);
+    for op in 0..spec.ops {
+        w.run_op(&mut env, op);
+    }
+    let trace = env.take_trace();
+    cell.ops = spec.ops;
+    cell.events = trace.events.len() as u64;
+    cell.mutations = w.stats().mutations;
+    cell.checkpoints = w.engine().checkpoints();
+    let started = Instant::now();
+    match Simulator::new(&trace.events).config(cfg.cpu()).run() {
+        Ok(r) => {
+            cell.ok = true;
+            cell.cycles = r.cpu.cycles;
+            h.perf().record_labeled(
+                &format!("kv/ck{ckpt_every}"),
+                cfg.variant(),
+                r.cpu.cycles,
+                started.elapsed(),
+            );
+        }
+        Err(e) => cell.error = Some(e.to_string()),
+    }
+    cell
+}
+
+/// Crashes a `Log+P+Sf` bundle at every persist boundary (plus sampled
+/// in-between points) under [`CRASH_SEEDS`] reorderings each; every
+/// schedule must recover through full WAL replay.
+fn run_must_pass_cell(scale: u64, seed: u64, seed_off: u64) -> KvCell {
+    let spec = crash_spec(scale, seed, seed_off);
+    let mut cell = KvCell::empty(KvCellSpec::MustPass { seed_off });
+    let b = record_kv_bundle(&KvBundleSpec {
+        variant: Variant::LogPSf,
+        flush_mode: FlushMode::default(),
+        spec,
+        elide_checksum: false,
+    });
+    let points = crash_points(b.events());
+    cell.ops = spec.ops;
+    cell.events = b.events().len() as u64;
+    cell.mutations = b.mutation_count() as u64;
+    cell.points = points.len() as u64;
+    cell.ok = true;
+    'sweep: for &p in &points {
+        for s in 0..CRASH_SEEDS {
+            cell.checks += 1;
+            if let Err(v) = b.check_crash(p, s) {
+                cell.ok = false;
+                cell.error = Some(format!("crash_idx {p}, seed {s}: {v}"));
+                break 'sweep;
+            }
+        }
+    }
+    cell
+}
+
+/// Scans a `Log` bundle's `(crash_idx, seed)` space in lexicographic
+/// order; the build lacks ordering and durability machinery, so a
+/// failure must exist, and the first hit is the minimal witness.
+fn run_must_fail_cell(scale: u64, seed: u64, seed_off: u64) -> KvCell {
+    let spec = crash_spec(scale, seed, seed_off);
+    let mut cell = KvCell::empty(KvCellSpec::MustFail { seed_off });
+    let b = record_kv_bundle(&KvBundleSpec {
+        variant: Variant::Log,
+        flush_mode: FlushMode::default(),
+        spec,
+        elide_checksum: false,
+    });
+    cell.ops = spec.ops;
+    cell.events = b.events().len() as u64;
+    cell.mutations = b.mutation_count() as u64;
+    cell.points = b.events().len() as u64 + 1;
+    'scan: for crash_idx in 0..=b.events().len() {
+        for s in 0..CRASH_SEEDS {
+            cell.checks += 1;
+            if let Err(v) = b.check_crash(crash_idx, s) {
+                cell.witness = Some(KvWitness {
+                    crash_idx: crash_idx as u64,
+                    seed: s,
+                    kind: v.kind.to_string(),
+                });
+                break 'scan;
+            }
+        }
+    }
+    cell.ok = cell.witness.is_some();
+    if !cell.ok {
+        cell.error = Some("every schedule recovered, but Log must fail".to_string());
+    }
+    cell
+}
+
+/// Records the must-pass configuration again with WAL record checksums
+/// elided: same build, same schedules, but recovery must now lose
+/// guaranteed-durable records somewhere. Lexicographic scan; the first
+/// failure is the minimal witness.
+fn run_elide_cell(scale: u64, seed: u64) -> KvCell {
+    let spec = crash_spec(scale, seed, 0);
+    let mut cell = KvCell::empty(KvCellSpec::ElideChecksum);
+    let b = record_kv_bundle(&KvBundleSpec {
+        variant: Variant::LogPSf,
+        flush_mode: FlushMode::default(),
+        spec,
+        elide_checksum: true,
+    });
+    cell.ops = spec.ops;
+    cell.events = b.events().len() as u64;
+    cell.mutations = b.mutation_count() as u64;
+    cell.points = b.events().len() as u64 + 1;
+    'scan: for crash_idx in 0..=b.events().len() {
+        for s in 0..CRASH_SEEDS {
+            cell.checks += 1;
+            if let Err(v) = b.check_crash(crash_idx, s) {
+                cell.witness = Some(KvWitness {
+                    crash_idx: crash_idx as u64,
+                    seed: s,
+                    kind: v.kind.to_string(),
+                });
+                break 'scan;
+            }
+        }
+    }
+    cell.ok = cell.witness.is_some();
+    if !cell.ok {
+        cell.error =
+            Some("recovery survived elided WAL checksums; the oracle is not checking them".into());
+    }
+    cell
+}
+
+/// Runs the chunked pipeline leg and reports its deterministic numbers.
+fn run_stream_cell(scale: u64, seed: u64) -> KvCell {
+    let mut cell = KvCell::empty(KvCellSpec::Stream);
+    let sspec = KvStreamSpec {
+        chunk_ops: STREAM_CHUNK_OPS,
+        ..KvStreamSpec::new(stream_spec(scale, seed), Variant::LogPSf)
+    };
+    cell.ops = sspec.spec.ops;
+    match run_kv_streamed(&sspec, &CpuConfig::baseline()) {
+        Ok(r) => {
+            cell.ok = true;
+            cell.events = r.events;
+            cell.cycles = r.cycles;
+            cell.mutations = r.mutations;
+            cell.chunks = r.chunks;
+            cell.peak_bound = r.peak_bound;
+        }
+        Err(e) => cell.error = Some(e.to_string()),
+    }
+    cell
+}
+
+fn run_cell(h: &Harness, spec: &KvCellSpec) -> KvCell {
+    match *spec {
+        KvCellSpec::Perf { ckpt_every, cfg } => run_perf_cell(h, ckpt_every, cfg),
+        KvCellSpec::MustPass { seed_off } => run_must_pass_cell(h.exp.scale, h.exp.seed, seed_off),
+        KvCellSpec::MustFail { seed_off } => run_must_fail_cell(h.exp.scale, h.exp.seed, seed_off),
+        KvCellSpec::ElideChecksum => run_elide_cell(h.exp.scale, h.exp.seed),
+        KvCellSpec::Stream => run_stream_cell(h.exp.scale, h.exp.seed),
+    }
+}
+
+// --- codec ------------------------------------------------------------
+
+fn spec_fields(spec: &KvCellSpec, o: &mut JsonObject) {
+    match spec {
+        KvCellSpec::Perf { ckpt_every, cfg } => {
+            o.str("leg", "perf")
+                .num("ckpt_every", *ckpt_every as f64)
+                .str("cfg", cfg.key());
+        }
+        KvCellSpec::MustPass { seed_off } => {
+            o.str("leg", "mustpass").num("seed_off", *seed_off as f64);
+        }
+        KvCellSpec::MustFail { seed_off } => {
+            o.str("leg", "mustfail").num("seed_off", *seed_off as f64);
+        }
+        KvCellSpec::ElideChecksum => {
+            o.str("leg", "elide");
+        }
+        KvCellSpec::Stream => {
+            o.str("leg", "stream");
+        }
+    }
+}
+
+/// A cell as one JSON object: the report's `cells` element and the
+/// journal payload (one codec, so replays are byte-identical).
+fn cell_json(c: &KvCell) -> String {
+    let mut o = JsonObject::new();
+    spec_fields(&c.spec, &mut o);
+    o.num("ok", u8::from(c.ok))
+        .num("ops", c.ops as f64)
+        .num("events", c.events as f64)
+        .raw("cycles", c.cycles.to_string())
+        .num("mutations", c.mutations as f64)
+        .num("checkpoints", c.checkpoints as f64)
+        .num("points", c.points as f64)
+        .num("checks", c.checks as f64)
+        .num("chunks", c.chunks as f64)
+        .raw("peak_bound", c.peak_bound.to_string());
+    if let Some(w) = &c.witness {
+        let mut wo = JsonObject::new();
+        wo.num("crash_idx", w.crash_idx as f64)
+            .num("seed", w.seed as f64)
+            .str("kind", &w.kind);
+        o.raw("witness", wo.render());
+    }
+    if let Some(err) = &c.error {
+        o.str("error", err);
+    }
+    o.render()
+}
+
+/// Decodes a journal payload written by [`cell_json`] back into a cell;
+/// `None` (recompute) if any field is missing or the spec disagrees.
+fn decode_cell(spec: &KvCellSpec, payload: &str) -> Option<KvCell> {
+    let v = parse(payload).ok()?;
+    let num = |k: &str| v.get(k).and_then(Value::as_u64);
+    let s = |k: &str| v.get(k).and_then(Value::as_str);
+    let matches = match spec {
+        KvCellSpec::Perf { ckpt_every, cfg } => {
+            s("leg")? == "perf" && num("ckpt_every")? == *ckpt_every && s("cfg")? == cfg.key()
+        }
+        KvCellSpec::MustPass { seed_off } => {
+            s("leg")? == "mustpass" && num("seed_off")? == *seed_off
+        }
+        KvCellSpec::MustFail { seed_off } => {
+            s("leg")? == "mustfail" && num("seed_off")? == *seed_off
+        }
+        KvCellSpec::ElideChecksum => s("leg")? == "elide",
+        KvCellSpec::Stream => s("leg")? == "stream",
+    };
+    if !matches {
+        return None;
+    }
+    let witness = match v.get("witness") {
+        None => None,
+        Some(w) => Some(KvWitness {
+            crash_idx: w.get("crash_idx").and_then(Value::as_u64)?,
+            seed: w.get("seed").and_then(Value::as_u64)?,
+            kind: w.get("kind").and_then(Value::as_str)?.to_string(),
+        }),
+    };
+    Some(KvCell {
+        spec: *spec,
+        ok: num("ok")? == 1,
+        ops: num("ops")?,
+        events: num("events")?,
+        cycles: num("cycles")?,
+        mutations: num("mutations")?,
+        checkpoints: num("checkpoints")?,
+        points: num("points")?,
+        checks: num("checks")?,
+        chunks: num("chunks")?,
+        peak_bound: num("peak_bound")?,
+        witness,
+        error: v.get("error").and_then(Value::as_str).map(String::from),
+    })
+}
+
+// --- the study --------------------------------------------------------
+
+/// Runs the storage-engine study: every [`KvCellSpec::all`] cell,
+/// fanned out deterministically, journaled when `journal` is attached.
+pub fn run_kv_opts(h: &Harness, journal: Option<&Journal>) -> KvReport {
+    let scale = h.exp.scale;
+    let seed = h.exp.seed;
+    let specs = KvCellSpec::all();
+    let cached: Vec<Option<KvCell>> = specs
+        .iter()
+        .map(|spec| {
+            let j = journal?;
+            let entry = j.lookup(&cell_key(spec, scale, seed))?;
+            let decoded = decode_cell(spec, &entry.payload);
+            if decoded.is_none() {
+                j.report_bad_payload(&cell_key(spec, scale, seed), "kv payload does not decode");
+            }
+            decoded
+        })
+        .collect();
+    let computed = run_indexed(h.jobs, &specs, |i, spec| {
+        if cached[i].is_some() {
+            None
+        } else {
+            Some(run_cell(h, spec))
+        }
+    });
+    let mut cells = Vec::with_capacity(specs.len());
+    let mut replayed = 0;
+    for (i, spec) in specs.iter().enumerate() {
+        let (cell, fresh) = match (&cached[i], &computed[i]) {
+            (Some(c), _) => (c.clone(), false),
+            (None, Some(c)) => (c.clone(), true),
+            (None, None) => unreachable!("cell {i} neither cached nor computed"),
+        };
+        if fresh {
+            if let Some(j) = journal {
+                let entry = Entry {
+                    key: cell_key(spec, scale, seed),
+                    attempt: 1,
+                    status: if cell.ok {
+                        CellStatus::Ok
+                    } else {
+                        CellStatus::Failed
+                    },
+                    payload: cell_json(&cell),
+                };
+                if let Err(e) = j.append(&entry) {
+                    eprintln!("repro: journal: {e}");
+                }
+            }
+        } else {
+            replayed += 1;
+        }
+        cells.push(cell);
+    }
+    KvReport {
+        scale,
+        seed,
+        cells,
+        replayed,
+    }
+}
+
+/// Runs the study without a journal.
+pub fn run_kv_study(h: &Harness) -> KvReport {
+    run_kv_opts(h, None)
+}
+
+impl KvReport {
+    fn perf(&self, ckpt_every: u64, cfg: PerfCfg) -> &KvCell {
+        self.cells
+            .iter()
+            .find(|c| c.spec == KvCellSpec::Perf { ckpt_every, cfg })
+            .expect("KvCellSpec::all covers the perf grid")
+    }
+
+    /// The study's verdict: every cell ok (which for must-fail cells
+    /// means the witness was found).
+    pub fn ok(&self) -> bool {
+        self.cells.iter().all(|c| c.ok)
+    }
+
+    /// The human-readable tables.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "== KV storage engine: COW-checkpointed B+tree + WAL, mixed profile =="
+        );
+        let _ = writeln!(
+            s,
+            "{} ops, {} initial keys, seed {:#x}",
+            perf_ops(self.scale),
+            perf_init_keys(self.scale),
+            self.seed
+        );
+        let _ = writeln!(s);
+        let _ = writeln!(s, "-- persist-barrier cost vs checkpoint interval --");
+        let _ = writeln!(
+            s,
+            "{:<6} {:>12} {:>12} {:>12} {:>9} {:>7}",
+            "ckpt", "ref cycles", "baseline", "SP256", "SP saves", "ckpts"
+        );
+        for ckpt in CKPT_SWEEP {
+            let r = self.perf(ckpt, PerfCfg::Ref);
+            let b = self.perf(ckpt, PerfCfg::Baseline);
+            let sp = self.perf(ckpt, PerfCfg::Sp);
+            if !r.ok || !b.ok || !sp.ok {
+                let _ = writeln!(
+                    s,
+                    "{ckpt:<6} degraded: {}",
+                    r.error
+                        .as_deref()
+                        .or(b.error.as_deref())
+                        .or(sp.error.as_deref())
+                        .unwrap_or("unknown")
+                );
+                continue;
+            }
+            let saves = if b.cycles > 0 {
+                (1.0 - sp.cycles as f64 / b.cycles as f64) * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                s,
+                "{:<6} {:>12} {:>12} {:>12} {:>8.0}% {:>7}",
+                ckpt, r.cycles, b.cycles, sp.cycles, saves, b.checkpoints
+            );
+        }
+        let _ = writeln!(s);
+        let _ = writeln!(s, "-- crash legs (full WAL replay recovery) --");
+        for c in &self.cells {
+            match &c.spec {
+                KvCellSpec::MustPass { seed_off } => {
+                    let _ =
+                        writeln!(
+                        s,
+                        "Log+P+Sf s{seed_off}: {} ({} points x {} seeds, {} checks, {} mutations)",
+                        if c.ok { "recovered everywhere" } else { "FAILED" },
+                        c.points,
+                        CRASH_SEEDS,
+                        c.checks,
+                        c.mutations
+                    );
+                    if let Some(e) = &c.error {
+                        let _ = writeln!(s, "  {e}");
+                    }
+                }
+                KvCellSpec::MustFail { seed_off } => match &c.witness {
+                    Some(w) => {
+                        let _ = writeln!(
+                            s,
+                            "Log      s{seed_off}: witness (crash_idx {}, seed {}) {} \
+                             after {} checks",
+                            w.crash_idx, w.seed, w.kind, c.checks
+                        );
+                    }
+                    None => {
+                        let _ =
+                            writeln!(s, "Log      s{seed_off}: FAILED — every schedule recovered");
+                    }
+                },
+                KvCellSpec::ElideChecksum => match &c.witness {
+                    Some(w) => {
+                        let _ = writeln!(
+                            s,
+                            "no-cksum s0: witness (crash_idx {}, seed {}) {} after {} checks",
+                            w.crash_idx, w.seed, w.kind, c.checks
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            s,
+                            "no-cksum s0: FAILED — recovery never noticed the elided checksums"
+                        );
+                    }
+                },
+                _ => {}
+            }
+        }
+        let _ = writeln!(s);
+        if let Some(c) = self.cells.iter().find(|c| c.spec == KvCellSpec::Stream) {
+            let _ = writeln!(s, "-- streamed (bounded-memory) leg --");
+            if c.ok {
+                let _ = writeln!(
+                    s,
+                    "{} ops in {} chunks of {}: {} events, {} cycles, peak-memory bound \
+                     {} bytes",
+                    c.ops, c.chunks, STREAM_CHUNK_OPS, c.events, c.cycles, c.peak_bound
+                );
+            } else {
+                let _ = writeln!(
+                    s,
+                    "stream leg degraded: {}",
+                    c.error.as_deref().unwrap_or("unknown")
+                );
+            }
+        }
+        let _ = writeln!(s, "kv: {}", if self.ok() { "PASS" } else { "FAIL" });
+        s
+    }
+
+    /// The study as one `specpersist/kv-v1` document.
+    pub fn render_json(&self) -> String {
+        schema::emit(schema::KV, |root| {
+            root.num("scale", self.scale as f64)
+                .raw("seed", self.seed.to_string())
+                .num("crash_seeds", CRASH_SEEDS as f64)
+                .num("stream_chunk_ops", STREAM_CHUNK_OPS as f64)
+                .num("ok", u8::from(self.ok()))
+                .raw("cells", json::array(self.cells.iter().map(cell_json)));
+        })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::Experiment;
+
+    fn harness() -> Harness {
+        Harness::new(
+            Experiment {
+                scale: 2400,
+                seed: 0x5EED,
+            },
+            2,
+        )
+    }
+
+    #[test]
+    fn study_passes_with_sp_savings_and_witnesses() {
+        let h = harness();
+        let rep = run_kv_study(&h);
+        assert_eq!(rep.cells.len(), KvCellSpec::all().len());
+        assert!(rep.ok(), "{}", rep.render_text());
+        for ckpt in CKPT_SWEEP {
+            let r = rep.perf(ckpt, PerfCfg::Ref);
+            let b = rep.perf(ckpt, PerfCfg::Baseline);
+            let sp = rep.perf(ckpt, PerfCfg::Sp);
+            assert!(
+                r.cycles < b.cycles,
+                "persistence machinery must cost cycles (ck{ckpt})"
+            );
+            assert!(
+                sp.cycles <= b.cycles,
+                "SP must not slow the persistent build down (ck{ckpt})"
+            );
+        }
+        for c in &rep.cells {
+            if let KvCellSpec::MustFail { .. } = c.spec {
+                let w = c.witness.as_ref().unwrap();
+                assert!(w.crash_idx as usize <= c.events as usize);
+            }
+            if c.spec == KvCellSpec::ElideChecksum {
+                // Every persist op is honest here — the only defect is
+                // the elided record checksum, so the oracle must reject
+                // the recovered *state*, not the tree structure.
+                let w = c.witness.as_ref().unwrap();
+                assert_eq!(w.kind, "state-mismatch", "{w:?}");
+            }
+        }
+        // The perf leg feeds the labeled perf cells (one per sweep
+        // point x variant actually simulated).
+        assert!(!h.perf_labeled_cells().is_empty());
+        assert!(rep.render_text().contains("kv: PASS"));
+        assert!(rep
+            .render_json()
+            .starts_with("{\"schema\":\"specpersist/kv-v1\""));
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_bytes() {
+        let a = run_kv_study(&Harness::new(harness().exp, 1));
+        let b = run_kv_study(&Harness::new(harness().exp, 8));
+        assert_eq!(a.render_text(), b.render_text());
+        assert_eq!(a.render_json(), b.render_json());
+    }
+
+    #[test]
+    fn journaled_rerun_replays_byte_identically() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("spp-kv-journal-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let h = harness();
+        let (text, json) = {
+            let j = Journal::open(&p).unwrap();
+            let rep = run_kv_opts(&h, Some(&j));
+            assert_eq!(rep.replayed, 0, "first run computes everything");
+            (rep.render_text(), rep.render_json())
+        };
+        let j = Journal::open(&p).unwrap();
+        let rep = run_kv_opts(&h, Some(&j));
+        assert_eq!(rep.replayed, rep.cells.len(), "every cell replays");
+        assert_eq!(rep.render_text(), text, "replayed stdout byte-identical");
+        assert_eq!(rep.render_json(), json);
+        let _ = std::fs::remove_file(&p);
+    }
+}

@@ -36,6 +36,7 @@ pub mod crashfuzz;
 pub mod faultsim;
 pub mod journal;
 pub mod json;
+pub mod kv;
 pub mod litmus;
 pub mod multicore;
 pub mod parallel;
@@ -44,13 +45,14 @@ pub mod profile;
 pub mod report;
 pub mod schema;
 pub mod soak;
+pub mod stream;
 pub mod supervisor;
 
-pub use cache::{CacheStats, TraceCache, TraceKey};
+pub use cache::{trace_bytes, CacheStats, TraceCache, TraceKey, TraceMemCap};
 pub use journal::{Journal, JournalError};
 pub use multicore::{run_multicore_study, MulticoreCell, MulticoreReport};
 pub use parallel::run_indexed;
-pub use perfbench::{PerfCell, PerfRecorder, PerfReport};
+pub use perfbench::{LabeledPerfCell, PerfCell, PerfRecorder, PerfReport};
 pub use supervisor::{CellFailure, CellOutcome, Supervisor};
 
 use spp_cpu::{CpuConfig, SimResult, Simulator, SpConfig};
@@ -194,15 +196,40 @@ impl Harness {
         }
     }
 
-    /// Trace-cache counter snapshot (recordings / cache hits / keys).
+    /// Trace-cache counter snapshot (recordings / cache hits / keys /
+    /// bytes held).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Caps the bytes the trace cache may hold (`--trace-mem-cap`).
+    pub fn set_trace_mem_cap(&self, cap: Option<u64>) {
+        self.cache.set_mem_cap(cap);
+    }
+
+    /// The latched [`TraceMemCap`] violation, if the cache ever grew
+    /// past its cap. `repro` checks this after every stage and fails
+    /// the run with the typed error instead of letting resident trace
+    /// memory grow unbounded.
+    pub fn trace_mem_exceeded(&self) -> Option<TraceMemCap> {
+        self.cache.mem_exceeded()
+    }
+
+    /// Per-key byte footprint of every recorded trace, heaviest first.
+    pub fn trace_bytes_by_key(&self) -> Vec<(TraceKey, u64)> {
+        self.cache.bytes_by_key()
     }
 
     /// Per-cell simulation throughput accumulated so far, in canonical
     /// order (feeds the `specpersist/perfbench-v1` record).
     pub fn perf_cells(&self) -> Vec<PerfCell> {
         self.perf.cells()
+    }
+
+    /// Labeled (non-Table-1) throughput cells accumulated so far — the
+    /// KV storage-engine workload lands here.
+    pub fn perf_labeled_cells(&self) -> Vec<perfbench::LabeledPerfCell> {
+        self.perf.labeled_cells()
     }
 
     /// The perf recorder, for experiment code that drives

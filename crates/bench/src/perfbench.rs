@@ -37,6 +37,11 @@ use crate::schema;
 #[derive(Debug, Default)]
 pub struct PerfRecorder {
     cells: Mutex<HashMap<(BenchId, Variant), CellAccum>>,
+    /// Cells keyed by a free-form label instead of a [`BenchId`] — the
+    /// KV storage-engine workload and other non-Table-1 traces land
+    /// here, so the Table 1 cell set (and every invariant pinned on it)
+    /// stays untouched.
+    extras: Mutex<HashMap<(String, Variant), CellAccum>>,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -57,6 +62,51 @@ impl PerfRecorder {
         c.sims += 1;
         c.sim_cycles += sim_cycles;
         c.wall_nanos += wall.as_nanos();
+    }
+
+    /// Adds one simulation's cycles and wall time to a labeled
+    /// (non-Table-1) cell.
+    pub fn record_labeled(&self, label: &str, variant: Variant, sim_cycles: u64, wall: Duration) {
+        let mut extras = self
+            .extras
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let c = extras.entry((label.to_string(), variant)).or_default();
+        c.sims += 1;
+        c.sim_cycles += sim_cycles;
+        c.wall_nanos += wall.as_nanos();
+    }
+
+    /// The populated labeled cells, sorted by label then
+    /// [`Variant::ALL`] order.
+    pub fn labeled_cells(&self) -> Vec<LabeledPerfCell> {
+        let extras = self
+            .extras
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut keys: Vec<&(String, Variant)> = extras.keys().collect();
+        keys.sort_by_key(|(label, variant)| {
+            let vi = Variant::ALL.iter().position(|v| v == variant);
+            (label.clone(), vi)
+        });
+        keys.into_iter()
+            .map(|k| {
+                let c = extras[k];
+                let wall_secs = c.wall_nanos as f64 / 1e9;
+                LabeledPerfCell {
+                    label: k.0.clone(),
+                    variant: k.1,
+                    sims: c.sims,
+                    sim_cycles: c.sim_cycles,
+                    wall_secs,
+                    cycles_per_sec: if wall_secs > 0.0 {
+                        c.sim_cycles as f64 / wall_secs
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect()
     }
 
     /// The populated cells, in Table 1 x [`Variant::ALL`] order (cells
@@ -108,6 +158,24 @@ pub struct PerfCell {
     pub cycles_per_sec: f64,
 }
 
+/// One labeled (non-Table-1) throughput cell; renders into the same
+/// `cells` array with the label in the `bench` field.
+#[derive(Debug, Clone)]
+pub struct LabeledPerfCell {
+    /// Free-form cell label (e.g. `"kv/mixed"`).
+    pub label: String,
+    /// Which software variant's trace was replayed.
+    pub variant: Variant,
+    /// Simulations summed into this cell.
+    pub sims: u64,
+    /// Total simulated cycles across those simulations (exact).
+    pub sim_cycles: u64,
+    /// Total wall time spent simulating them, in seconds.
+    pub wall_secs: f64,
+    /// Throughput: simulated cycles per wall second.
+    pub cycles_per_sec: f64,
+}
+
 /// The full perf-trajectory record written to `BENCH_*.json`.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -123,6 +191,10 @@ pub struct PerfReport {
     pub peak_rss_kb: u64,
     /// Per-cell throughput, in deterministic order.
     pub cells: Vec<PerfCell>,
+    /// Labeled (non-Table-1) cells, appended after `cells` in the same
+    /// JSON array; empty for runs that only replay Table 1 traces, so
+    /// documents predating the field are byte-identical.
+    pub extras: Vec<LabeledPerfCell>,
 }
 
 impl PerfReport {
@@ -144,7 +216,17 @@ impl PerfReport {
                 o.num("cycles_per_sec", round6(c.cycles_per_sec));
                 o.render()
             });
-            o.raw("cells", array(cells));
+            let extras = self.extras.iter().map(|c| {
+                let mut o = JsonObject::new();
+                o.str("bench", &c.label);
+                o.str("variant", c.variant.label());
+                o.raw("sims", c.sims.to_string());
+                o.raw("sim_cycles", c.sim_cycles.to_string());
+                o.num("wall_secs", round6(c.wall_secs));
+                o.num("cycles_per_sec", round6(c.cycles_per_sec));
+                o.render()
+            });
+            o.raw("cells", array(cells.chain(extras)));
         })
     }
 }
@@ -202,6 +284,7 @@ mod tests {
             wall_secs: 1.25,
             peak_rss_kb: peak_rss_kb(),
             cells: rec.cells(),
+            extras: rec.labeled_cells(),
         }
     }
 
@@ -246,10 +329,46 @@ mod tests {
             wall_secs: 0.0,
             peak_rss_kb: 0,
             cells: PerfRecorder::default().cells(),
+            extras: Vec::new(),
         };
         let doc = r.render_json();
         let v = schema::validate(&doc, schema::PERFBENCH).unwrap();
         assert_eq!(v.get("cells").and_then(|x| x.as_arr()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn labeled_cells_append_after_table1_cells() {
+        let rec = PerfRecorder::default();
+        rec.record(BenchId::BTree, Variant::Base, 100, Duration::from_millis(1));
+        rec.record_labeled("kv/mixed", Variant::LogPSf, 2_000, Duration::from_millis(3));
+        rec.record_labeled("kv/mixed", Variant::LogPSf, 1_000, Duration::from_millis(1));
+        rec.record_labeled("kv/mixed", Variant::Base, 500, Duration::from_millis(1));
+        let extras = rec.labeled_cells();
+        assert_eq!(extras.len(), 2);
+        assert_eq!(extras[0].variant, Variant::Base, "Variant::ALL order");
+        assert_eq!(extras[1].sims, 2);
+        assert_eq!(extras[1].sim_cycles, 3_000);
+        let r = PerfReport {
+            scale: 1,
+            seed: 0,
+            jobs: 1,
+            wall_secs: 0.5,
+            peak_rss_kb: 0,
+            cells: rec.cells(),
+            extras,
+        };
+        let doc = r.render_json();
+        let v = schema::validate(&doc, schema::PERFBENCH).unwrap();
+        let cells = v.get("cells").and_then(|x| x.as_arr()).unwrap();
+        assert_eq!(cells.len(), 3, "{doc}");
+        assert_eq!(
+            cells[2].get("bench").and_then(|x| x.as_str()),
+            Some("kv/mixed")
+        );
+        assert_eq!(
+            cells[2].get("sim_cycles").and_then(|x| x.as_u64()),
+            Some(3_000)
+        );
     }
 
     #[test]

@@ -99,9 +99,16 @@ pub const LITMUS: Schema = Schema {
     id: "specpersist/litmus-v1",
 };
 
+/// The crash-recoverable KV storage-engine study (`repro kv`).
+pub const KV: Schema = Schema {
+    name: "kv",
+    version: 1,
+    id: "specpersist/kv-v1",
+};
+
 /// Every schema the harness knows, for exhaustive self-checks.
-pub const ALL: [Schema; 9] = [
-    SUITE, CRASHFUZZ, FAULTSIM, SOAK, JOURNAL, PROFILE, PERFBENCH, MULTICORE, LITMUS,
+pub const ALL: [Schema; 10] = [
+    SUITE, CRASHFUZZ, FAULTSIM, SOAK, JOURNAL, PROFILE, PERFBENCH, MULTICORE, LITMUS, KV,
 ];
 
 impl Schema {

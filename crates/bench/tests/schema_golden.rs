@@ -15,6 +15,7 @@
 use spp_bench::crashfuzz::{run_crashfuzz, Leg};
 use spp_bench::faultsim::run_faultsim;
 use spp_bench::journal::{CellStatus, Entry, Journal};
+use spp_bench::kv::run_kv_study;
 use spp_bench::litmus::run_litmus;
 use spp_bench::multicore::run_multicore_study;
 use spp_bench::profile::run_profile;
@@ -100,6 +101,12 @@ fn soak_document_is_stable() {
 fn multicore_document_is_stable() {
     let rep = run_multicore_study(&harness());
     check("multicore.json", &rep.render_json(), schema::MULTICORE);
+}
+
+#[test]
+fn kv_document_is_stable() {
+    let rep = run_kv_study(&harness());
+    check("kv.json", &rep.render_json(), schema::KV);
 }
 
 #[test]

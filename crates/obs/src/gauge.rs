@@ -1,0 +1,86 @@
+//! A deterministic byte gauge for bounded-memory pipelines.
+//!
+//! The streaming trace path keeps a recorder and a simulator running
+//! concurrently with a bounded buffer of trace chunks between them; the
+//! gauge is how that path *proves* its memory claim. Producers call
+//! [`MemGauge::acquire`] before a buffer enters the pipeline and
+//! [`MemGauge::release`] when it leaves; the gauge tracks the current
+//! total and the high-water mark. Like every observability type in this
+//! crate it is purely passive (no clocks, no RNG, no allocation) so two
+//! runs of the same pipeline report byte-identical peaks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tracks bytes currently held and the peak ever held. Thread-safe:
+/// producer and consumer sides update it concurrently.
+#[derive(Debug, Default)]
+pub struct MemGauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemGauge {
+    /// An empty gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounts `bytes` entering the pipeline; returns the new current
+    /// total (which may already be the new peak).
+    pub fn acquire(&self, bytes: u64) -> u64 {
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        now
+    }
+
+    /// Accounts `bytes` leaving the pipeline.
+    pub fn release(&self, bytes: u64) {
+        self.current.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Bytes currently held.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// The largest total ever held.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_the_high_water_mark() {
+        let g = MemGauge::new();
+        assert_eq!((g.current(), g.peak()), (0, 0));
+        g.acquire(100);
+        g.acquire(50);
+        assert_eq!((g.current(), g.peak()), (150, 150));
+        g.release(120);
+        assert_eq!((g.current(), g.peak()), (30, 150));
+        g.acquire(40);
+        assert_eq!((g.current(), g.peak()), (70, 150), "peak never shrinks");
+    }
+
+    #[test]
+    fn concurrent_updates_balance_out() {
+        let g = MemGauge::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        g.acquire(8);
+                        g.release(8);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.current(), 0);
+        assert!(g.peak() >= 8 && g.peak() <= 32);
+    }
+}

@@ -36,6 +36,7 @@
 
 mod chrome;
 mod collector;
+mod gauge;
 mod probe;
 mod reservoir;
 
@@ -43,6 +44,7 @@ pub use chrome::{chrome_trace_json, merge_chrome_traces, TraceSpan};
 pub use collector::{
     Collector, LatencySummary, OccupancySummary, ProfileSummary, SharedCollector, StallProfile,
 };
+pub use gauge::MemGauge;
 pub use probe::{NullProbe, Probe, ProbeEvent, ProbeHandle, StallCause};
 pub use reservoir::Reservoir;
 

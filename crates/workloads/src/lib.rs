@@ -43,6 +43,7 @@ pub mod btree_inc;
 pub mod driver;
 pub mod graph;
 pub mod hashmap;
+pub mod kv;
 pub mod linked_list;
 pub mod litmus;
 pub mod oracle;
@@ -51,6 +52,7 @@ pub mod shared;
 pub mod spec;
 mod staged;
 pub mod string_swap;
+pub mod zipf;
 
 use std::fmt;
 

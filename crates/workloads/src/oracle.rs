@@ -63,7 +63,7 @@ pub struct CrashBundle {
 }
 
 /// How a crash image failed its oracle.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ViolationKind {
     /// The recovered structure violated a structural invariant (broken
     /// ordering, torn string, dangling pointer, ...).
@@ -72,6 +72,10 @@ pub enum ViolationKind {
     /// operation boundary — a committed operation was lost or a torn
     /// one became visible.
     StateMismatch,
+    /// A multi-key scan result is internally inconsistent or mixes two
+    /// operation boundaries — a half-applied operation is visible to
+    /// range reads.
+    ScanInconsistent,
 }
 
 impl fmt::Display for ViolationKind {
@@ -79,7 +83,60 @@ impl fmt::Display for ViolationKind {
         f.write_str(match self {
             ViolationKind::StructureInvalid => "structure-invalid",
             ViolationKind::StateMismatch => "state-mismatch",
+            ViolationKind::ScanInconsistent => "scan-inconsistent",
         })
+    }
+}
+
+/// Checks one multi-key scan result against the two adjacent operation
+/// boundaries: every key must lie in `[lo, hi]`, the result must be
+/// strictly ascending (duplicates and disorder are torn-structure
+/// symptoms that set-based comparison silently collapses), and the
+/// window contents must equal `prev ∩ [lo, hi]` or `next ∩ [lo, hi]` —
+/// a scan mixing both states observed a half-applied operation.
+///
+/// # Errors
+///
+/// Returns a [`ViolationKind::ScanInconsistent`] violation describing
+/// the first failed property.
+pub fn check_scan_window(
+    scan: &[u64],
+    lo: u64,
+    hi: u64,
+    prev: &BTreeSet<u64>,
+    next: &BTreeSet<u64>,
+) -> Result<(), OracleViolation> {
+    let fail = |detail: String| {
+        Err(OracleViolation {
+            kind: ViolationKind::ScanInconsistent,
+            detail,
+        })
+    };
+    for &k in scan {
+        if !(lo..=hi).contains(&k) {
+            return fail(format!("scan key {k} outside the window [{lo}, {hi}]"));
+        }
+    }
+    if let Some(w) = scan.windows(2).find(|w| w[0] >= w[1]) {
+        return fail(format!(
+            "scan result not strictly ascending at {} >= {} (duplicate or disordered key)",
+            w[0], w[1]
+        ));
+    }
+    let got: BTreeSet<u64> = scan.iter().copied().collect();
+    let pw: BTreeSet<u64> = prev.range(lo..=hi).copied().collect();
+    let nw: BTreeSet<u64> = next.range(lo..=hi).copied().collect();
+    if got == pw || got == nw {
+        Ok(())
+    } else {
+        fail(format!(
+            "scan of [{lo}, {hi}] returned {} keys, matching neither the pre-boundary window \
+             ({} keys) nor the post-boundary window ({} keys) — a half-applied operation is \
+             visible",
+            got.len(),
+            pw.len(),
+            nw.len()
+        ))
     }
 }
 
@@ -189,8 +246,8 @@ impl CrashBundle {
     /// its contents match neither adjacent operation boundary.
     pub fn check_image(&self, image: &mut Space, crash_idx: usize) -> Result<(), OracleViolation> {
         recover(image, &self.layout);
-        let got: BTreeSet<u64> = match self.workload.verify(image) {
-            Ok(s) => s.keys.into_iter().collect(),
+        let raw_keys = match self.workload.verify(image) {
+            Ok(s) => s.keys,
             Err(e) => {
                 return Err(OracleViolation {
                     kind: ViolationKind::StructureInvalid,
@@ -198,15 +255,14 @@ impl CrashBundle {
                 })
             }
         };
+        let got: BTreeSet<u64> = raw_keys.iter().copied().collect();
         let completed = self.completed_ops(crash_idx);
         // The crash may land between the durable logged_bit clear and
         // the (zero-cost) TxEnd marker: the next state is then already
         // durable despite not being counted.
         let next = (completed + 1).min(self.states.len() - 1);
-        if got == self.states[completed] || got == self.states[next] {
-            Ok(())
-        } else {
-            Err(OracleViolation {
+        if got != self.states[completed] && got != self.states[next] {
+            return Err(OracleViolation {
                 kind: ViolationKind::StateMismatch,
                 detail: format!(
                     "recovered contents ({} keys) match neither the state after {completed} \
@@ -215,8 +271,22 @@ impl CrashBundle {
                     self.states[completed].len(),
                     self.states[next].len()
                 ),
-            })
+            });
         }
+        // Multi-key scan semantics: the raw key list, read as one full-
+        // range scan, must be a consistent view of a single boundary.
+        // This catches duplicate keys that set conversion collapses
+        // (workloads whose verify returns unsorted keys are sorted
+        // first; duplicates survive sorting).
+        let mut sorted = raw_keys;
+        sorted.sort_unstable();
+        check_scan_window(
+            &sorted,
+            0,
+            u64::MAX,
+            &self.states[completed],
+            &self.states[next],
+        )
     }
 
     /// Replays one adversarial schedule: crash at `crash_idx`, per-block
@@ -318,6 +388,41 @@ mod tests {
             }
         }
         assert!(found, "torn string swaps went undetected");
+    }
+
+    #[test]
+    fn scan_window_flags_half_applied_insert() {
+        let prev: BTreeSet<u64> = [1, 5, 9].into();
+        // The op inserted key 3. A scan that sees the new key 3 but lost
+        // committed key 5 matches neither boundary: half-applied, flagged.
+        let next: BTreeSet<u64> = [1, 3, 5, 9].into();
+        let err = check_scan_window(&[1, 3, 9], 0, 10, &prev, &next).unwrap_err();
+        assert_eq!(err.kind, ViolationKind::ScanInconsistent);
+        assert!(err.to_string().contains("half-applied"), "{err}");
+        // Both adjacent boundary views are fine.
+        check_scan_window(&[1, 5, 9], 0, 10, &prev, &next).unwrap();
+        check_scan_window(&[1, 3, 5, 9], 0, 10, &prev, &next).unwrap();
+    }
+
+    #[test]
+    fn scan_window_flags_duplicates_disorder_and_strays() {
+        let s: BTreeSet<u64> = [1, 2].into();
+        assert!(check_scan_window(&[1, 1, 2], 0, 10, &s, &s).is_err());
+        assert!(check_scan_window(&[2, 1], 0, 10, &s, &s).is_err());
+        assert!(check_scan_window(&[1, 2, 11], 0, 10, &s, &s).is_err());
+        check_scan_window(&[1, 2], 0, 10, &s, &s).unwrap();
+        check_scan_window(&[], 3, 10, &s, &s).unwrap();
+    }
+
+    #[test]
+    fn scan_window_respects_bounds() {
+        let prev: BTreeSet<u64> = [1, 5, 9].into();
+        let next: BTreeSet<u64> = [1, 5, 7, 9].into();
+        // Window [4, 8]: prev sees {5}, next sees {5, 7}.
+        check_scan_window(&[5], 4, 8, &prev, &next).unwrap();
+        check_scan_window(&[5, 7], 4, 8, &prev, &next).unwrap();
+        // {7} alone dropped committed key 5: neither boundary.
+        assert!(check_scan_window(&[7], 4, 8, &prev, &next).is_err());
     }
 
     #[test]
