@@ -43,6 +43,19 @@
 //!              `specpersist/kv-v1` JSON line, journaled like
 //!              faultsim; exits non-zero if any oracle fails or the
 //!              SP legs regress
+//!   optimize <BENCH> <VARIANT>  persist-path trace optimizer: detect
+//!              redundant persist operations in one recorded trace
+//!              (the same line flushed twice in an epoch, flushes
+//!              never covered by a persist barrier, fences with
+//!              nothing to order), elide them, replay the
+//!              optimized trace on both pipeline cores x {baseline,
+//!              SP} with the spp-obs probe attached, and prove safety
+//!              by crashfuzzing every persist boundary of the
+//!              optimized trace (plus an inverted leg eliding a
+//!              required flush, which the oracle must catch); prints
+//!              the before/after cycle + stall diff and one
+//!              `specpersist/optimize-v1` JSON line, journaled like
+//!              kv; exits non-zero if any leg fails
 //!   journal check <PATH>  offline integrity walk of a journaled
 //!              result manifest: verify every line's checksum and
 //!              envelope, report damaged lines (bit flips, torn tail,
@@ -77,8 +90,8 @@
 //!   --scale N  divide Table 1's op counts by N (default 50; 1 = paper)
 //!   --seed S   RNG seed (default 0x5EED)
 //!   --jobs J   worker threads (default: all cores; 1 = serial)
-//!   --journal [PATH]  (faultsim/soak/profile/multicore/litmus/kv)
-//!              record completed cells
+//!   --journal [PATH]  (faultsim/soak/profile/multicore/litmus/kv/
+//!              optimize) record completed cells
 //!              into the journaled result manifest at PATH (default:
 //!              `.specpersist/journal-v1.jsonl`); a fresh run requires
 //!              a fresh path
@@ -99,7 +112,7 @@
 //!   --trace-out PATH  (profile) write the merged Chrome trace_event
 //!              document to PATH (loadable in Perfetto or
 //!              chrome://tracing)
-//!   --bench-out PATH  (all/profile/kv) where to write the
+//!   --bench-out PATH  (all/profile/kv/optimize) where to write the
 //!              `specpersist/perfbench-v1` perf-trajectory record
 //!              (default `BENCH_6.json`): simulated-cycles-per-second
 //!              per bench x variant, wall time, peak RSS; file + stderr
@@ -127,9 +140,10 @@ use std::time::Instant;
 
 use spp_bench::litmus::ModelKnob;
 use spp_bench::report;
+use spp_bench::study::{staged, StudyCli, StudyError, StudyRunner};
 use spp_bench::{Experiment, Harness};
 
-const USAGE: &str = "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore|litmus|kv|crashfuzz|faultsim|soak|profile|journal> [--scale N] [--seed S] [--jobs J] [--journal [PATH] [--resume]] [--iters N] [--storm-bound N] [--trace-out PATH] [--bench-out PATH] [--trace-mem-cap BYTES]; repro journal check <PATH>";
+const USAGE: &str = "usage: repro <all|table1|table2|table3|fig8..fig14|ablation|incremental|flushmode|trace|json|multicore|litmus|kv|optimize|crashfuzz|faultsim|soak|profile|journal> [--scale N] [--seed S] [--jobs J] [--journal [PATH] [--resume]] [--iters N] [--storm-bound N] [--trace-out PATH] [--bench-out PATH] [--trace-mem-cap BYTES]; repro journal check <PATH>";
 
 /// A rejected invocation: every variant renders as one line, and every
 /// variant exits non-zero. Parsing never panics on user input.
@@ -150,6 +164,8 @@ enum CliError {
     MissingTraceArgs,
     /// `repro profile` needs a benchmark and a variant.
     MissingProfileArgs,
+    /// `repro optimize` needs a benchmark and a variant.
+    MissingOptimizeArgs,
     /// The benchmark abbreviation is not in Table 1.
     UnknownBench(String),
     /// The build-variant name is not one of the four builds.
@@ -191,6 +207,9 @@ impl fmt::Display for CliError {
             CliError::MissingProfileArgs => {
                 f.write_str("profile needs <GH|HM|LL|SS|AT|BT|RT> <base|log|logp|logpsf>")
             }
+            CliError::MissingOptimizeArgs => {
+                f.write_str("optimize needs <GH|HM|LL|SS|AT|BT|RT> <base|log|logp|logpsf>")
+            }
             CliError::UnknownBench(b) => {
                 write!(f, "unknown benchmark {b:?} (want GH|HM|LL|SS|AT|BT|RT)")
             }
@@ -201,7 +220,7 @@ impl fmt::Display for CliError {
                 write!(f, "unknown crashfuzz leg {l:?} (want all|log|logp|logpsf)")
             }
             CliError::FlagUnsupported { flag, cmd } => {
-                write!(f, "{flag} is not supported by {cmd:?} (journaled commands: faultsim, soak, profile, multicore, litmus, kv; --iters: soak; --storm-bound: multicore; --model-knob: litmus; --trace-out: profile; --bench-out: all, profile, kv; --trace-mem-cap: any trace-recording command)")
+                write!(f, "{flag} is not supported by {cmd:?} (journaled commands: faultsim, soak, profile, multicore, litmus, kv, optimize; --iters: soak; --storm-bound: multicore; --model-knob: litmus; --trace-out: profile; --bench-out: all, profile, kv, optimize; --trace-mem-cap: any trace-recording command)")
             }
             CliError::ResumeNeedsJournal => f.write_str("--resume requires --journal <path>"),
             CliError::ResumeMissingJournal(p) => {
@@ -404,7 +423,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
 fn check_flag_scope(cli: &Cli) -> Result<(), CliError> {
     let journaled = matches!(
         cli.cmd.as_str(),
-        "faultsim" | "soak" | "profile" | "multicore" | "litmus" | "kv"
+        "faultsim" | "soak" | "profile" | "multicore" | "litmus" | "kv" | "optimize"
     );
     if cli.journal.is_some() && !journaled {
         return Err(CliError::FlagUnsupported {
@@ -442,7 +461,8 @@ fn check_flag_scope(cli: &Cli) -> Result<(), CliError> {
             cmd: cli.cmd.clone(),
         });
     }
-    if cli.bench_out.is_some() && !matches!(cli.cmd.as_str(), "all" | "profile" | "kv") {
+    if cli.bench_out.is_some() && !matches!(cli.cmd.as_str(), "all" | "profile" | "kv" | "optimize")
+    {
         return Err(CliError::FlagUnsupported {
             flag: "--bench-out",
             cmd: cli.cmd.clone(),
@@ -463,22 +483,32 @@ fn check_flag_scope(cli: &Cli) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Opens the journal at `path` under the CLI's resume discipline:
-/// resuming requires the file to exist, and starting fresh requires it
-/// to be absent or empty — an existing manifest is never silently
-/// appended to and never silently ignored.
+/// The CLI rendering of a [`StudyError`]: the study façade's journal
+/// discipline maps 1:1 onto the typed CLI diagnostics.
+impl From<StudyError> for CliError {
+    fn from(e: StudyError) -> Self {
+        match e {
+            StudyError::ResumeMissingJournal(p) => CliError::ResumeMissingJournal(p),
+            StudyError::JournalNeedsResume(p) => CliError::JournalNeedsResume(p),
+            other => CliError::Journal(other.to_string()),
+        }
+    }
+}
+
+/// Opens the journal at `path` under the study façade's resume
+/// discipline (see [`spp_bench::study::open_journal`]), mapping the
+/// typed failure onto the CLI's own diagnostics.
 fn open_journal(path: &std::path::Path, resume: bool) -> Result<spp_bench::Journal, CliError> {
-    let display = path.display().to_string();
-    let has_entries = std::fs::metadata(path)
-        .map(|m| m.len() > 0)
-        .unwrap_or(false);
-    if resume && !path.exists() {
-        return Err(CliError::ResumeMissingJournal(display));
+    spp_bench::study::open_journal(path, resume).map_err(CliError::from)
+}
+
+/// The report verdict as an exit status.
+fn verdict(ok: bool) -> ExitCode {
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
-    if !resume && has_entries {
-        return Err(CliError::JournalNeedsResume(display));
-    }
-    spp_bench::Journal::open(path).map_err(|e| CliError::Journal(e.to_string()))
 }
 
 /// Where the perf-trajectory record lands unless `--bench-out` says
@@ -519,24 +549,6 @@ fn write_perfbench(harness: &Harness, jobs: usize, wall_secs: f64, path: &str) {
     }
 }
 
-/// Runs one evaluation stage, reporting wall time and throughput on
-/// stderr (`sims` counts the simulator replays the stage issues; 0
-/// suppresses the rate). Stdout stays byte-identical across `--jobs`.
-fn staged<T>(label: &str, sims: usize, f: impl FnOnce() -> T) -> T {
-    let t0 = Instant::now();
-    let out = f();
-    let dt = t0.elapsed().as_secs_f64();
-    if sims > 0 {
-        eprintln!(
-            "# {label}: {sims} sims in {dt:.2}s ({:.1} sims/s)",
-            sims as f64 / dt.max(1e-9)
-        );
-    } else {
-        eprintln!("# {label}: {dt:.2}s");
-    }
-    out
-}
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&args).and_then(run) {
@@ -569,6 +581,7 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
         // Pure file inspection: no harness, no simulations.
         return journal_cmd(&positional);
     }
+    let study = StudyCli { journal, resume };
     let harness = Harness::new(exp, jobs);
     harness.set_trace_mem_cap(trace_mem_cap);
     let t0 = Instant::now();
@@ -673,15 +686,25 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
         }
         "json" => println!("{}", spp_bench::json::suite_json(&runs)),
         "multicore" => {
-            let code = multicore_cmd(&harness, journal.as_deref(), resume, storm_bound)?;
+            let code = multicore_cmd(&harness, &study, storm_bound)?;
             return check_trace_mem(&harness, code);
         }
         "litmus" => {
-            let code = litmus_cmd(&harness, journal.as_deref(), resume, model_knob)?;
+            let code = litmus_cmd(&harness, &study, model_knob)?;
             return check_trace_mem(&harness, code);
         }
         "kv" => {
-            let code = kv_cmd(&harness, journal.as_deref(), resume)?;
+            let code = kv_cmd(&harness, &study)?;
+            write_perfbench(
+                &harness,
+                jobs,
+                t0.elapsed().as_secs_f64(),
+                bench_out.as_deref().unwrap_or(DEFAULT_BENCH_OUT),
+            );
+            return check_trace_mem(&harness, code);
+        }
+        "optimize" => {
+            let code = optimize_cmd(&harness, &positional, &study)?;
             write_perfbench(
                 &harness,
                 jobs,
@@ -696,18 +719,12 @@ fn run(cli: Cli) -> Result<ExitCode, CliError> {
             return check_trace_mem(&harness, code);
         }
         "faultsim" => {
-            let code = faultsim_cmd(&harness, journal.as_deref(), resume)?;
+            let code = faultsim_cmd(&harness, &study)?;
             return check_trace_mem(&harness, code);
         }
-        "soak" => return soak_cmd(&exp, jobs, iters, journal.as_deref(), resume),
+        "soak" => return soak_cmd(&exp, jobs, iters, &study),
         "profile" => {
-            let code = profile_cmd(
-                &harness,
-                &positional,
-                journal.as_deref(),
-                resume,
-                trace_out.as_deref(),
-            )?;
+            let code = profile_cmd(&harness, &positional, &study, trace_out.as_deref())?;
             write_perfbench(
                 &harness,
                 jobs,
@@ -749,31 +766,44 @@ fn check_trace_mem(harness: &Harness, code: ExitCode) -> Result<ExitCode, CliErr
 /// `--bench-out` trajectory record. With a journal, completed cells
 /// are recorded and `--resume` replays them byte-identically. Exits
 /// non-zero if any cell failed its oracle or the SP legs regressed.
-fn kv_cmd(harness: &Harness, journal: Option<&str>, resume: bool) -> Result<ExitCode, CliError> {
+fn kv_cmd(harness: &Harness, study: &StudyCli) -> Result<ExitCode, CliError> {
     use spp_bench::kv::{run_kv_opts, KvCellSpec};
-    let j = match journal {
-        Some(p) => Some(open_journal(std::path::Path::new(p), resume)?),
-        None => None,
+    let runner = StudyRunner::new("kv", KvCellSpec::all().len(), study)?;
+    Ok(verdict(runner.run(|j| run_kv_opts(harness, j))))
+}
+
+/// `repro optimize <BENCH> <VARIANT> [--journal PATH [--resume]]
+/// [--bench-out PATH]`: the persist-path trace optimizer — analyze one
+/// recorded trace for redundant persist operations, elide them, replay
+/// the optimized trace on both pipeline cores x {baseline, SP} with
+/// the spp-obs probe attached, and prove the plan safe by crashfuzzing
+/// every persist boundary of the optimized trace (plus the inverted
+/// leg eliding a required flush, which the oracle must catch). Prints
+/// the before/after tables and one `specpersist/optimize-v1` JSON
+/// line; the labeled perf cells join the `--bench-out` trajectory
+/// record. With a journal, completed cells are recorded and `--resume`
+/// replays them byte-identically. Exits non-zero if any leg fails.
+fn optimize_cmd(
+    harness: &Harness,
+    positional: &[String],
+    study: &StudyCli,
+) -> Result<ExitCode, CliError> {
+    use spp_bench::optimize::{run_optimize_opts, OptimizeCellSpec};
+    use spp_workloads::BenchId;
+    let (Some(bench), Some(variant)) = (positional.first(), positional.get(1)) else {
+        return Err(CliError::MissingOptimizeArgs);
     };
-    let cells = KvCellSpec::all().len();
-    let rep = staged("kv", cells, || run_kv_opts(harness, j.as_ref()));
-    if let Some(j) = &j {
-        for e in j.corrupt() {
-            eprintln!("repro: journal: {e}");
-        }
-        eprintln!(
-            "# journal {}: {} cells replayed",
-            j.path().display(),
-            rep.replayed
-        );
-    }
-    print!("{}", rep.render_text());
-    println!("{}", rep.render_json());
-    Ok(if rep.ok() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    })
+    let id = BenchId::ALL
+        .iter()
+        .copied()
+        .find(|b| b.abbrev().eq_ignore_ascii_case(bench))
+        .ok_or_else(|| CliError::UnknownBench(bench.clone()))?;
+    let variant = spp_bench::parse_variant(variant)
+        .ok_or_else(|| CliError::UnknownVariant(variant.clone()))?;
+    let runner = StudyRunner::new("optimize", OptimizeCellSpec::all().len(), study)?;
+    Ok(verdict(
+        runner.run(|j| run_optimize_opts(harness, id, variant, j)),
+    ))
 }
 
 /// `repro journal check <PATH>`: offline integrity walk of a result
@@ -849,43 +879,18 @@ fn crashfuzz_cmd(harness: &Harness, positional: &[String]) -> Result<ExitCode, C
 /// faulted run changed committed state or a crash verdict, a cell
 /// exhausted its retry budget, a plan never fired, or the watchdog
 /// failed to convert a wedged run into a typed error.
-fn faultsim_cmd(
-    harness: &Harness,
-    journal: Option<&str>,
-    resume: bool,
-) -> Result<ExitCode, CliError> {
+fn faultsim_cmd(harness: &Harness, study: &StudyCli) -> Result<ExitCode, CliError> {
     use spp_bench::faultsim::{run_faultsim_opts, FaultsimOpts};
-    let j = match journal {
-        Some(p) => Some(open_journal(std::path::Path::new(p), resume)?),
-        None => None,
-    };
-    let rep = staged("faultsim", 7 * 4 * 2 * 3 + 1, || {
+    let runner = StudyRunner::new("faultsim", 7 * 4 * 2 * 3 + 1, study)?;
+    Ok(verdict(runner.run(|j| {
         run_faultsim_opts(
             harness,
             FaultsimOpts {
-                journal: j.as_ref(),
+                journal: j,
                 ..FaultsimOpts::default()
             },
         )
-    });
-    if let Some(j) = &j {
-        // Corrupt or undecodable entries recomputed; surface each one.
-        for e in j.corrupt() {
-            eprintln!("repro: journal: {e}");
-        }
-        eprintln!(
-            "# journal {}: {} cells replayed",
-            j.path().display(),
-            rep.replayed
-        );
-    }
-    print!("{}", rep.render_text());
-    println!("{}", rep.render_json());
-    Ok(if rep.ok() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    })
+    })))
 }
 
 /// `repro multicore [--journal PATH [--resume]]`: the shared-data
@@ -899,41 +904,20 @@ fn faultsim_cmd(
 /// tightens (or loosens) each core's conflict-storm rollback budget.
 fn multicore_cmd(
     harness: &Harness,
-    journal: Option<&str>,
-    resume: bool,
+    study: &StudyCli,
     storm_bound: Option<u64>,
 ) -> Result<ExitCode, CliError> {
     use spp_bench::multicore::{run_multicore_opts, MulticoreOpts};
-    let j = match journal {
-        Some(p) => Some(open_journal(std::path::Path::new(p), resume)?),
-        None => None,
-    };
-    let rep = staged("multicore", 24, || {
+    let runner = StudyRunner::new("multicore", 24, study)?;
+    Ok(verdict(runner.run(|j| {
         run_multicore_opts(
             harness,
             MulticoreOpts {
-                journal: j.as_ref(),
+                journal: j,
                 storm_bound,
             },
         )
-    });
-    if let Some(j) = &j {
-        for e in j.corrupt() {
-            eprintln!("repro: journal: {e}");
-        }
-        eprintln!(
-            "# journal {}: {} cells replayed",
-            j.path().display(),
-            rep.replayed
-        );
-    }
-    print!("{}", rep.render_text());
-    println!("{}", rep.render_json());
-    Ok(if rep.ok() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    })
+    })))
 }
 
 /// `repro litmus [--journal PATH [--resume]] [--model-knob K]`: Px86
@@ -948,42 +932,21 @@ fn multicore_cmd(
 /// if any leg reached a forbidden state.
 fn litmus_cmd(
     harness: &Harness,
-    journal: Option<&str>,
-    resume: bool,
+    study: &StudyCli,
     model_knob: Option<ModelKnob>,
 ) -> Result<ExitCode, CliError> {
     use spp_bench::litmus::{litmus_programs, run_litmus_opts, LitmusOpts};
-    let j = match journal {
-        Some(p) => Some(open_journal(std::path::Path::new(p), resume)?),
-        None => None,
-    };
     let sims = litmus_programs(&harness.exp).len() * 3;
-    let rep = staged("litmus", sims, || {
+    let runner = StudyRunner::new("litmus", sims, study)?;
+    Ok(verdict(runner.run(|j| {
         run_litmus_opts(
             harness,
             LitmusOpts {
-                journal: j.as_ref(),
+                journal: j,
                 knob: model_knob.unwrap_or_default(),
             },
         )
-    });
-    if let Some(j) = &j {
-        for e in j.corrupt() {
-            eprintln!("repro: journal: {e}");
-        }
-        eprintln!(
-            "# journal {}: {} cells replayed",
-            j.path().display(),
-            rep.replayed
-        );
-    }
-    print!("{}", rep.render_text());
-    println!("{}", rep.render_json());
-    Ok(if rep.ok() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    })
+    })))
 }
 
 /// `repro soak [--iters N] [--journal PATH [--resume]]`: bounded
@@ -996,12 +959,11 @@ fn soak_cmd(
     exp: &Experiment,
     jobs: usize,
     iters: Option<u64>,
-    journal: Option<&str>,
-    resume: bool,
+    study: &StudyCli,
 ) -> Result<ExitCode, CliError> {
     use spp_bench::soak::{run_soak, DEFAULT_SOAK_ITERS};
     let iters = iters.unwrap_or(DEFAULT_SOAK_ITERS);
-    let (path, is_temp) = match journal {
+    let (path, is_temp) = match study.journal.as_deref() {
         Some(p) => (std::path::PathBuf::from(p), false),
         None => {
             let p =
@@ -1010,7 +972,7 @@ fn soak_cmd(
             (p, true)
         }
     };
-    let j = open_journal(&path, resume)?;
+    let j = open_journal(&path, study.resume)?;
     let rep = staged("soak", 0, || run_soak(exp, jobs, iters, &j));
     for e in j.corrupt() {
         eprintln!("repro: journal: {e}");
@@ -1039,8 +1001,7 @@ fn soak_cmd(
 fn profile_cmd(
     harness: &Harness,
     positional: &[String],
-    journal: Option<&str>,
-    resume: bool,
+    study: &StudyCli,
     trace_out: Option<&str>,
 ) -> Result<ExitCode, CliError> {
     use spp_bench::journal::{CellStatus, Entry};
@@ -1059,10 +1020,8 @@ fn profile_cmd(
     let variant = spp_bench::parse_variant(variant)
         .ok_or_else(|| CliError::UnknownVariant(variant.clone()))?;
 
-    let j = match journal {
-        Some(p) => Some(open_journal(std::path::Path::new(p), resume)?),
-        None => None,
-    };
+    let runner = StudyRunner::new("profile", 2, study)?;
+    let j = runner.journal();
     let key = format!(
         "profile/{}/{}/scale{}/seed{:#x}",
         id.abbrev(),
@@ -1081,7 +1040,7 @@ fn profile_cmd(
 
     // A verified journal entry replays the whole cell: stdout and the
     // exported trace are byte-identical to the original run's.
-    if let Some(j) = &j {
+    if let Some(j) = j {
         if let Some(entry) = j.lookup(&key) {
             let decoded = parse(&entry.payload).ok().and_then(|v| {
                 let field = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_string);
@@ -1109,14 +1068,12 @@ fn profile_cmd(
         }
     }
 
-    let rep = staged("profile", 2, || run_profile(harness, id, variant));
+    let rep = runner.stage(|| run_profile(harness, id, variant));
     let text = rep.render_text();
     let json = rep.render_json();
     let trace = rep.chrome_trace();
-    if let Some(j) = &j {
-        for e in j.corrupt() {
-            eprintln!("repro: journal: {e}");
-        }
+    runner.report_corrupt();
+    if let Some(j) = j {
         let mut payload = spp_bench::json::JsonObject::new();
         payload
             .num("ok", u8::from(rep.ok()))
@@ -1286,6 +1243,7 @@ mod tests {
             },
             CliError::MissingTraceArgs,
             CliError::MissingProfileArgs,
+            CliError::MissingOptimizeArgs,
             CliError::UnknownBench("ZZ".into()),
             CliError::UnknownVariant("fast".into()),
             CliError::UnknownLeg("base".into()),
@@ -1559,17 +1517,75 @@ mod tests {
     #[test]
     fn profile_cmd_rejects_unknown_names() {
         let h = Harness::new(Experiment::default(), 1);
+        let study = StudyCli::default();
         assert_eq!(
-            profile_cmd(&h, &args(&["ZZ", "base"]), None, false, None).unwrap_err(),
+            profile_cmd(&h, &args(&["ZZ", "base"]), &study, None).unwrap_err(),
             CliError::UnknownBench("ZZ".into())
         );
         assert_eq!(
-            profile_cmd(&h, &args(&["LL", "fast"]), None, false, None).unwrap_err(),
+            profile_cmd(&h, &args(&["LL", "fast"]), &study, None).unwrap_err(),
             CliError::UnknownVariant("fast".into())
         );
         assert_eq!(
-            profile_cmd(&h, &args(&["LL"]), None, false, None).unwrap_err(),
+            profile_cmd(&h, &args(&["LL"]), &study, None).unwrap_err(),
             CliError::MissingProfileArgs
+        );
+    }
+
+    #[test]
+    fn optimize_cmd_rejects_unknown_names() {
+        let h = Harness::new(Experiment::default(), 1);
+        let study = StudyCli::default();
+        assert_eq!(
+            optimize_cmd(&h, &args(&["ZZ", "base"]), &study).unwrap_err(),
+            CliError::UnknownBench("ZZ".into())
+        );
+        assert_eq!(
+            optimize_cmd(&h, &args(&["LL", "fast"]), &study).unwrap_err(),
+            CliError::UnknownVariant("fast".into())
+        );
+        assert_eq!(
+            optimize_cmd(&h, &args(&["LL"]), &study).unwrap_err(),
+            CliError::MissingOptimizeArgs
+        );
+    }
+
+    #[test]
+    fn optimize_is_a_journaled_command_with_a_bench_out() {
+        let cli = parse_args(&args(&[
+            "optimize",
+            "LL",
+            "logpsf",
+            "--journal",
+            "j.jsonl",
+            "--resume",
+            "--bench-out",
+            "b.json",
+            "--trace-mem-cap",
+            "4096",
+        ]))
+        .unwrap();
+        assert_eq!(cli.positional, args(&["LL", "logpsf"]));
+        assert_eq!(cli.journal.as_deref(), Some("j.jsonl"));
+        assert!(cli.resume);
+        assert_eq!(cli.bench_out.as_deref(), Some("b.json"));
+        assert_eq!(cli.trace_mem_cap, Some(4096));
+        assert!(check_flag_scope(&cli).is_ok());
+        // Profile-only flags stay profile-only.
+        let cli = parse_args(&args(&[
+            "optimize",
+            "LL",
+            "logpsf",
+            "--trace-out",
+            "t.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            check_flag_scope(&cli).unwrap_err(),
+            CliError::FlagUnsupported {
+                flag: "--trace-out",
+                cmd: "optimize".into(),
+            }
         );
     }
 

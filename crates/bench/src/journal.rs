@@ -244,6 +244,32 @@ impl Entry {
     }
 }
 
+/// Splits a physical line that failed to verify at every embedded
+/// record-start marker. In a well-formed line the marker cannot occur
+/// past position 0 — the payload is a JSON-escaped string, so its
+/// quotes are `\"` and never spell the raw marker — which makes any
+/// interior occurrence evidence of a swallowed separator newline. A
+/// coincidental marker inside already-damaged bytes merely produces
+/// fragments that fail verification and report, never a false replay:
+/// each fragment must still parse and checksum on its own.
+fn split_merged(line: &str) -> Vec<&str> {
+    const MARKER: &[u8] = b"{\"schema\":";
+    let bytes = line.as_bytes();
+    let mut starts = vec![0usize];
+    let mut i = 1;
+    while i + MARKER.len() <= bytes.len() {
+        if &bytes[i..i + MARKER.len()] == MARKER {
+            starts.push(i);
+            i += MARKER.len();
+        } else {
+            i += 1;
+        }
+    }
+    starts.push(bytes.len());
+    // Every boundary sits on an ASCII `{`, so the slices are UTF-8 safe.
+    starts.windows(2).map(|w| &line[w[0]..w[1]]).collect()
+}
+
 /// What `Journal::open` found on disk.
 #[derive(Debug, Default)]
 struct Loaded {
@@ -309,7 +335,29 @@ impl Journal {
                 Ok(e) => {
                     loaded.entries.insert(e.key.clone(), e);
                 }
-                Err(e) => loaded.corrupt.push(e),
+                Err(first) => {
+                    // A destroyed separator newline merges neighbouring
+                    // records into one physical line, and a single parse
+                    // of the merged bytes would report only the first of
+                    // them. Split at embedded record-start markers and
+                    // verify each fragment independently, so every
+                    // damaged record surfaces its own error and an
+                    // intact record whose bytes still checksum replays
+                    // instead of being collateral damage.
+                    let frags = split_merged(line);
+                    if frags.len() <= 1 {
+                        loaded.corrupt.push(first);
+                    } else {
+                        for frag in frags {
+                            match Entry::from_line(i + 1, frag) {
+                                Ok(e) => {
+                                    loaded.entries.insert(e.key.clone(), e);
+                                }
+                                Err(e) => loaded.corrupt.push(e),
+                            }
+                        }
+                    }
+                }
             }
         }
         // Seal a torn final line (a kill mid-append leaves no
@@ -514,6 +562,71 @@ mod tests {
             }
         }
         std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn merged_lines_report_every_damaged_record() {
+        let p = tmp("merged");
+        let j = Journal::open(&p).unwrap();
+        j.append(&entry("a", r#"{"v":1}"#)).unwrap();
+        j.append(&entry("b", r#"{"v":2}"#)).unwrap();
+        j.append(&entry("c", r#"{"v":3}"#)).unwrap();
+        drop(j);
+        let mut raw = std::fs::read(&p).unwrap();
+        // First flip: destroy the newline separating records "a" and
+        // "b", merging them into one physical line (the torn-tail shape
+        // that used to collapse into a single reported error).
+        let nl = raw.iter().position(|&x| x == b'\n').unwrap();
+        raw[nl] ^= 0x01;
+        // Second flip: damage record "b"'s key field, past the
+        // record-start marker so the merged line still splits there.
+        let b_key = nl + 1 + find(&raw[nl + 1..], b"\"key\":\"b\"") + 8;
+        raw[b_key] ^= 0x01;
+        std::fs::write(&p, &raw).unwrap();
+        let j = Journal::open(&p).unwrap();
+        let errs = j.corrupt();
+        assert_eq!(
+            errs.len(),
+            2,
+            "both damaged records must report, not just the first: {errs:?}"
+        );
+        assert!(errs
+            .iter()
+            .all(|e| matches!(e, JournalError::Malformed { line: 1, .. })
+                || matches!(e, JournalError::HashMismatch { line: 1, .. })));
+        assert!(j.lookup("a").is_none(), "junk-tailed record must not serve");
+        assert!(j.lookup("b").is_none(), "flipped record must not serve");
+        assert!(j.lookup("c").is_some(), "the intact record still replays");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn an_intact_record_merged_behind_a_torn_one_still_replays() {
+        let p = tmp("merged-intact");
+        let j = Journal::open(&p).unwrap();
+        j.append(&entry("a", r#"{"v":1}"#)).unwrap();
+        j.append(&entry("b", r#"{"v":2}"#)).unwrap();
+        drop(j);
+        let mut raw = std::fs::read(&p).unwrap();
+        let nl = raw.iter().position(|&x| x == b'\n').unwrap();
+        raw[nl] ^= 0x01;
+        std::fs::write(&p, &raw).unwrap();
+        let j = Journal::open(&p).unwrap();
+        assert_eq!(j.corrupt().len(), 1, "only \"a\" is damaged");
+        assert!(j.lookup("a").is_none());
+        assert_eq!(
+            j.lookup("b").unwrap().payload,
+            r#"{"v":2}"#,
+            "\"b\"'s bytes verify on their own and must not be lost"
+        );
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    fn find(haystack: &[u8], needle: &[u8]) -> usize {
+        haystack
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .unwrap()
     }
 
     #[test]

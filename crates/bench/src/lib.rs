@@ -39,13 +39,16 @@ pub mod json;
 pub mod kv;
 pub mod litmus;
 pub mod multicore;
+pub mod optimize;
 pub mod parallel;
 pub mod perfbench;
 pub mod profile;
 pub mod report;
 pub mod schema;
 pub mod soak;
+pub mod source;
 pub mod stream;
+pub mod study;
 pub mod supervisor;
 
 pub use cache::{trace_bytes, CacheStats, TraceCache, TraceKey, TraceMemCap};

@@ -1,0 +1,1361 @@
+//! `repro optimize` — the persist-path trace optimizer.
+//!
+//! The paper hides persist-barrier latency speculatively; this module
+//! works the complementary lever and *removes* redundant persist
+//! operations outright. [`analyze`] runs the same writeback-pipeline
+//! frontier machine as [`spp_pmem::CrashSim`] (`issued -> (sfence) ->
+//! ordered -> (pcommit) -> in-flight -> (sfence) -> guaranteed`) over a
+//! recorded trace and classifies every flush and fence:
+//!
+//! * **duplicate flush** — a flush whose pipeline entry is overwritten
+//!   or max-merged away by a later flush of the same line before its
+//!   stage drains; only the `guaranteed` stage ever affects a crash
+//!   image, so the loser contributes nothing at any crash point;
+//! * **uncovered flush** — a flush that never completes the
+//!   `flush; sfence; pcommit; sfence` dance, so its line never reaches
+//!   the `guaranteed` frontier (the whole `Log+P` build is this case);
+//! * **empty fence** — an `sfence`/`mfence` whose `issued` and
+//!   `in-flight` sets are both empty: it drains nothing.
+//!
+//! The elisions form an [`ElisionPlan`]; [`apply`] rewrites the trace
+//! without the elided events, and [`plan_preserves_guarantees`] proves
+//! the event-level safety lemma: at every persist boundary of the
+//! original trace, every block's guaranteed-store frontier is identical
+//! in the optimized trace. On top of that, the study replays the
+//! before/after traces on both cores through the event-driven simulator
+//! *and* the frozen [`ReferencePipeline`] (cycle parity, stall profile
+//! reconciled against the spp-obs collector), proves safety end to end
+//! by running the crashfuzz recovery oracle at every persist boundary
+//! of an optimized `Log+P+Sf` bundle, and runs the inverted leg —
+//! eliding the *required* flushes instead — which must be caught by the
+//! same oracle.
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
+
+use spp_cpu::{CpuConfig, ReferencePipeline, Simulator};
+use spp_obs::{Collector, ProbeHandle};
+use spp_pmem::{persist_boundaries, BlockId, Event, FlushMode, Variant};
+use spp_workloads::oracle::record_bundle;
+use spp_workloads::BenchId;
+
+use crate::crashfuzz::{crash_points, fuzz_bundle_spec, SEEDS_PER_POINT};
+use crate::journal::{CellStatus, Entry, Journal};
+use crate::json::{self, parse, JsonObject, Value};
+use crate::parallel::run_indexed;
+use crate::schema;
+use crate::source::{MemorySource, TraceSource};
+use crate::{variant_key, Harness, TraceKey};
+
+// --- the detector -----------------------------------------------------
+
+/// Why an event is elidable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElisionKind {
+    /// A flush of a line that a later flush of the same line subsumes
+    /// before the stage drains.
+    DuplicateFlush,
+    /// A flush whose line never reaches the guaranteed frontier — no
+    /// persist barrier ever covers it.
+    UncoveredFlush,
+    /// A fence whose `issued` and `in-flight` sets are both empty.
+    EmptyFence,
+}
+
+impl ElisionKind {
+    /// Kebab key for reports and JSON.
+    pub fn key(self) -> &'static str {
+        match self {
+            ElisionKind::DuplicateFlush => "duplicate-flush",
+            ElisionKind::UncoveredFlush => "uncovered-flush",
+            ElisionKind::EmptyFence => "empty-fence",
+        }
+    }
+}
+
+/// One elidable event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elision {
+    /// Index into the analyzed event stream.
+    pub idx: usize,
+    /// Why it is removable.
+    pub kind: ElisionKind,
+}
+
+/// The detector's verdict over one trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ElisionPlan {
+    /// Every elidable event, sorted by trace index.
+    pub elisions: Vec<Elision>,
+    /// Flush indices the model marks *required*: they won a merge into
+    /// the guaranteed frontier, so removing any of them weakens a
+    /// durability guarantee (the inverted safety leg elides exactly
+    /// these and must be caught).
+    pub required: Vec<usize>,
+    /// Flush events in the trace.
+    pub flushes: u64,
+    /// Fence events in the trace.
+    pub fences: u64,
+}
+
+impl ElisionPlan {
+    /// Elisions of one kind.
+    pub fn count(&self, kind: ElisionKind) -> u64 {
+        self.elisions.iter().filter(|e| e.kind == kind).count() as u64
+    }
+
+    /// No elision found.
+    pub fn is_empty(&self) -> bool {
+        self.elisions.is_empty()
+    }
+}
+
+/// How far a flush got through the writeback pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mark {
+    /// Still riding a pipeline stage (uncovered if it ends there).
+    Pending,
+    /// Entered the guaranteed frontier as a winner: load-bearing.
+    Required,
+    /// Overwritten or max-merged away before its stage drained.
+    Subsumed,
+}
+
+/// Max-merges flush `i` of block `b` into a pipeline stage; the loser
+/// of the merge is subsumed (stage maps never touch crash images, so
+/// only the surviving maximum can ever matter).
+fn stage_merge(
+    dst: &mut HashMap<BlockId, usize>,
+    b: BlockId,
+    i: usize,
+    marks: &mut HashMap<usize, Mark>,
+) {
+    match dst.entry(b) {
+        MapEntry::Occupied(mut e) => {
+            let old = *e.get();
+            if i > old {
+                marks.insert(old, Mark::Subsumed);
+                e.insert(i);
+            } else {
+                marks.insert(i, Mark::Subsumed);
+            }
+        }
+        MapEntry::Vacant(v) => {
+            v.insert(i);
+        }
+    }
+}
+
+/// Runs the guarantee-frontier machine over `events` and proposes the
+/// minimal elision plan. The machine is the same one
+/// [`spp_pmem::CrashSim`] uses to reconstruct crash images, so the
+/// classification is exact with respect to the crash model: an elided
+/// event provably never moves any block's guaranteed *store* frontier
+/// at any crash point ([`plan_preserves_guarantees`] re-proves this per
+/// trace, and the study's oracle leg re-proves it against full
+/// recovery). A flush is only `required` when it strictly extends the
+/// number of its block's stores that are certainly durable — a flush
+/// that wins the guaranteed merge without covering any new store (the
+/// line was clean, or an earlier guaranteed flush already covered the
+/// same stores) persists nothing and is elidable too.
+pub fn analyze(events: &[Event]) -> ElisionPlan {
+    let mut store_idxs: HashMap<BlockId, Vec<usize>> = HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        if let Event::Store { addr, .. } = ev {
+            store_idxs.entry(addr.block()).or_default().push(i);
+        }
+    }
+    // Stores to `b` strictly before the exclusive frontier `g`.
+    let covered = |b: BlockId, g: usize| -> usize {
+        store_idxs
+            .get(&b)
+            .map_or(0, |v| v.partition_point(|&s| s < g))
+    };
+    let mut marks: HashMap<usize, Mark> = HashMap::new();
+    let mut empty_fences: Vec<usize> = Vec::new();
+    let mut issued: HashMap<BlockId, usize> = HashMap::new();
+    let mut ordered: HashMap<BlockId, usize> = HashMap::new();
+    let mut inflight: HashMap<BlockId, usize> = HashMap::new();
+    let mut guaranteed: HashMap<BlockId, usize> = HashMap::new();
+    let mut flushes = 0u64;
+    let mut fences = 0u64;
+
+    for (idx, ev) in events.iter().enumerate() {
+        match *ev {
+            Event::Clwb { addr } | Event::ClflushOpt { addr } => {
+                flushes += 1;
+                marks.insert(idx, Mark::Pending);
+                if let Some(prev) = issued.insert(addr.block(), idx) {
+                    marks.insert(prev, Mark::Subsumed);
+                }
+            }
+            Event::Clflush { addr } => {
+                // Legacy clflush skips the issued stage (ordered with
+                // respect to a later pcommit on its own).
+                flushes += 1;
+                marks.insert(idx, Mark::Pending);
+                if let Some(prev) = ordered.insert(addr.block(), idx) {
+                    marks.insert(prev, Mark::Subsumed);
+                }
+            }
+            Event::Pcommit => {
+                let moving: Vec<(BlockId, usize)> = ordered.drain().collect();
+                for (b, i) in moving {
+                    stage_merge(&mut inflight, b, i, &mut marks);
+                }
+            }
+            Event::Sfence | Event::Mfence => {
+                fences += 1;
+                if inflight.is_empty() && issued.is_empty() {
+                    empty_fences.push(idx);
+                }
+                for (b, i) in inflight.drain() {
+                    match guaranteed.entry(b) {
+                        MapEntry::Occupied(mut e) => {
+                            let old = *e.get();
+                            if i > old {
+                                // Required only when the new frontier
+                                // covers a store the old one did not;
+                                // otherwise it persists nothing. The old
+                                // winner keeps the mark it earned.
+                                marks.insert(
+                                    i,
+                                    if covered(b, i) > covered(b, old) {
+                                        Mark::Required
+                                    } else {
+                                        Mark::Subsumed
+                                    },
+                                );
+                                e.insert(i);
+                            } else {
+                                marks.insert(i, Mark::Subsumed);
+                            }
+                        }
+                        MapEntry::Vacant(v) => {
+                            // First guaranteed flush of this line: a
+                            // clean line (no store yet) persists
+                            // nothing and is elidable.
+                            marks.insert(
+                                i,
+                                if covered(b, i) > 0 {
+                                    Mark::Required
+                                } else {
+                                    Mark::Subsumed
+                                },
+                            );
+                            v.insert(i);
+                        }
+                    }
+                }
+                let pending: Vec<(BlockId, usize)> = issued.drain().collect();
+                for (b, i) in pending {
+                    stage_merge(&mut ordered, b, i, &mut marks);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut elisions = Vec::new();
+    let mut required = Vec::new();
+    for (idx, ev) in events.iter().enumerate() {
+        if matches!(
+            ev,
+            Event::Clwb { .. } | Event::ClflushOpt { .. } | Event::Clflush { .. }
+        ) {
+            match marks.get(&idx) {
+                Some(Mark::Required) => required.push(idx),
+                Some(Mark::Subsumed) => elisions.push(Elision {
+                    idx,
+                    kind: ElisionKind::DuplicateFlush,
+                }),
+                Some(Mark::Pending) | None => elisions.push(Elision {
+                    idx,
+                    kind: ElisionKind::UncoveredFlush,
+                }),
+            }
+        }
+    }
+    elisions.extend(empty_fences.iter().map(|&idx| Elision {
+        idx,
+        kind: ElisionKind::EmptyFence,
+    }));
+    elisions.sort_unstable_by_key(|e| e.idx);
+    ElisionPlan {
+        elisions,
+        required,
+        flushes,
+        fences,
+    }
+}
+
+/// Rewrites `events` without the plan's elided indices. Stores, loads,
+/// compute and transaction markers are never elided, so the optimized
+/// trace performs the same architectural work.
+pub fn apply(events: &[Event], plan: &ElisionPlan) -> Vec<Event> {
+    let elide: HashSet<usize> = plan.elisions.iter().map(|e| e.idx).collect();
+    events
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !elide.contains(i))
+        .map(|(_, ev)| *ev)
+        .collect()
+}
+
+/// The guaranteed-store profile of a trace at each of `boundaries`:
+/// for every block, how many of its stores (in per-block order) are
+/// certainly durable at that crash point. Computed with the same
+/// frontier machine as [`analyze`], incrementally, so the whole sweep
+/// is `O(n log n)` rather than one crash simulation per boundary.
+fn guarantee_profile(events: &[Event], boundaries: &[usize]) -> Vec<BTreeMap<u64, usize>> {
+    let mut store_idxs: HashMap<BlockId, Vec<usize>> = HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        if let Event::Store { addr, .. } = ev {
+            store_idxs.entry(addr.block()).or_default().push(i);
+        }
+    }
+    let covered = |b: BlockId, g: usize| -> usize {
+        store_idxs
+            .get(&b)
+            .map_or(0, |v| v.partition_point(|&s| s < g))
+    };
+    let mut issued: HashMap<BlockId, usize> = HashMap::new();
+    let mut ordered: HashMap<BlockId, usize> = HashMap::new();
+    let mut inflight: HashMap<BlockId, usize> = HashMap::new();
+    let mut guaranteed: HashMap<BlockId, usize> = HashMap::new();
+    // Live snapshot of covered-store counts per guaranteed block,
+    // cloned out at each boundary.
+    let mut snapshot: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut out = Vec::with_capacity(boundaries.len());
+    let mut bi = 0;
+    for idx in 0..=events.len() {
+        while bi < boundaries.len() && boundaries[bi] == idx {
+            out.push(snapshot.clone());
+            bi += 1;
+        }
+        if idx == events.len() {
+            break;
+        }
+        match events[idx] {
+            Event::Clwb { addr } | Event::ClflushOpt { addr } => {
+                issued.insert(addr.block(), idx);
+            }
+            Event::Clflush { addr } => {
+                ordered.insert(addr.block(), idx);
+            }
+            Event::Pcommit => {
+                for (b, i) in ordered.drain() {
+                    let e = inflight.entry(b).or_insert(i);
+                    *e = (*e).max(i);
+                }
+            }
+            Event::Sfence | Event::Mfence => {
+                for (b, i) in inflight.drain() {
+                    let e = guaranteed.entry(b).or_insert(i);
+                    *e = (*e).max(i);
+                    let n = covered(b, *e);
+                    if n > 0 {
+                        snapshot.insert(b.raw(), n);
+                    }
+                }
+                for (b, i) in issued.drain() {
+                    let e = ordered.entry(b).or_insert(i);
+                    *e = (*e).max(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The event-level safety lemma: at every persist boundary of `events`,
+/// every block's guaranteed-store count is identical in the trace the
+/// plan produces (boundaries are mapped through the elision — stores
+/// are never elided, so per-block store order aligns one-to-one). The
+/// inverted plan (required flushes removed) must fail this check; any
+/// plan [`analyze`] returns must pass it.
+pub fn plan_preserves_guarantees(events: &[Event], plan: &ElisionPlan) -> bool {
+    let optimized = apply(events, plan);
+    let elide: HashSet<usize> = plan.elisions.iter().map(|e| e.idx).collect();
+    let mut prefix = vec![0usize; events.len() + 1];
+    for i in 0..events.len() {
+        prefix[i + 1] = prefix[i] + usize::from(!elide.contains(&i));
+    }
+    let bounds = persist_boundaries(events);
+    let mapped: Vec<usize> = bounds.iter().map(|&c| prefix[c]).collect();
+    guarantee_profile(events, &bounds) == guarantee_profile(&optimized, &mapped)
+}
+
+// --- the study --------------------------------------------------------
+
+/// Which core a replay cell measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayCore {
+    /// The stalling baseline core.
+    Base,
+    /// The SP256 speculative core.
+    Sp,
+}
+
+impl ReplayCore {
+    /// Both cores, in report order.
+    pub const ALL: [ReplayCore; 2] = [ReplayCore::Base, ReplayCore::Sp];
+
+    /// Short key for tables, journal keys and JSON.
+    pub fn key(self) -> &'static str {
+        match self {
+            ReplayCore::Base => "base",
+            ReplayCore::Sp => "sp256",
+        }
+    }
+
+    fn cpu(self) -> CpuConfig {
+        match self {
+            ReplayCore::Base => CpuConfig::baseline(),
+            ReplayCore::Sp => CpuConfig::with_sp(),
+        }
+    }
+}
+
+/// Whether a replay cell runs the recorded or the optimized trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayPass {
+    /// The trace as recorded.
+    Before,
+    /// The trace with the elision plan applied.
+    After,
+}
+
+impl ReplayPass {
+    /// Short key for tables, journal keys and JSON.
+    pub fn key(self) -> &'static str {
+        match self {
+            ReplayPass::Before => "before",
+            ReplayPass::After => "after",
+        }
+    }
+}
+
+/// One configuration point of the optimizer study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizeCellSpec {
+    /// Detect and classify the bench trace's elidable persist events,
+    /// and prove the event-level guarantee-preservation lemma.
+    Plan,
+    /// Replay one (core, before/after) combination: event-driven
+    /// simulator with the spp-obs collector attached, plus the frozen
+    /// reference pipeline for cycle parity.
+    Replay {
+        /// Which core.
+        core: ReplayCore,
+        /// Recorded or optimized trace.
+        pass: ReplayPass,
+    },
+    /// Crashfuzz the *optimized* `Log+P+Sf` bundle at every persist
+    /// boundary: recovery must succeed everywhere.
+    Oracle,
+    /// Elide the *required* flushes instead (a deliberately unsafe
+    /// plan): the oracle must catch it with a violation witness.
+    Inverted,
+}
+
+impl OptimizeCellSpec {
+    /// Every cell of the study, in report order.
+    pub fn all() -> Vec<OptimizeCellSpec> {
+        let mut v = vec![OptimizeCellSpec::Plan];
+        for core in ReplayCore::ALL {
+            for pass in [ReplayPass::Before, ReplayPass::After] {
+                v.push(OptimizeCellSpec::Replay { core, pass });
+            }
+        }
+        v.push(OptimizeCellSpec::Oracle);
+        v.push(OptimizeCellSpec::Inverted);
+        v
+    }
+}
+
+/// A minimal violation witness from the inverted leg.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptWitness {
+    /// Crash point (index into the unsafe event stream).
+    pub crash_idx: u64,
+    /// Reordering seed.
+    pub seed: u64,
+    /// What the oracle rejected (kebab label).
+    pub kind: String,
+}
+
+/// One measured cell. Fields a leg does not produce stay 0/`None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptCell {
+    /// The configuration measured.
+    pub spec: OptimizeCellSpec,
+    /// The cell's verdict (the inverted cell is `ok` when the unsafe
+    /// plan *was* caught).
+    pub ok: bool,
+    /// Events in the trace the cell analyzed or replayed.
+    pub events: u64,
+    /// Events after elision (plan/oracle legs and `After` replays).
+    pub kept: u64,
+    /// Duplicate-flush elisions (plan/oracle legs).
+    pub duplicates: u64,
+    /// Uncovered-flush elisions.
+    pub uncovered: u64,
+    /// Empty-fence elisions.
+    pub empty_fences: u64,
+    /// Flushes the model marks required.
+    pub required: u64,
+    /// Event-driven simulated cycles (replay legs).
+    pub cycles: u64,
+    /// Reference-pipeline cycles (must equal `cycles`).
+    pub ref_cycles: u64,
+    /// Collector-attributed fence stall cycles.
+    pub fence_stall: u64,
+    /// Collector-attributed SSB-full stall cycles.
+    pub ssb_stall: u64,
+    /// Collector-attributed checkpoint-full stall cycles.
+    pub ckpt_stall: u64,
+    /// Collector-attributed backend stall cycles.
+    pub backend_stall: u64,
+    /// Crash points swept (oracle/inverted legs).
+    pub points: u64,
+    /// `(crash_idx, seed)` schedules checked.
+    pub checks: u64,
+    /// The violation witness (inverted leg).
+    pub witness: Option<OptWitness>,
+    /// What went wrong, for a failed cell.
+    pub error: Option<String>,
+}
+
+impl OptCell {
+    fn empty(spec: OptimizeCellSpec) -> Self {
+        OptCell {
+            spec,
+            ok: false,
+            events: 0,
+            kept: 0,
+            duplicates: 0,
+            uncovered: 0,
+            empty_fences: 0,
+            required: 0,
+            cycles: 0,
+            ref_cycles: 0,
+            fence_stall: 0,
+            ssb_stall: 0,
+            ckpt_stall: 0,
+            backend_stall: 0,
+            points: 0,
+            checks: 0,
+            witness: None,
+            error: None,
+        }
+    }
+
+    fn fill_plan(&mut self, events: u64, plan: &ElisionPlan) {
+        self.events = events;
+        self.kept = events - plan.elisions.len() as u64;
+        self.duplicates = plan.count(ElisionKind::DuplicateFlush);
+        self.uncovered = plan.count(ElisionKind::UncoveredFlush);
+        self.empty_fences = plan.count(ElisionKind::EmptyFence);
+        self.required = plan.required.len() as u64;
+    }
+}
+
+/// The optimizer study's full result set for one `(bench, variant)`.
+#[derive(Debug, Clone)]
+pub struct OptimizeReport {
+    /// Which benchmark's trace was optimized.
+    pub id: BenchId,
+    /// Which build variant of its trace.
+    pub variant: Variant,
+    /// Scale divisor the trace and bundles were sized from.
+    pub scale: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Every cell, in [`OptimizeCellSpec::all`] order.
+    pub cells: Vec<OptCell>,
+    /// Cells served from the journal without recomputation.
+    pub replayed: usize,
+}
+
+fn cell_key(
+    id: BenchId,
+    variant: Variant,
+    spec: &OptimizeCellSpec,
+    scale: u64,
+    seed: u64,
+) -> String {
+    let leg = match spec {
+        OptimizeCellSpec::Plan => "plan".to_string(),
+        OptimizeCellSpec::Replay { core, pass } => {
+            format!("replay/{}/{}", core.key(), pass.key())
+        }
+        OptimizeCellSpec::Oracle => "oracle".to_string(),
+        OptimizeCellSpec::Inverted => "inverted".to_string(),
+    };
+    format!(
+        "optimize/{}/{}/{leg}/scale{scale}/seed{seed:#x}",
+        id.abbrev(),
+        variant_key(variant)
+    )
+}
+
+// --- cell execution ---------------------------------------------------
+
+/// The bench trace's events, pulled through the [`TraceSource`] trait
+/// (the optimizer is agnostic to where the trace lives; here it lives
+/// in the harness's in-memory cache).
+fn bench_events(h: &Harness, id: BenchId, variant: Variant) -> Vec<Event> {
+    MemorySource::new(h.trace(TraceKey::new(id, variant, &h.exp)))
+        .collect_events()
+        .unwrap_or_else(|e| unreachable!("in-memory trace source cannot fail: {e}"))
+}
+
+fn run_plan_cell(h: &Harness, id: BenchId, variant: Variant) -> OptCell {
+    let mut cell = OptCell::empty(OptimizeCellSpec::Plan);
+    let events = bench_events(h, id, variant);
+    let plan = analyze(&events);
+    cell.fill_plan(events.len() as u64, &plan);
+    if plan_preserves_guarantees(&events, &plan) {
+        cell.ok = true;
+    } else {
+        cell.error = Some("elision plan moved a guarantee frontier".to_string());
+    }
+    cell
+}
+
+fn run_replay_cell(
+    h: &Harness,
+    id: BenchId,
+    variant: Variant,
+    core: ReplayCore,
+    pass: ReplayPass,
+) -> OptCell {
+    let mut cell = OptCell::empty(OptimizeCellSpec::Replay { core, pass });
+    let recorded = bench_events(h, id, variant);
+    let events = match pass {
+        ReplayPass::Before => recorded,
+        ReplayPass::After => {
+            let plan = analyze(&recorded);
+            apply(&recorded, &plan)
+        }
+    };
+    cell.events = events.len() as u64;
+    let cfg = core.cpu();
+    let collector = Collector::shared();
+    let started = Instant::now();
+    let sim = match Simulator::new(&events)
+        .config(cfg)
+        .probe(ProbeHandle::new(collector.clone()))
+        .run()
+    {
+        Ok(r) => r,
+        Err(e) => {
+            cell.error = Some(format!("event-driven replay: {e}"));
+            return cell;
+        }
+    };
+    h.perf().record_labeled(
+        &format!("optimize/{}/{}-{}", id.abbrev(), core.key(), pass.key()),
+        variant,
+        sim.cpu.cycles,
+        started.elapsed(),
+    );
+    let reference = match ReferencePipeline::new(&events, cfg).try_run() {
+        Ok(r) => r,
+        Err(e) => {
+            cell.error = Some(format!("reference replay: {e}"));
+            return cell;
+        }
+    };
+    cell.cycles = sim.cpu.cycles;
+    cell.ref_cycles = reference.cpu.cycles;
+    let stalls = collector.borrow().summary().stalls;
+    cell.fence_stall = stalls.fence;
+    cell.ssb_stall = stalls.ssb_full;
+    cell.ckpt_stall = stalls.checkpoint_full;
+    cell.backend_stall = stalls.backend;
+    // Reconciliation: the collector's attribution must equal the
+    // machine's own stall counters, and both steppers must agree on
+    // every architectural number — elision may move cycles, not work.
+    let coherent = stalls.fence == sim.cpu.fence_stall_cycles
+        && stalls.ssb_full == sim.cpu.ssb_full_stall_cycles
+        && stalls.checkpoint_full == sim.cpu.checkpoint_stall_cycles
+        && stalls.backend == sim.cpu.fetch_stall_cycles;
+    let parity = reference.cpu.cycles == sim.cpu.cycles
+        && reference.cpu.committed_uops == sim.cpu.committed_uops;
+    cell.ok = coherent && parity;
+    if !coherent {
+        cell.error = Some("stall attribution does not reconcile with machine counters".into());
+    } else if !parity {
+        cell.error = Some(format!(
+            "reference pipeline diverged: {} vs {} cycles",
+            reference.cpu.cycles, sim.cpu.cycles
+        ));
+    }
+    cell
+}
+
+/// The safety bundle both oracle legs share: the `Log+P+Sf` build of
+/// the same benchmark (safety must be proven against the full persist
+/// protocol regardless of which variant is being tuned).
+fn oracle_material(h: &Harness, id: BenchId) -> (spp_workloads::oracle::CrashBundle, ElisionPlan) {
+    let spec = fuzz_bundle_spec(id, Variant::LogPSf, FlushMode::default(), &h.exp);
+    let b = record_bundle(&spec);
+    let plan = analyze(b.events());
+    (b, plan)
+}
+
+fn run_oracle_cell(h: &Harness, id: BenchId) -> OptCell {
+    let mut cell = OptCell::empty(OptimizeCellSpec::Oracle);
+    let (b, plan) = oracle_material(h, id);
+    cell.fill_plan(b.events().len() as u64, &plan);
+    if !plan_preserves_guarantees(b.events(), &plan) {
+        cell.error = Some("elision plan moved a guarantee frontier".to_string());
+        return cell;
+    }
+    let optimized = apply(b.events(), &plan);
+    let pts = persist_boundaries(&optimized);
+    cell.points = pts.len() as u64;
+    cell.ok = true;
+    'sweep: for &p in &pts {
+        for seed in 0..SEEDS_PER_POINT {
+            cell.checks += 1;
+            if let Err(v) = b.check_crash_of(&optimized, p, seed) {
+                cell.ok = false;
+                cell.error = Some(format!("crash_idx {p}, seed {seed}: {v}"));
+                break 'sweep;
+            }
+        }
+    }
+    cell
+}
+
+fn run_inverted_cell(h: &Harness, id: BenchId) -> OptCell {
+    let mut cell = OptCell::empty(OptimizeCellSpec::Inverted);
+    let (b, plan) = oracle_material(h, id);
+    cell.fill_plan(b.events().len() as u64, &plan);
+    if plan.required.is_empty() {
+        cell.error = Some("no required flushes to invert: the bundle never persists".into());
+        return cell;
+    }
+    // The deliberately unsafe plan: remove exactly the flushes the
+    // model says are load-bearing.
+    let unsafe_plan = ElisionPlan {
+        elisions: plan
+            .required
+            .iter()
+            .map(|&idx| Elision {
+                idx,
+                kind: ElisionKind::DuplicateFlush,
+            })
+            .collect(),
+        required: Vec::new(),
+        flushes: plan.flushes,
+        fences: plan.fences,
+    };
+    if plan_preserves_guarantees(b.events(), &unsafe_plan) {
+        cell.error = Some("event-level check failed to notice the unsafe elision".into());
+        return cell;
+    }
+    let unsafe_events = apply(b.events(), &unsafe_plan);
+    cell.kept = unsafe_events.len() as u64;
+    let pts = crash_points(&unsafe_events);
+    cell.points = pts.len() as u64;
+    'scan: for &p in &pts {
+        for seed in 0..SEEDS_PER_POINT {
+            cell.checks += 1;
+            if let Err(v) = b.check_crash_of(&unsafe_events, p, seed) {
+                cell.witness = Some(OptWitness {
+                    crash_idx: p as u64,
+                    seed,
+                    kind: v.kind.to_string(),
+                });
+                break 'scan;
+            }
+        }
+    }
+    cell.ok = cell.witness.is_some();
+    if !cell.ok {
+        cell.error = Some("eliding every required flush went unnoticed by the oracle".into());
+    }
+    cell
+}
+
+fn run_cell(h: &Harness, id: BenchId, variant: Variant, spec: &OptimizeCellSpec) -> OptCell {
+    match *spec {
+        OptimizeCellSpec::Plan => run_plan_cell(h, id, variant),
+        OptimizeCellSpec::Replay { core, pass } => run_replay_cell(h, id, variant, core, pass),
+        OptimizeCellSpec::Oracle => run_oracle_cell(h, id),
+        OptimizeCellSpec::Inverted => run_inverted_cell(h, id),
+    }
+}
+
+// --- codec ------------------------------------------------------------
+
+fn spec_fields(spec: &OptimizeCellSpec, o: &mut JsonObject) {
+    match spec {
+        OptimizeCellSpec::Plan => {
+            o.str("leg", "plan");
+        }
+        OptimizeCellSpec::Replay { core, pass } => {
+            o.str("leg", "replay")
+                .str("core", core.key())
+                .str("pass", pass.key());
+        }
+        OptimizeCellSpec::Oracle => {
+            o.str("leg", "oracle");
+        }
+        OptimizeCellSpec::Inverted => {
+            o.str("leg", "inverted");
+        }
+    }
+}
+
+/// A cell as one JSON object: the report's `cells` element and the
+/// journal payload (one codec, so replays are byte-identical).
+fn cell_json(c: &OptCell) -> String {
+    let mut o = JsonObject::new();
+    spec_fields(&c.spec, &mut o);
+    o.num("ok", u8::from(c.ok))
+        .num("events", c.events as f64)
+        .num("kept", c.kept as f64)
+        .num("duplicates", c.duplicates as f64)
+        .num("uncovered", c.uncovered as f64)
+        .num("empty_fences", c.empty_fences as f64)
+        .num("required", c.required as f64)
+        .raw("cycles", c.cycles.to_string())
+        .raw("ref_cycles", c.ref_cycles.to_string())
+        .raw("fence_stall", c.fence_stall.to_string())
+        .raw("ssb_stall", c.ssb_stall.to_string())
+        .raw("ckpt_stall", c.ckpt_stall.to_string())
+        .raw("backend_stall", c.backend_stall.to_string())
+        .num("points", c.points as f64)
+        .num("checks", c.checks as f64);
+    if let Some(w) = &c.witness {
+        let mut wo = JsonObject::new();
+        wo.num("crash_idx", w.crash_idx as f64)
+            .num("seed", w.seed as f64)
+            .str("kind", &w.kind);
+        o.raw("witness", wo.render());
+    }
+    if let Some(err) = &c.error {
+        o.str("error", err);
+    }
+    o.render()
+}
+
+/// Decodes a journal payload written by [`cell_json`] back into a cell;
+/// `None` (recompute) if any field is missing or the spec disagrees.
+fn decode_cell(spec: &OptimizeCellSpec, payload: &str) -> Option<OptCell> {
+    let v = parse(payload).ok()?;
+    let num = |k: &str| v.get(k).and_then(Value::as_u64);
+    let s = |k: &str| v.get(k).and_then(Value::as_str);
+    let matches = match spec {
+        OptimizeCellSpec::Plan => s("leg")? == "plan",
+        OptimizeCellSpec::Replay { core, pass } => {
+            s("leg")? == "replay" && s("core")? == core.key() && s("pass")? == pass.key()
+        }
+        OptimizeCellSpec::Oracle => s("leg")? == "oracle",
+        OptimizeCellSpec::Inverted => s("leg")? == "inverted",
+    };
+    if !matches {
+        return None;
+    }
+    let witness = match v.get("witness") {
+        None => None,
+        Some(w) => Some(OptWitness {
+            crash_idx: w.get("crash_idx").and_then(Value::as_u64)?,
+            seed: w.get("seed").and_then(Value::as_u64)?,
+            kind: w.get("kind").and_then(Value::as_str)?.to_string(),
+        }),
+    };
+    Some(OptCell {
+        spec: *spec,
+        ok: num("ok")? == 1,
+        events: num("events")?,
+        kept: num("kept")?,
+        duplicates: num("duplicates")?,
+        uncovered: num("uncovered")?,
+        empty_fences: num("empty_fences")?,
+        required: num("required")?,
+        cycles: num("cycles")?,
+        ref_cycles: num("ref_cycles")?,
+        fence_stall: num("fence_stall")?,
+        ssb_stall: num("ssb_stall")?,
+        ckpt_stall: num("ckpt_stall")?,
+        backend_stall: num("backend_stall")?,
+        points: num("points")?,
+        checks: num("checks")?,
+        witness,
+        error: v.get("error").and_then(Value::as_str).map(String::from),
+    })
+}
+
+// --- the study driver -------------------------------------------------
+
+/// Runs the optimizer study for one `(bench, variant)`: every
+/// [`OptimizeCellSpec::all`] cell, fanned out deterministically,
+/// journaled when `journal` is attached.
+pub fn run_optimize_opts(
+    h: &Harness,
+    id: BenchId,
+    variant: Variant,
+    journal: Option<&Journal>,
+) -> OptimizeReport {
+    let scale = h.exp.scale;
+    let seed = h.exp.seed;
+    let specs = OptimizeCellSpec::all();
+    let cached: Vec<Option<OptCell>> = specs
+        .iter()
+        .map(|spec| {
+            let j = journal?;
+            let key = cell_key(id, variant, spec, scale, seed);
+            let entry = j.lookup(&key)?;
+            let decoded = decode_cell(spec, &entry.payload);
+            if decoded.is_none() {
+                j.report_bad_payload(&key, "optimize payload does not decode");
+            }
+            decoded
+        })
+        .collect();
+    let computed = run_indexed(h.jobs, &specs, |i, spec| {
+        if cached[i].is_some() {
+            None
+        } else {
+            Some(run_cell(h, id, variant, spec))
+        }
+    });
+    let mut cells = Vec::with_capacity(specs.len());
+    let mut replayed = 0;
+    for (i, spec) in specs.iter().enumerate() {
+        let (cell, fresh) = match (&cached[i], &computed[i]) {
+            (Some(c), _) => (c.clone(), false),
+            (None, Some(c)) => (c.clone(), true),
+            (None, None) => unreachable!("cell {i} neither cached nor computed"),
+        };
+        if fresh {
+            if let Some(j) = journal {
+                let entry = Entry {
+                    key: cell_key(id, variant, spec, scale, seed),
+                    attempt: 1,
+                    status: if cell.ok {
+                        CellStatus::Ok
+                    } else {
+                        CellStatus::Failed
+                    },
+                    payload: cell_json(&cell),
+                };
+                if let Err(e) = j.append(&entry) {
+                    eprintln!("repro: journal: {e}");
+                }
+            }
+        } else {
+            replayed += 1;
+        }
+        cells.push(cell);
+    }
+    OptimizeReport {
+        id,
+        variant,
+        scale,
+        seed,
+        cells,
+        replayed,
+    }
+}
+
+/// Runs the study without a journal.
+pub fn run_optimize_study(h: &Harness, id: BenchId, variant: Variant) -> OptimizeReport {
+    run_optimize_opts(h, id, variant, None)
+}
+
+impl OptimizeReport {
+    fn cell(&self, spec: OptimizeCellSpec) -> &OptCell {
+        self.cells
+            .iter()
+            .find(|c| c.spec == spec)
+            .expect("OptimizeCellSpec::all covers the grid")
+    }
+
+    fn replay(&self, core: ReplayCore, pass: ReplayPass) -> &OptCell {
+        self.cell(OptimizeCellSpec::Replay { core, pass })
+    }
+
+    /// Total elisions the plan cell found on the bench trace.
+    pub fn elisions(&self) -> u64 {
+        let p = self.cell(OptimizeCellSpec::Plan);
+        p.duplicates + p.uncovered + p.empty_fences
+    }
+
+    /// The study's verdict: every cell ok, and on both cores the
+    /// optimized trace is no slower than the recording.
+    pub fn ok(&self) -> bool {
+        self.cells.iter().all(|c| c.ok)
+            && ReplayCore::ALL.iter().all(|&core| {
+                self.replay(core, ReplayPass::After).cycles
+                    <= self.replay(core, ReplayPass::Before).cycles
+            })
+    }
+
+    /// The human-readable report.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "== persist-path optimizer: {} / {} at scale 1/{} (seed {:#x}) ==",
+            self.id.name(),
+            self.variant,
+            self.scale,
+            self.seed
+        );
+        let p = self.cell(OptimizeCellSpec::Plan);
+        let _ = writeln!(
+            s,
+            "-- elision plan ({} events, {} kept) --",
+            p.events, p.kept
+        );
+        let _ = writeln!(s, "duplicate flushes : {}", p.duplicates);
+        let _ = writeln!(s, "uncovered flushes : {}", p.uncovered);
+        let _ = writeln!(s, "empty fences      : {}", p.empty_fences);
+        let _ = writeln!(s, "required flushes  : {}", p.required);
+        let _ = writeln!(
+            s,
+            "guarantee frontiers preserved at every persist boundary: {}",
+            if p.ok { "yes" } else { "NO" }
+        );
+        if let Some(e) = &p.error {
+            let _ = writeln!(s, "  {e}");
+        }
+        let _ = writeln!(s);
+        let _ = writeln!(s, "-- before/after replay (event-driven + reference) --");
+        let _ = writeln!(
+            s,
+            "{:<6} {:<7} {:>9} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}  verdict",
+            "core", "trace", "events", "cycles", "ref", "fence", "ssb_full", "ckpt_full", "backend"
+        );
+        for core in ReplayCore::ALL {
+            for pass in [ReplayPass::Before, ReplayPass::After] {
+                let c = self.replay(core, pass);
+                let verdict = if c.ok {
+                    "ok".to_string()
+                } else {
+                    format!("FAIL: {}", c.error.as_deref().unwrap_or("unknown"))
+                };
+                let _ = writeln!(
+                    s,
+                    "{:<6} {:<7} {:>9} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}  {}",
+                    core.key(),
+                    pass.key(),
+                    c.events,
+                    c.cycles,
+                    c.ref_cycles,
+                    c.fence_stall,
+                    c.ssb_stall,
+                    c.ckpt_stall,
+                    c.backend_stall,
+                    verdict
+                );
+            }
+            let before = self.replay(core, ReplayPass::Before);
+            let after = self.replay(core, ReplayPass::After);
+            if before.cycles > 0 {
+                let saved = (1.0 - after.cycles as f64 / before.cycles as f64) * 100.0;
+                let _ = writeln!(
+                    s,
+                    "{}: {} -> {} cycles ({:+.1}%)",
+                    core.key(),
+                    before.cycles,
+                    after.cycles,
+                    -saved
+                );
+            }
+        }
+        let _ = writeln!(s);
+        let _ = writeln!(
+            s,
+            "-- safety: crashfuzz oracle on the optimized Log+P+Sf bundle --"
+        );
+        let o = self.cell(OptimizeCellSpec::Oracle);
+        if o.ok {
+            let _ = writeln!(
+                s,
+                "oracle: recovered everywhere ({} boundaries x {} seeds, {} checks, {} -> {} events)",
+                o.points, SEEDS_PER_POINT, o.checks, o.events, o.kept
+            );
+        } else {
+            let _ = writeln!(
+                s,
+                "oracle: FAILED — {}",
+                o.error.as_deref().unwrap_or("unknown")
+            );
+        }
+        let i = self.cell(OptimizeCellSpec::Inverted);
+        match &i.witness {
+            Some(w) => {
+                let _ = writeln!(
+                    s,
+                    "inverted: unsafe elision caught — witness (crash_idx {}, seed {}) {} \
+                     after {} checks ({} required flushes elided)",
+                    w.crash_idx, w.seed, w.kind, i.checks, i.required
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    s,
+                    "inverted: FAILED — {}",
+                    i.error.as_deref().unwrap_or("unknown")
+                );
+            }
+        }
+        let _ = writeln!(s, "optimize: {}", if self.ok() { "PASS" } else { "FAIL" });
+        s
+    }
+
+    /// The study as one `specpersist/optimize-v1` document.
+    pub fn render_json(&self) -> String {
+        schema::emit(schema::OPTIMIZE, |root| {
+            root.str("bench", self.id.abbrev())
+                .str("variant", variant_key(self.variant))
+                .num("scale", self.scale as f64)
+                .raw("seed", self.seed.to_string())
+                .num("seeds_per_point", SEEDS_PER_POINT as f64)
+                .num("elisions", self.elisions() as f64)
+                .num("ok", u8::from(self.ok()));
+            let mut diff = JsonObject::new();
+            for core in ReplayCore::ALL {
+                diff.raw(
+                    &format!("{}_before", core.key()),
+                    self.replay(core, ReplayPass::Before).cycles.to_string(),
+                )
+                .raw(
+                    &format!("{}_after", core.key()),
+                    self.replay(core, ReplayPass::After).cycles.to_string(),
+                );
+            }
+            root.raw("diff", diff.render())
+                .raw("cells", json::array(self.cells.iter().map(cell_json)));
+        })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::Experiment;
+    use spp_pmem::PAddr;
+
+    fn a() -> PAddr {
+        PAddr::new(4096)
+    }
+
+    fn b() -> PAddr {
+        PAddr::new(4096 + 64)
+    }
+
+    fn store(addr: PAddr, value: u64) -> Event {
+        Event::Store {
+            addr,
+            size: 8,
+            value,
+        }
+    }
+
+    fn harness() -> Harness {
+        Harness::new(
+            Experiment {
+                scale: 2400,
+                seed: 0x5EED,
+            },
+            2,
+        )
+    }
+
+    #[test]
+    fn duplicate_flush_within_an_epoch_is_elided() {
+        let events = vec![
+            store(a(), 1),
+            Event::Clwb { addr: a() },
+            Event::Clwb { addr: a() }, // subsumes the first
+            Event::Sfence,
+            Event::Pcommit,
+            Event::Sfence,
+        ];
+        let plan = analyze(&events);
+        assert_eq!(plan.count(ElisionKind::DuplicateFlush), 1);
+        assert_eq!(
+            plan.elisions[0],
+            Elision {
+                idx: 1,
+                kind: ElisionKind::DuplicateFlush
+            }
+        );
+        assert_eq!(plan.required, vec![2], "the later flush is the keeper");
+        assert!(plan_preserves_guarantees(&events, &plan));
+    }
+
+    #[test]
+    fn uncovered_flush_is_elided() {
+        // No fence ever drains the issued stage: the Log+P shape.
+        let events = vec![store(a(), 1), Event::Clwb { addr: a() }, Event::Pcommit];
+        let plan = analyze(&events);
+        assert_eq!(plan.count(ElisionKind::UncoveredFlush), 1);
+        assert!(plan.required.is_empty());
+        assert!(plan_preserves_guarantees(&events, &plan));
+    }
+
+    #[test]
+    fn empty_fence_is_elided_and_full_dance_is_kept() {
+        let events = vec![
+            Event::Sfence, // nothing issued, nothing in flight: empty
+            store(a(), 1),
+            Event::Clwb { addr: a() },
+            Event::Sfence,
+            Event::Pcommit,
+            Event::Sfence,
+        ];
+        let plan = analyze(&events);
+        assert_eq!(plan.count(ElisionKind::EmptyFence), 1);
+        assert_eq!(plan.elisions[0].idx, 0);
+        assert_eq!(plan.required, vec![2]);
+        assert!(plan_preserves_guarantees(&events, &plan));
+        // The second fence of the dance drains in-flight: not empty.
+        // The optimized trace re-analyzes clean (a fixpoint).
+        let optimized = apply(&events, &plan);
+        assert_eq!(optimized.len(), events.len() - 1);
+        assert!(analyze(&optimized).is_empty());
+    }
+
+    #[test]
+    fn clflush_duplicates_collapse_in_the_ordered_stage() {
+        let events = vec![
+            store(a(), 1),
+            Event::Clflush { addr: a() },
+            Event::Clflush { addr: a() },
+            Event::Pcommit,
+            Event::Sfence,
+        ];
+        let plan = analyze(&events);
+        assert_eq!(plan.count(ElisionKind::DuplicateFlush), 1);
+        assert_eq!(plan.elisions[0].idx, 1);
+        assert_eq!(plan.required, vec![2]);
+        assert!(plan_preserves_guarantees(&events, &plan));
+    }
+
+    #[test]
+    fn removing_a_required_flush_fails_the_event_level_lemma() {
+        let events = vec![
+            store(a(), 1),
+            store(b(), 2),
+            Event::Clwb { addr: a() },
+            Event::Clwb { addr: b() },
+            Event::Sfence,
+            Event::Pcommit,
+            Event::Sfence,
+        ];
+        let plan = analyze(&events);
+        assert!(plan.is_empty(), "both flushes are load-bearing");
+        assert_eq!(plan.required, vec![2, 3]);
+        let unsafe_plan = ElisionPlan {
+            elisions: vec![Elision {
+                idx: 2,
+                kind: ElisionKind::DuplicateFlush,
+            }],
+            ..plan
+        };
+        assert!(!plan_preserves_guarantees(&events, &unsafe_plan));
+    }
+
+    #[test]
+    fn bench_traces_analyze_safely_and_logp_is_all_uncovered() {
+        let h = harness();
+        for variant in [Variant::LogP, Variant::LogPSf] {
+            let events = bench_events(&h, BenchId::LinkedList, variant);
+            let plan = analyze(&events);
+            assert!(
+                plan_preserves_guarantees(&events, &plan),
+                "{variant}: unsafe plan"
+            );
+            if variant == Variant::LogP {
+                // No fences at all: every flush is uncovered, nothing
+                // is required.
+                assert!(plan.count(ElisionKind::UncoveredFlush) > 0);
+                assert!(plan.required.is_empty());
+                assert_eq!(plan.fences, 0);
+            } else {
+                assert!(!plan.required.is_empty(), "Log+P+Sf must persist");
+            }
+        }
+    }
+
+    #[test]
+    fn study_passes_and_finds_elisions_on_logp() {
+        let h = harness();
+        let rep = run_optimize_study(&h, BenchId::LinkedList, Variant::LogP);
+        assert_eq!(rep.cells.len(), OptimizeCellSpec::all().len());
+        assert!(rep.ok(), "{}", rep.render_text());
+        assert!(rep.elisions() > 0, "LogP must yield redundant flushes");
+        // Measured cycle reduction on the baseline core.
+        let before = rep.replay(ReplayCore::Base, ReplayPass::Before);
+        let after = rep.replay(ReplayCore::Base, ReplayPass::After);
+        assert!(
+            after.cycles < before.cycles,
+            "eliding {} events must save cycles ({} vs {})",
+            rep.elisions(),
+            after.cycles,
+            before.cycles
+        );
+        // Reference parity on every replay cell.
+        for core in ReplayCore::ALL {
+            for pass in [ReplayPass::Before, ReplayPass::After] {
+                let c = rep.replay(core, pass);
+                assert_eq!(c.cycles, c.ref_cycles, "{:?}/{:?}", core, pass);
+            }
+        }
+        // Safety legs.
+        let o = rep.cell(OptimizeCellSpec::Oracle);
+        assert!(o.ok && o.points > 2 && o.checks >= o.points);
+        let i = rep.cell(OptimizeCellSpec::Inverted);
+        assert!(i.ok, "{:?}", i.error);
+        assert!(i.witness.is_some());
+        // Perf trajectory rows were fed.
+        assert!(!h.perf_labeled_cells().is_empty());
+        assert!(rep.render_text().contains("optimize: PASS"));
+        assert!(rep
+            .render_json()
+            .starts_with("{\"schema\":\"specpersist/optimize-v1\""));
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_bytes() {
+        let exp = harness().exp;
+        let a = run_optimize_study(&Harness::new(exp, 1), BenchId::LinkedList, Variant::LogP);
+        let b = run_optimize_study(&Harness::new(exp, 8), BenchId::LinkedList, Variant::LogP);
+        assert_eq!(a.render_text(), b.render_text());
+        assert_eq!(a.render_json(), b.render_json());
+    }
+
+    #[test]
+    fn journaled_rerun_replays_byte_identically() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("spp-optimize-journal-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let h = harness();
+        let (text, json) = {
+            let j = Journal::open(&p).unwrap();
+            let rep = run_optimize_opts(&h, BenchId::LinkedList, Variant::LogPSf, Some(&j));
+            assert_eq!(rep.replayed, 0, "first run computes everything");
+            (rep.render_text(), rep.render_json())
+        };
+        let j = Journal::open(&p).unwrap();
+        let rep = run_optimize_opts(&h, BenchId::LinkedList, Variant::LogPSf, Some(&j));
+        assert_eq!(rep.replayed, rep.cells.len(), "every cell replays");
+        assert_eq!(rep.render_text(), text, "replayed stdout byte-identical");
+        assert_eq!(rep.render_json(), json);
+        let _ = std::fs::remove_file(&p);
+    }
+}

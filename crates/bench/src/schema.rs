@@ -106,9 +106,16 @@ pub const KV: Schema = Schema {
     id: "specpersist/kv-v1",
 };
 
+/// The persist-path trace-optimizer report (`repro optimize`).
+pub const OPTIMIZE: Schema = Schema {
+    name: "optimize",
+    version: 1,
+    id: "specpersist/optimize-v1",
+};
+
 /// Every schema the harness knows, for exhaustive self-checks.
-pub const ALL: [Schema; 10] = [
-    SUITE, CRASHFUZZ, FAULTSIM, SOAK, JOURNAL, PROFILE, PERFBENCH, MULTICORE, LITMUS, KV,
+pub const ALL: [Schema; 11] = [
+    SUITE, CRASHFUZZ, FAULTSIM, SOAK, JOURNAL, PROFILE, PERFBENCH, MULTICORE, LITMUS, KV, OPTIMIZE,
 ];
 
 impl Schema {

@@ -1,0 +1,386 @@
+//! One trait over every place a recorded trace can live.
+//!
+//! The harness grew two trace homes: the in-memory [`TraceCache`]
+//! (record once, share an `Arc` of the whole event vector) and the
+//! PR 9 streamed/spilled chunk pipeline (bounded memory, events arrive
+//! in recording-order chunks and may detour through a checksummed spill
+//! file). Consumers used to be written against one or the other; the
+//! optimizer and any future pass would have needed both code paths.
+//!
+//! [`TraceSource`] unifies them behind one iterator-style contract:
+//! pull chunks until `Ok(None)`. The conformance test at the bottom
+//! pins the load-bearing property — both implementations yield
+//! **byte-identical** event streams for the same workload, verified on
+//! the spill wire encoding — so a consumer written against the trait
+//! cannot observe where the trace lived.
+//!
+//! [`TraceCache`]: crate::cache::TraceCache
+
+use std::borrow::Cow;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use spp_obs::MemGauge;
+use spp_pmem::{Event, SharedTrace};
+
+use crate::stream::{chunk_bytes, ChunkMsg, KvStreamSpec, PeakBound, SpillReader, StreamError};
+
+/// Iterator-style access to a recorded event stream, chunk by chunk,
+/// agnostic to where the trace lives.
+///
+/// Contract: chunks arrive in recording order; concatenating every
+/// chunk reproduces the full event stream exactly; after the first
+/// `Ok(None)` the source is exhausted and stays exhausted. A streamed
+/// source accounts the yielded chunk against its memory gauge until the
+/// next call, so callers should drop each chunk before pulling the
+/// next one.
+pub trait TraceSource {
+    /// Where the trace lives, for reports and diagnostics.
+    fn origin(&self) -> &'static str;
+
+    /// Pulls the next chunk of events. `Ok(None)` means the stream is
+    /// complete (not an error — torn tails and dead recorders are
+    /// typed [`StreamError`]s).
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`StreamError`] of the underlying transport:
+    /// spill-file damage, a tripped memory cap, or a dead recorder.
+    fn next_chunk(&mut self) -> Result<Option<Cow<'_, [Event]>>, StreamError>;
+
+    /// Drains the rest of the stream into one contiguous vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`StreamError`] the transport reports.
+    fn collect_events(&mut self) -> Result<Vec<Event>, StreamError> {
+        let mut out = Vec::new();
+        while let Some(chunk) = self.next_chunk()? {
+            out.extend_from_slice(&chunk);
+        }
+        Ok(out)
+    }
+}
+
+// --- in-memory impl ---------------------------------------------------
+
+/// A [`TraceSource`] over an in-memory [`SharedTrace`] — the
+/// [`TraceCache`](crate::cache::TraceCache) representation. Yields the
+/// whole event vector as one borrowed chunk; no copy is made.
+#[derive(Debug, Clone)]
+pub struct MemorySource {
+    trace: SharedTrace,
+    drained: bool,
+}
+
+impl MemorySource {
+    /// Wraps a cached trace.
+    pub fn new(trace: SharedTrace) -> Self {
+        MemorySource {
+            trace,
+            drained: false,
+        }
+    }
+}
+
+impl From<SharedTrace> for MemorySource {
+    fn from(trace: SharedTrace) -> Self {
+        MemorySource::new(trace)
+    }
+}
+
+impl TraceSource for MemorySource {
+    fn origin(&self) -> &'static str {
+        "memory"
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Cow<'_, [Event]>>, StreamError> {
+        if self.drained {
+            return Ok(None);
+        }
+        self.drained = true;
+        Ok(Some(Cow::Borrowed(self.trace.events.as_slice())))
+    }
+}
+
+// --- streamed impl ----------------------------------------------------
+
+/// The recorder's final driver facts, available once the stream has
+/// drained cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Driver ops executed.
+    pub ops: u64,
+    /// Live keys in the engine when recording finished.
+    pub final_count: u64,
+    /// WAL records appended over the whole run.
+    pub mutations: u64,
+}
+
+/// A [`TraceSource`] over the chunked recorder pipeline: the KV
+/// workload records on its own thread and chunks arrive through a
+/// bounded queue, detouring through the checksummed spill file when the
+/// memory cap demands it. This is the PR 9 streamed/spilled path,
+/// repackaged so consumers pull chunks instead of owning the
+/// receive loop.
+#[derive(Debug)]
+pub struct StreamingKvSource {
+    spill: Option<PathBuf>,
+    rx: Option<mpsc::Receiver<ChunkMsg>>,
+    recorder: Option<JoinHandle<()>>,
+    gauge: Arc<MemGauge>,
+    reader: Option<SpillReader>,
+    bound: PeakBound,
+    outstanding: u64,
+    spilled_chunks: u64,
+    stats: Option<StreamStats>,
+}
+
+impl StreamingKvSource {
+    /// Starts recording `sspec` on a dedicated thread; chunks become
+    /// available through [`TraceSource::next_chunk`] as they are
+    /// produced.
+    pub fn record(sspec: KvStreamSpec) -> Self {
+        let gauge = Arc::new(MemGauge::new());
+        let (tx, rx) = mpsc::sync_channel::<ChunkMsg>(sspec.depth.max(1));
+        let spill = sspec.spill.clone();
+        let bound = PeakBound::new(sspec.depth);
+        let recorder_gauge = Arc::clone(&gauge);
+        let recorder = std::thread::spawn(move || {
+            crate::stream::record_chunks(&sspec, &recorder_gauge, &tx);
+        });
+        StreamingKvSource {
+            spill,
+            rx: Some(rx),
+            recorder: Some(recorder),
+            gauge,
+            reader: None,
+            bound,
+            outstanding: 0,
+            spilled_chunks: 0,
+            stats: None,
+        }
+    }
+
+    /// The gauge the pipeline accounts chunk memory against. Its peak
+    /// is timing-dependent; read it after the source is dropped (which
+    /// joins the recorder) for the final figure.
+    pub fn gauge(&self) -> Arc<MemGauge> {
+        Arc::clone(&self.gauge)
+    }
+
+    /// The recorder's final facts, `Some` once the stream drained
+    /// cleanly to `Ok(None)`.
+    pub fn stats(&self) -> Option<StreamStats> {
+        self.stats
+    }
+
+    /// Chunks that detoured through the spill file so far.
+    pub fn spilled_chunks(&self) -> u64 {
+        self.spilled_chunks
+    }
+
+    /// Deterministic upper bound on peak held chunk bytes (the largest
+    /// sum of any `depth + 2` consecutive chunks seen so far).
+    pub fn peak_bound(&self) -> u64 {
+        self.bound.max()
+    }
+
+    /// Releases the gauge accounting of the previously yielded chunk.
+    fn settle(&mut self) {
+        if self.outstanding > 0 {
+            self.gauge.release(self.outstanding);
+            self.outstanding = 0;
+        }
+    }
+}
+
+impl TraceSource for StreamingKvSource {
+    fn origin(&self) -> &'static str {
+        "streamed"
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Cow<'_, [Event]>>, StreamError> {
+        self.settle();
+        if self.stats.is_some() {
+            return Ok(None);
+        }
+        let msg = match self.rx.as_ref() {
+            Some(rx) => rx.recv().map_err(|_| StreamError::RecorderDied)?,
+            None => return Err(StreamError::RecorderDied),
+        };
+        match msg {
+            ChunkMsg::Inline(events) => {
+                let bytes = chunk_bytes(&events);
+                self.bound.push(bytes);
+                self.outstanding = bytes;
+                Ok(Some(Cow::Owned(events)))
+            }
+            ChunkMsg::Spilled => {
+                if self.reader.is_none() {
+                    let path = self.spill.as_deref().unwrap_or_else(|| Path::new(""));
+                    self.reader = Some(SpillReader::open(path)?);
+                }
+                let events = self
+                    .reader
+                    .as_mut()
+                    .map(SpillReader::next)
+                    .unwrap_or(Err(StreamError::RecorderDied))?;
+                let bytes = chunk_bytes(&events);
+                self.bound.push(bytes);
+                self.gauge.acquire(bytes);
+                self.outstanding = bytes;
+                self.spilled_chunks += 1;
+                Ok(Some(Cow::Owned(events)))
+            }
+            ChunkMsg::Done {
+                ops,
+                final_count,
+                mutations,
+            } => {
+                self.stats = Some(StreamStats {
+                    ops,
+                    final_count,
+                    mutations,
+                });
+                Ok(None)
+            }
+            ChunkMsg::Fail(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for StreamingKvSource {
+    fn drop(&mut self) {
+        self.settle();
+        // Closing the queue unblocks a recorder mid-send; join it so no
+        // recording outlives its source.
+        drop(self.rx.take());
+        if let Some(h) = self.recorder.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::stream::encode_events;
+    use spp_cpu::CpuConfig;
+    use spp_pmem::{PmemEnv, Variant};
+    use spp_workloads::kv::{KvMix, KvSpec, KvWorkload};
+
+    fn tiny_stream(ops: u64) -> KvStreamSpec {
+        let spec = KvSpec {
+            init_keys: 32,
+            ops,
+            ckpt_every: 8,
+            wal_cap: 16,
+            seed: 0xBEEF,
+            mix: KvMix::MIXED,
+        };
+        KvStreamSpec {
+            chunk_ops: 50,
+            ..KvStreamSpec::new(spec, Variant::LogPSf)
+        }
+    }
+
+    /// Records the same workload the streamed recorder runs, but
+    /// monolithically in memory — the `TraceCache` representation.
+    fn record_monolithic(sspec: &KvStreamSpec) -> SharedTrace {
+        let mut env = PmemEnv::new(sspec.variant);
+        env.set_flush_mode(sspec.flush_mode);
+        let mut w = KvWorkload::new(sspec.spec);
+        env.set_recording(false);
+        w.setup(&mut env);
+        env.set_recording(true);
+        for op in 0..sspec.spec.ops {
+            w.run_op(&mut env, op);
+        }
+        env.take_trace().into_shared()
+    }
+
+    #[test]
+    fn memory_source_borrows_the_whole_trace_once() {
+        let shared = record_monolithic(&tiny_stream(60));
+        let mut src = MemorySource::new(shared.clone());
+        assert_eq!(src.origin(), "memory");
+        let chunk = src.next_chunk().unwrap().expect("one chunk");
+        assert!(matches!(chunk, Cow::Borrowed(_)), "no copy");
+        assert_eq!(chunk.len(), shared.events.len());
+        drop(chunk);
+        assert!(src.next_chunk().unwrap().is_none(), "then exhausted");
+        assert!(src.next_chunk().unwrap().is_none(), "and stays exhausted");
+    }
+
+    #[test]
+    fn cached_and_streamed_sources_yield_byte_identical_streams() {
+        let sspec = tiny_stream(220);
+        let shared = record_monolithic(&sspec);
+        let mem_events = MemorySource::new(shared).collect_events().unwrap();
+
+        let mut streamed = StreamingKvSource::record(sspec);
+        assert_eq!(streamed.origin(), "streamed");
+        let streamed_events = streamed.collect_events().unwrap();
+
+        assert_eq!(mem_events, streamed_events, "same events in same order");
+        assert_eq!(
+            encode_events(&mem_events),
+            encode_events(&streamed_events),
+            "byte-identical on the wire encoding"
+        );
+        let stats = streamed.stats().expect("clean drain carries stats");
+        assert_eq!(stats.ops, 220);
+        assert!(stats.mutations > 0);
+        assert!(streamed.next_chunk().unwrap().is_none(), "fused after Done");
+    }
+
+    #[test]
+    fn spilled_chunks_reenter_the_stream_byte_identically() {
+        let mut spill = std::env::temp_dir();
+        spill.push(format!("spp-source-spill-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&spill);
+        let base = tiny_stream(300);
+        let capped = KvStreamSpec {
+            mem_cap: Some(64),
+            spill: Some(spill.clone()),
+            ..base.clone()
+        };
+        let want = MemorySource::new(record_monolithic(&base))
+            .collect_events()
+            .unwrap();
+        let mut src = StreamingKvSource::record(capped);
+        let got = src.collect_events().unwrap();
+        assert!(src.spilled_chunks() > 0, "cap must force spilling");
+        assert_eq!(encode_events(&want), encode_events(&got));
+        drop(src);
+        let _ = std::fs::remove_file(&spill);
+    }
+
+    #[test]
+    fn the_streamed_pipeline_consumes_the_source_it_exports() {
+        // `run_kv_streamed` is now a TraceSource consumer; its numbers
+        // must not have moved relative to a hand-rolled drain.
+        let sspec = tiny_stream(220);
+        let rep = crate::stream::run_kv_streamed(&sspec, &CpuConfig::baseline()).unwrap();
+        assert_eq!(rep.ops, 220);
+        assert_eq!(rep.chunks, 5, "220 ops at 50/chunk is 5 chunks");
+        let total: usize = MemorySource::new(record_monolithic(&sspec))
+            .collect_events()
+            .unwrap()
+            .len();
+        assert_eq!(rep.events, total as u64, "no events lost at the seam");
+    }
+
+    #[test]
+    fn dropping_a_streaming_source_midway_joins_the_recorder() {
+        let mut src = StreamingKvSource::record(tiny_stream(500));
+        let first = src.next_chunk().unwrap();
+        assert!(first.is_some(), "recorder produced at least one chunk");
+        drop(first);
+        drop(src); // must not hang or leak the recorder thread
+    }
+}

@@ -176,7 +176,8 @@ pub struct StreamReport {
 /// produced and consumed in recording order, so every set of
 /// simultaneously-held chunks is a window of at most `cap` consecutive
 /// ones.
-struct PeakBound {
+#[derive(Debug)]
+pub(crate) struct PeakBound {
     win: std::collections::VecDeque<u64>,
     sum: u64,
     cap: usize,
@@ -184,7 +185,7 @@ struct PeakBound {
 }
 
 impl PeakBound {
-    fn new(depth: usize) -> Self {
+    pub(crate) fn new(depth: usize) -> Self {
         PeakBound {
             win: std::collections::VecDeque::new(),
             sum: 0,
@@ -193,7 +194,7 @@ impl PeakBound {
         }
     }
 
-    fn push(&mut self, bytes: u64) {
+    pub(crate) fn push(&mut self, bytes: u64) {
         self.win.push_back(bytes);
         self.sum += bytes;
         if self.win.len() > self.cap {
@@ -201,10 +202,15 @@ impl PeakBound {
         }
         self.max = self.max.max(self.sum);
     }
+
+    /// The largest window sum seen so far.
+    pub(crate) fn max(&self) -> u64 {
+        self.max
+    }
 }
 
 /// What the recorder sends per chunk.
-enum ChunkMsg {
+pub(crate) enum ChunkMsg {
     /// The chunk, in memory (already gauged in).
     Inline(Vec<Event>),
     /// The chunk went to the spill file; read the next record.
@@ -309,13 +315,14 @@ fn spill_write(file: &mut File, events: &[Event]) -> Result<(), StreamError> {
 }
 
 /// Sequential reader over a spill file's records.
-struct SpillReader {
+#[derive(Debug)]
+pub(crate) struct SpillReader {
     file: File,
     record: u64,
 }
 
 impl SpillReader {
-    fn open(path: &Path) -> Result<Self, StreamError> {
+    pub(crate) fn open(path: &Path) -> Result<Self, StreamError> {
         let mut file = File::open(path).map_err(|e| StreamError::SpillIo(e.to_string()))?;
         file.seek(SeekFrom::Start(0))
             .map_err(|e| StreamError::SpillIo(e.to_string()))?;
@@ -324,7 +331,7 @@ impl SpillReader {
 
     /// Reads and verifies the next record. A short read or checksum
     /// mismatch is the torn-tail case: typed, never silently replayed.
-    fn next(&mut self) -> Result<Vec<Event>, StreamError> {
+    pub(crate) fn next(&mut self) -> Result<Vec<Event>, StreamError> {
         let corrupt = |detail: String| StreamError::SpillCorrupt {
             record: self.record,
             detail,
@@ -356,6 +363,86 @@ impl SpillReader {
 
 // --- the pipeline -----------------------------------------------------
 
+/// The recorder half of the chunked pipeline: runs the KV workload,
+/// hands each chunk over through `tx` (inline when it fits under the
+/// gauge cap, via the spill file when it does not), and finishes with
+/// [`ChunkMsg::Done`] or a typed [`ChunkMsg::Fail`]. Owned by
+/// [`crate::source::StreamingKvSource`], which spawns it on its own
+/// thread; `run_kv_streamed` consumes it through the
+/// [`crate::source::TraceSource`] trait.
+pub(crate) fn record_chunks(
+    sspec: &KvStreamSpec,
+    gauge: &MemGauge,
+    tx: &mpsc::SyncSender<ChunkMsg>,
+) {
+    let mut env = PmemEnv::new(sspec.variant);
+    env.set_flush_mode(sspec.flush_mode);
+    let mut w = KvWorkload::new(sspec.spec);
+    env.set_recording(false);
+    w.setup(&mut env);
+    env.set_recording(true);
+    let mut spill_file: Option<File> = None;
+    let mut op = 0u64;
+    while op < sspec.spec.ops {
+        let end = (op + sspec.chunk_ops).min(sspec.spec.ops);
+        while op < end {
+            w.run_op(&mut env, op);
+            op += 1;
+        }
+        let events = env.take_trace().events;
+        if events.is_empty() {
+            continue;
+        }
+        let bytes = chunk_bytes(&events);
+        let over_cap = sspec
+            .mem_cap
+            .is_some_and(|cap| gauge.current() + bytes > cap);
+        if over_cap {
+            match &sspec.spill {
+                Some(path) => {
+                    if spill_file.is_none() {
+                        match File::create(path) {
+                            Ok(f) => spill_file = Some(f),
+                            Err(e) => {
+                                let _ =
+                                    tx.send(ChunkMsg::Fail(StreamError::SpillIo(e.to_string())));
+                                return;
+                            }
+                        }
+                    }
+                    let f = spill_file.as_mut().unwrap_or_else(|| unreachable!());
+                    if let Err(e) = spill_write(f, &events) {
+                        let _ = tx.send(ChunkMsg::Fail(e));
+                        return;
+                    }
+                    drop(events);
+                    if tx.send(ChunkMsg::Spilled).is_err() {
+                        return;
+                    }
+                }
+                None => {
+                    let _ = tx.send(ChunkMsg::Fail(StreamError::TraceMemCap {
+                        cap: sspec.mem_cap.unwrap_or(0),
+                        held: gauge.current(),
+                        chunk: bytes,
+                    }));
+                    return;
+                }
+            }
+        } else {
+            gauge.acquire(bytes);
+            if tx.send(ChunkMsg::Inline(events)).is_err() {
+                return;
+            }
+        }
+    }
+    let _ = tx.send(ChunkMsg::Done {
+        ops: op,
+        final_count: w.engine().count(),
+        mutations: w.stats().mutations,
+    });
+}
+
 /// Runs a KV workload through the chunked recorder/simulator pipeline.
 ///
 /// Deterministic: every report field except the gauge-measured
@@ -369,8 +456,10 @@ impl SpillReader {
 /// Returns the typed [`StreamError`] when the cap trips with no spill
 /// file, the spill file tears, or a chunk's simulation degrades.
 pub fn run_kv_streamed(sspec: &KvStreamSpec, cpu: &CpuConfig) -> Result<StreamReport, StreamError> {
-    let gauge = MemGauge::new();
-    let (tx, rx) = mpsc::sync_channel::<ChunkMsg>(sspec.depth.max(1));
+    use crate::source::{StreamingKvSource, TraceSource as _};
+
+    let mut src = StreamingKvSource::record(sspec.clone());
+    let gauge = src.gauge();
     let mut report = StreamReport {
         ops: 0,
         chunks: 0,
@@ -383,161 +472,29 @@ pub fn run_kv_streamed(sspec: &KvStreamSpec, cpu: &CpuConfig) -> Result<StreamRe
         final_count: 0,
         mutations: 0,
     };
-    let mut bound = PeakBound::new(sspec.depth);
-    let mut result: Result<(), StreamError> = Ok(());
-
-    std::thread::scope(|scope| {
-        let gauge_ref = &gauge;
-        let recorder = scope.spawn(move || {
-            let mut env = PmemEnv::new(sspec.variant);
-            env.set_flush_mode(sspec.flush_mode);
-            let mut w = KvWorkload::new(sspec.spec);
-            env.set_recording(false);
-            w.setup(&mut env);
-            env.set_recording(true);
-            let mut spill_file: Option<File> = None;
-            let mut op = 0u64;
-            while op < sspec.spec.ops {
-                let end = (op + sspec.chunk_ops).min(sspec.spec.ops);
-                while op < end {
-                    w.run_op(&mut env, op);
-                    op += 1;
-                }
-                let events = env.take_trace().events;
-                if events.is_empty() {
-                    continue;
-                }
-                let bytes = chunk_bytes(&events);
-                let over_cap = sspec
-                    .mem_cap
-                    .is_some_and(|cap| gauge_ref.current() + bytes > cap);
-                if over_cap {
-                    match &sspec.spill {
-                        Some(path) => {
-                            if spill_file.is_none() {
-                                match File::create(path) {
-                                    Ok(f) => spill_file = Some(f),
-                                    Err(e) => {
-                                        let _ = tx.send(ChunkMsg::Fail(StreamError::SpillIo(
-                                            e.to_string(),
-                                        )));
-                                        return;
-                                    }
-                                }
-                            }
-                            let f = spill_file.as_mut().unwrap_or_else(|| unreachable!());
-                            if let Err(e) = spill_write(f, &events) {
-                                let _ = tx.send(ChunkMsg::Fail(e));
-                                return;
-                            }
-                            drop(events);
-                            if tx.send(ChunkMsg::Spilled).is_err() {
-                                return;
-                            }
-                        }
-                        None => {
-                            let _ = tx.send(ChunkMsg::Fail(StreamError::TraceMemCap {
-                                cap: sspec.mem_cap.unwrap_or(0),
-                                held: gauge_ref.current(),
-                                chunk: bytes,
-                            }));
-                            return;
-                        }
-                    }
-                } else {
-                    gauge_ref.acquire(bytes);
-                    if tx.send(ChunkMsg::Inline(events)).is_err() {
-                        return;
-                    }
+    let outcome = loop {
+        match src.next_chunk() {
+            Ok(Some(events)) => {
+                if let Err(e) = simulate_chunk(&events, cpu, &mut report) {
+                    break Err(e);
                 }
             }
-            let _ = tx.send(ChunkMsg::Done {
-                ops: op,
-                final_count: w.engine().count(),
-                mutations: w.stats().mutations,
-            });
-        });
-
-        let mut spill_reader: Option<SpillReader> = None;
-        let mut done = false;
-        while let Ok(msg) = rx.recv() {
-            match msg {
-                ChunkMsg::Inline(events) => {
-                    let bytes = chunk_bytes(&events);
-                    bound.push(bytes);
-                    let r = simulate_chunk(&events, cpu, &mut report);
-                    gauge_ref.release(bytes);
-                    drop(events);
-                    if let Err(e) = r {
-                        result = Err(e);
-                        break;
-                    }
-                }
-                ChunkMsg::Spilled => {
-                    if spill_reader.is_none() {
-                        let path = sspec.spill.as_deref().unwrap_or_else(|| Path::new(""));
-                        match SpillReader::open(path) {
-                            Ok(r) => spill_reader = Some(r),
-                            Err(e) => {
-                                result = Err(e);
-                                break;
-                            }
-                        }
-                    }
-                    let next = spill_reader
-                        .as_mut()
-                        .map(SpillReader::next)
-                        .unwrap_or(Err(StreamError::RecorderDied));
-                    match next {
-                        Ok(events) => {
-                            let bytes = chunk_bytes(&events);
-                            bound.push(bytes);
-                            gauge_ref.acquire(bytes);
-                            let r = simulate_chunk(&events, cpu, &mut report);
-                            gauge_ref.release(bytes);
-                            report.spilled_chunks += 1;
-                            if let Err(e) = r {
-                                result = Err(e);
-                                break;
-                            }
-                        }
-                        Err(e) => {
-                            result = Err(e);
-                            break;
-                        }
-                    }
-                }
-                ChunkMsg::Done {
-                    ops,
-                    final_count,
-                    mutations,
-                } => {
-                    report.ops = ops;
-                    report.final_count = final_count;
-                    report.mutations = mutations;
-                    done = true;
-                    break;
-                }
-                ChunkMsg::Fail(e) => {
-                    result = Err(e);
-                    break;
-                }
-            }
+            Ok(None) => break Ok(()),
+            Err(e) => break Err(e),
         }
-        // On an error path, unblock and drain the recorder so the scope
-        // can join it.
-        drop(rx);
-        let _ = recorder.join();
-        if result.is_ok() && !done {
-            result = Err(StreamError::RecorderDied);
-        }
-    });
-
-    result.map(|()| StreamReport {
-        peak_bytes: gauge.peak(),
-        peak_bound: bound.max,
-        ..report
-    })
+    };
+    outcome?;
+    let stats = src.stats().ok_or(StreamError::RecorderDied)?;
+    report.ops = stats.ops;
+    report.final_count = stats.final_count;
+    report.mutations = stats.mutations;
+    report.spilled_chunks = src.spilled_chunks();
+    report.peak_bound = src.peak_bound();
+    // Join the recorder before reading the gauge peak so late
+    // acquisitions are counted, exactly as the scoped join did.
+    drop(src);
+    report.peak_bytes = gauge.peak();
+    Ok(report)
 }
 
 /// Replays one chunk on a fresh pipeline, folding its numbers into the

@@ -18,6 +18,7 @@ use spp_bench::journal::{CellStatus, Entry, Journal};
 use spp_bench::kv::run_kv_study;
 use spp_bench::litmus::run_litmus;
 use spp_bench::multicore::run_multicore_study;
+use spp_bench::optimize::run_optimize_study;
 use spp_bench::profile::run_profile;
 use spp_bench::soak::run_soak;
 use spp_bench::{json, schema, Experiment, Harness};
@@ -113,6 +114,12 @@ fn kv_document_is_stable() {
 fn litmus_document_is_stable() {
     let rep = run_litmus(&harness());
     check("litmus.json", &rep.render_json(), schema::LITMUS);
+}
+
+#[test]
+fn optimize_document_is_stable() {
+    let rep = run_optimize_study(&harness(), BenchId::LinkedList, Variant::LogP);
+    check("optimize.json", &rep.render_json(), schema::OPTIMIZE);
 }
 
 #[test]

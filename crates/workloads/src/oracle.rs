@@ -245,6 +245,13 @@ impl CrashBundle {
     /// Returns the violation if the recovered structure is invalid or
     /// its contents match neither adjacent operation boundary.
     pub fn check_image(&self, image: &mut Space, crash_idx: usize) -> Result<(), OracleViolation> {
+        self.check_image_at(image, self.completed_ops(crash_idx))
+    }
+
+    /// The oracle body, parameterized on the completed-operation count
+    /// so foreign event streams (see [`CrashBundle::check_crash_of`])
+    /// can supply their own.
+    fn check_image_at(&self, image: &mut Space, completed: usize) -> Result<(), OracleViolation> {
         recover(image, &self.layout);
         let raw_keys = match self.workload.verify(image) {
             Ok(s) => s.keys,
@@ -256,7 +263,6 @@ impl CrashBundle {
             }
         };
         let got: BTreeSet<u64> = raw_keys.iter().copied().collect();
-        let completed = self.completed_ops(crash_idx);
         // The crash may land between the durable logged_bit clear and
         // the (zero-cost) TxEnd marker: the next state is then already
         // durable despite not being counted.
@@ -304,6 +310,36 @@ impl CrashBundle {
         let sim = CrashSim::new(&self.base, &self.events, crash_idx);
         let mut img = sim.image_seeded(seed);
         self.check_image(&mut img, crash_idx)
+    }
+
+    /// Like [`CrashBundle::check_crash`], but crashes a *foreign* event
+    /// stream — a transformed replay of this bundle's recording (e.g. a
+    /// persist-elision plan applied by `spp_bench::optimize`) that must
+    /// still satisfy the same recovery oracle. The stream must perform
+    /// the same stores and transactions as the recording; only persist
+    /// operations may differ. The completed-operation count is taken
+    /// from `events`, not from the recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation for a failing schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crash_idx > events.len()`.
+    pub fn check_crash_of(
+        &self,
+        events: &[Event],
+        crash_idx: usize,
+        seed: u64,
+    ) -> Result<(), OracleViolation> {
+        let sim = CrashSim::new(&self.base, events, crash_idx);
+        let mut img = sim.image_seeded(seed);
+        let completed = events[..crash_idx]
+            .iter()
+            .filter(|e| matches!(e, Event::TxEnd(_)))
+            .count();
+        self.check_image_at(&mut img, completed)
     }
 }
 
